@@ -1,0 +1,34 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper at
+full scale (scale=1.0, seed=7).  Studies are memoized process-wide, so
+the first benchmark pays the simulation cost and the rest reuse it.
+Rendered outputs land in ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.figures import collect_studies
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCALE = 1.0
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def studies():
+    return collect_studies(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,54 @@
+"""Ablation: Eq. (1) weight balance and clustering quality."""
+
+import numpy as np
+from conftest import SEED, write_result
+
+from repro.analysis.tables import format_table
+from repro.core.experiment import run_app_study
+from repro.vfi.clustering import (
+    ClusteringProblem,
+    cluster_cost,
+    solve_simulated_annealing,
+    utilization_sorted_assignment,
+)
+
+
+def test_ablation_clustering_weights(benchmark, studies, results_dir):
+    """Sweep w_c / w_u: the comm-only and util-only extremes trade the two
+    cost terms exactly as Sec. 4.1 describes."""
+
+    def sweep():
+        study = studies["wordcount"]
+        utilization = study.design.utilization
+        traffic = study.design.traffic
+        rows = []
+        for wc, wu in ((1.0, 0.0), (1.0, 1.0), (0.0, 1.0)):
+            problem = ClusteringProblem(
+                traffic, utilization, 4, comm_weight=wc, util_weight=wu
+            )
+            result = solve_simulated_annealing(problem, seed=SEED)
+            # measure both terms under unit weights for comparison
+            metric = ClusteringProblem(traffic, utilization, 4)
+            comm_only = ClusteringProblem(
+                traffic, utilization, 4, comm_weight=1.0, util_weight=0.0
+            )
+            util_only = ClusteringProblem(
+                traffic, utilization, 4, comm_weight=0.0, util_weight=1.0
+            )
+            rows.append(
+                {
+                    "weights (wc, wu)": f"({wc}, {wu})",
+                    "comm cost": f"{cluster_cost(comm_only, result.assignment):.3f}",
+                    "util cost": f"{cluster_cost(util_only, result.assignment):.4f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_clustering_weights.txt", format_table(rows))
+    comm_costs = [float(row["comm cost"]) for row in rows]
+    util_costs = [float(row["util cost"]) for row in rows]
+    # Emphasizing communication cannot produce a worse comm cost than
+    # emphasizing utilization, and vice versa.
+    assert comm_costs[0] <= comm_costs[2] + 1e-9
+    assert util_costs[2] <= util_costs[0] + 1e-9

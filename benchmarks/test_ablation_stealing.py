@@ -1,0 +1,42 @@
+"""Ablation: the Eq. (3) task-stealing cap on the VFI 2 mesh.
+
+The modified stealing exists to keep fast cores from idling while slow
+cores grind through stolen tasks; disabling it must not make the system
+faster for the heterogeneous-V/F applications."""
+
+from conftest import SEED, write_result
+
+from repro.analysis.tables import format_table
+from repro.core.experiment import run_app_study
+from repro.core.platforms import build_vfi_mesh
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+
+def test_ablation_stealing_cap(benchmark, studies, results_dir):
+    def sweep():
+        out = {}
+        for name in ("wordcount", "kmeans", "linear_regression"):
+            study = studies[name]
+            platform = build_vfi_mesh(
+                study.design, "vfi2", seed=spawn_seed(SEED, name, "mapping")
+            )
+            uncapped = simulate(
+                platform,
+                study.trace,
+                locality=study.app.profile.l2_locality,
+                stealing_policy=None,  # default greedy stealing
+            )
+            capped_time = study.result("vfi2_mesh").total_time_s
+            out[study.label] = capped_time / uncapped.total_time_s
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        {"app": label, "time capped/uncapped": f"{ratio:.3f}"}
+        for label, ratio in ratios.items()
+    ]
+    write_result(results_dir, "ablation_stealing.txt", format_table(rows))
+    # The cap never costs more than a small tolerance, and helps on average.
+    for label, ratio in ratios.items():
+        assert ratio <= 1.05, f"{label}: capped stealing slower"

@@ -1,0 +1,50 @@
+"""Ablation: wireless-interface count.
+
+The paper adopts 12 WIs (3 channels x one WI per island) citing the
+companion work's optimum for 64 cores.  Sweep 1-3 channels (4/8/12 WIs)
+and confirm more channels monotonically help (or at least never hurt)
+the network EDP -- the marginal gain shrinking as channels saturate."""
+
+import numpy as np
+from conftest import SEED, write_result
+
+from repro.analysis.tables import format_table
+from repro.core.experiment import NVFI_MESH
+from repro.core.platforms import build_vfi_winoc
+from repro.noc.wireless import WirelessSpec
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+
+def test_wireless_interface_count(benchmark, studies, results_dir):
+    def sweep():
+        study = studies["wordcount"]
+        rate = study.design.traffic * 8.0 / study.result(NVFI_MESH).total_time_s
+        out = {}
+        for channels in (1, 2, 3):
+            spec = WirelessSpec(num_channels=channels)
+            platform = build_vfi_winoc(
+                study.design,
+                "vfi2",
+                wireless_spec=spec,
+                seed=spawn_seed(SEED, "wordcount", "winoc"),
+                traffic_rate_bps=rate,
+            )
+            result = simulate(
+                platform,
+                study.trace,
+                locality=study.app.profile.l2_locality,
+                stealing_policy=study.design.stealing_policy("vfi2"),
+            )
+            out[channels] = result.network_edp / study.result(NVFI_MESH).network_edp
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        {"channels": channels, "WIs": channels * 4,
+         "network EDP vs NVFI": f"{ratio:.3f}"}
+        for channels, ratio in ratios.items()
+    ]
+    write_result(results_dir, "ablation_wireless_count.txt", format_table(rows))
+    # More channels never hurt by more than noise.
+    assert ratios[3] <= ratios[1] * 1.05

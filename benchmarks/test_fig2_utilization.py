@@ -1,0 +1,41 @@
+"""Fig. 2: per-core utilization distributions (Kmeans, PCA, MM, HIST).
+
+Shapes: Kmeans is strongly non-homogeneous (the paper's rationale for
+skipping its reassignment); MM and HIST are nearly homogeneous; every app
+shows a high-utilization head (the bottleneck cores).
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.figures import figure2_utilization
+from repro.analysis.tables import ascii_bars
+
+
+def test_fig2(benchmark, studies, results_dir):
+    series = benchmark.pedantic(
+        lambda: figure2_utilization(studies), rounds=1, iterations=1
+    )
+    text = []
+    for label, values in series.items():
+        cv = values.std() / values.mean()
+        text.append(
+            f"{label}: mean={values.mean():.3f} max={values.max():.3f} cv={cv:.3f}"
+        )
+        bars = {
+            f"core {i:2d}": float(values[i]) for i in range(0, 64, 8)
+        }
+        text.append(ascii_bars(bars, reference=1.0))
+    write_result(results_dir, "fig2_utilization.txt", "\n".join(text))
+
+    cvs = {
+        label: values.std() / values.mean() for label, values in series.items()
+    }
+    # Kmeans is the most heterogeneous of the four profiled apps.
+    assert cvs["Kmeans"] == max(cvs.values())
+    # MM and HIST are nearly homogeneous.
+    assert cvs["MM"] < 0.1
+    assert cvs["HIST"] < 0.1
+    # Every app's hottest core clearly exceeds its mean (bottleneck head).
+    for label, values in series.items():
+        assert values.max() > 1.05 * values.mean()

@@ -1,0 +1,39 @@
+"""Fig. 4: execution time (a) and EDP (b) of VFI1 vs VFI2 systems for the
+three reassigned applications, normalized to the NVFI mesh.
+
+Shapes: VFI2 is never slower than VFI1; PCA benefits the most from the
+reassignment (it has the strongest bottleneck, Fig. 5)."""
+
+from conftest import write_result
+
+from repro.analysis.figures import figure4_vfi1_vs_vfi2
+from repro.analysis.tables import format_table
+
+
+def test_fig4(benchmark, studies, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure4_vfi1_vs_vfi2(studies), rounds=1, iterations=1
+    )
+    rows = []
+    for label in data["execution_time"]:
+        t1, t2 = data["execution_time"][label]
+        e1, e2 = data["edp"][label]
+        rows.append(
+            {
+                "app": label,
+                "time VFI1": f"{t1:.3f}",
+                "time VFI2": f"{t2:.3f}",
+                "EDP VFI1": f"{e1:.3f}",
+                "EDP VFI2": f"{e2:.3f}",
+            }
+        )
+    write_result(results_dir, "fig4_vfi1_vs_vfi2.txt", format_table(rows))
+
+    times = data["execution_time"]
+    for label, (vfi1, vfi2) in times.items():
+        assert vfi2 <= vfi1 + 1e-9, f"{label}: VFI2 slower than VFI1"
+
+    gains = {label: vfi1 - vfi2 for label, (vfi1, vfi2) in times.items()}
+    assert gains["PCA"] == max(gains.values()), (
+        "PCA should benefit most from V/F reassignment"
+    )

@@ -1,0 +1,30 @@
+"""Fig. 5: average vs bottleneck core utilization for PCA, HIST, MM.
+
+Shape: PCA has the highest bottleneck-to-average ratio, consistent with
+its long merge funnel; all bottleneck utilizations exceed the averages."""
+
+from conftest import write_result
+
+from repro.analysis.figures import figure5_bottleneck_utilization
+from repro.analysis.tables import format_table
+
+
+def test_fig5(benchmark, studies, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure5_bottleneck_utilization(studies), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "app": label,
+            "average": f"{avg:.3f}",
+            "bottleneck": f"{hot:.3f}",
+            "ratio": f"{hot / avg:.2f}",
+        }
+        for label, (avg, hot) in data.items()
+    ]
+    write_result(results_dir, "fig5_bottleneck_util.txt", format_table(rows))
+
+    ratios = {label: hot / avg for label, (avg, hot) in data.items()}
+    for label, ratio in ratios.items():
+        assert ratio > 1.05, f"{label}: no visible bottleneck"
+    assert ratios["PCA"] == max(ratios.values())

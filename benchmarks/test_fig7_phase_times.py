@@ -1,0 +1,50 @@
+"""Fig. 7: normalized per-phase execution time for VFI Mesh and VFI WiNoC.
+
+Shapes: map dominates everywhere; the VFI mesh pays a bounded execution
+penalty; the WiNoC recovers part of it for every application (most for
+the high-key-count, distant-traffic apps WC and Kmeans; least for the
+near-core-heavy LR)."""
+
+from conftest import write_result
+
+from repro.analysis.figures import figure7_phase_times
+from repro.analysis.tables import format_table
+
+
+def test_fig7(benchmark, studies, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure7_phase_times(studies), rounds=1, iterations=1
+    )
+    rows = []
+    for app_label, configs in data.items():
+        for config_label, phases in configs.items():
+            row = {"app": app_label, "config": config_label}
+            row.update({k: f"{v:.3f}" for k, v in phases.items()})
+            row["total"] = f"{sum(phases.values()):.3f}"
+            rows.append(row)
+    write_result(results_dir, "fig7_phase_times.txt", format_table(rows))
+
+    for app_label, configs in data.items():
+        mesh = configs["VFI Mesh"]
+        winoc = configs["VFI WiNoC"]
+        # Map dominates the execution profile.
+        assert mesh["map"] == max(mesh.values())
+        mesh_total = sum(mesh.values())
+        winoc_total = sum(winoc.values())
+        # VFI mesh penalty bounded (paper: <= 10.5%; simulator: <= ~40%).
+        assert mesh_total < 1.45
+        # WiNoC strictly recovers part of the VFI penalty.
+        assert winoc_total < mesh_total, app_label
+
+    # WC and Kmeans gain the most from the WiNoC (high key counts,
+    # distant-core traffic); LR and PCA gain the least (near-core /
+    # merge-bound profiles).
+    gains = {
+        app: sum(cfg["VFI Mesh"].values()) - sum(cfg["VFI WiNoC"].values())
+        for app, cfg in data.items()
+    }
+    order = sorted(gains, key=gains.get)
+    assert "PCA" in order[:2]
+    assert "LR" in order[:4]
+    top_two = sorted(gains, key=gains.get, reverse=True)[:2]
+    assert set(top_two) == {"WC", "Kmeans"}

@@ -1,0 +1,43 @@
+"""Fig. 8: full-system EDP of VFI Mesh and VFI WiNoC vs the NVFI mesh.
+
+Shapes: both VFI systems save EDP for every application; the WiNoC
+variant is at least as good as the mesh variant everywhere; Kmeans
+achieves the largest savings (paper: 66.2% max, 33.7% average)."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.figures import average_edp_savings, figure8_full_system_edp
+from repro.analysis.tables import format_table
+
+
+def test_fig8(benchmark, studies, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure8_full_system_edp(studies), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "app": label,
+            "VFI Mesh": f"{mesh:.3f}",
+            "VFI WiNoC": f"{winoc:.3f}",
+        }
+        for label, (mesh, winoc) in data.items()
+    ]
+    average, maximum = average_edp_savings(studies)
+    summary = (
+        f"WiNoC EDP savings vs NVFI mesh: average {average * 100:.1f}% "
+        f"(paper: 33.7%), max {maximum * 100:.1f}% (paper: 66.2%)"
+    )
+    write_result(
+        results_dir, "fig8_full_system_edp.txt", format_table(rows) + "\n" + summary
+    )
+
+    for label, (mesh, winoc) in data.items():
+        assert mesh < 1.0, f"{label}: VFI mesh saves no EDP"
+        assert winoc < 1.0, f"{label}: VFI WiNoC saves no EDP"
+        assert winoc < mesh, f"{label}: WiNoC worse than mesh"
+
+    # Kmeans achieves the deepest savings.
+    winoc_edps = {label: winoc for label, (mesh, winoc) in data.items()}
+    assert winoc_edps["Kmeans"] == min(winoc_edps.values())
+    assert average > 0.05  # meaningful average savings

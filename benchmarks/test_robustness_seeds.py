@@ -1,0 +1,43 @@
+"""Robustness: the headline shapes hold across random seeds.
+
+The paper reports one configuration; this harness re-runs three
+representative apps with a second seed (new synthetic datasets, new SA
+randomness) and checks the qualitative conclusions survive."""
+
+from conftest import write_result
+
+from repro.analysis.tables import format_table
+from repro.core.sweep import seed_sweep
+
+
+def test_shapes_stable_across_seeds(benchmark, results_dir):
+    def sweep():
+        return {
+            name: seed_sweep(name, seeds=(7, 23))
+            for name in ("wordcount", "histogram", "kmeans")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, sweep_result in results.items():
+        for seed, configs in sweep_result.rows.items():
+            rows.append(
+                {
+                    "app": name,
+                    "seed": seed,
+                    "VFI mesh EDP": f"{configs['vfi2_mesh']['edp']:.3f}",
+                    "WiNoC EDP": f"{configs['vfi2_winoc']['edp']:.3f}",
+                    "WiNoC time": f"{configs['vfi2_winoc']['time']:.3f}",
+                }
+            )
+    write_result(results_dir, "robustness_seeds.txt", format_table(rows))
+
+    for name, sweep_result in results.items():
+        for seed, configs in sweep_result.rows.items():
+            # VFI saves EDP, WiNoC saves more, at every seed.
+            assert configs["vfi2_mesh"]["edp"] < 1.0, (name, seed)
+            assert (
+                configs["vfi2_winoc"]["edp"] < configs["vfi2_mesh"]["edp"]
+            ), (name, seed)
+        # normalized EDP varies by less than 0.12 between seeds
+        assert sweep_result.spread("vfi2_winoc", "edp") < 0.12, name

@@ -1,0 +1,31 @@
+"""Sensitivity: conclusions survive 2x perturbations of power constants.
+
+Each calibrated constant (core dynamic/leakage watts, wire/wireless/
+router pJ-per-bit) is halved and doubled; in every variant the VFI system
+must still save EDP and the WiNoC must still beat the VFI mesh."""
+
+from conftest import SEED, write_result
+
+from repro.analysis.sensitivity import sensitivity_sweep
+from repro.analysis.tables import format_table
+
+
+def test_conclusions_robust_to_power_constants(benchmark, studies, results_dir):
+    def sweep():
+        return sensitivity_sweep(studies["wordcount"], seed=SEED)
+
+    rows_data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        {
+            "parameter": row.parameter,
+            "x": row.multiplier,
+            "VFI mesh EDP": f"{row.vfi_mesh_edp:.3f}",
+            "VFI WiNoC EDP": f"{row.vfi_winoc_edp:.3f}",
+        }
+        for row in rows_data
+    ]
+    write_result(results_dir, "sensitivity_power.txt", format_table(rows))
+
+    for row in rows_data:
+        assert row.vfi_saves_edp, (row.parameter, row.multiplier)
+        assert row.winoc_beats_mesh, (row.parameter, row.multiplier)

@@ -1,0 +1,14 @@
+"""Table 1: applications analyzed and datasets used."""
+
+from conftest import write_result
+
+from repro.analysis.tables import table1_datasets
+
+
+def test_table1(benchmark, results_dir):
+    text = benchmark.pedantic(table1_datasets, rounds=1, iterations=1)
+    write_result(results_dir, "table1_datasets.txt", text)
+    for label in ("MM", "Kmeans", "PCA", "HIST", "WC", "LR"):
+        assert label in text
+    assert "999 x 999" in text and "960 x 960" in text
+    assert "100 MB" in text and "399 MB" in text

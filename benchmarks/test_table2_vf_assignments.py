@@ -1,0 +1,48 @@
+"""Table 2: V/F assignments for the six MapReduce applications.
+
+Shape requirements from the paper:
+* exactly PCA, HIST and MM are reassigned (VFI2 differs from VFI1);
+* the reassigned island moves up one DVFS step (0.9 -> 1.0 V class);
+* Kmeans spreads over the widest V/F range; homogeneous apps (MM, HIST,
+  PCA) get near-uniform assignments.
+"""
+
+from conftest import write_result
+
+from repro.analysis.tables import table2_vf_assignments
+
+
+def test_table2(benchmark, studies, results_dir):
+    text = benchmark.pedantic(
+        lambda: table2_vf_assignments(studies.values()), rounds=1, iterations=1
+    )
+    write_result(results_dir, "table2_vf_assignments.txt", text)
+
+    reassigned = {
+        studies[name].label
+        for name in studies
+        if studies[name].design.was_reassigned
+    }
+    assert reassigned == {"PCA", "HIST", "MM"}
+
+    for name in ("pca", "histogram", "matrix_multiply"):
+        design = studies[name].design
+        for island in design.vfi2.reassigned_islands:
+            assert (
+                design.vfi2.points[island].frequency_hz
+                > design.vfi1.points[island].frequency_hz
+            )
+
+    # Kmeans is the most aggressively down-clocked app (lowest average
+    # island voltage), as in the paper's 0.6/0.6/0.8/0.8 assignment.
+    def mean_voltage(design):
+        volts = design.vfi1.voltages_v()
+        return sum(volts) / len(volts)
+
+    kmeans_v = mean_voltage(studies["kmeans"].design)
+    assert kmeans_v == min(
+        mean_voltage(studies[name].design) for name in studies
+    )
+    # WC and LR split their islands over at least two V/F levels.
+    for name in ("wordcount", "linear_regression"):
+        assert len(set(studies[name].design.vfi1.labels())) >= 2

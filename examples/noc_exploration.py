@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""WiNoC design-space exploration for one application.
+
+Sweeps the interconnect knobs the paper discusses in Secs. 5-7.2 --
+(k_intra, k_inter) splits and the two wireless placement/mapping
+methodologies -- for the Word Count workload, and reports execution time
+and network EDP per design point.
+
+Run:  python examples/noc_exploration.py
+"""
+
+from repro import run_app_study
+from repro.analysis.tables import format_table
+from repro.core.experiment import NVFI_MESH
+from repro.core.platforms import build_vfi_winoc
+from repro.noc.smallworld import SmallWorldConfig
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+APP = "wordcount"
+SEED = 7
+
+
+def evaluate(study, config, methodology):
+    rate = study.design.traffic * 8.0 / study.result(NVFI_MESH).total_time_s
+    platform = build_vfi_winoc(
+        study.design,
+        "vfi2",
+        methodology=methodology,
+        smallworld_config=config,
+        seed=spawn_seed(SEED, APP, "winoc"),
+        traffic_rate_bps=rate,
+        sa_iterations=150,
+    )
+    result = simulate(
+        platform,
+        study.trace,
+        locality=study.app.profile.l2_locality,
+        stealing_policy=study.design.stealing_policy("vfi2"),
+    )
+    baseline = study.result(NVFI_MESH)
+    return {
+        "(k_intra, k_inter)": f"({config.k_intra:g}, {config.k_inter:g})",
+        "placement": methodology,
+        "time vs NVFI": f"{result.total_time_s / baseline.total_time_s:.3f}",
+        "network EDP vs NVFI": f"{result.network_edp / baseline.network_edp:.3f}",
+        "full EDP vs NVFI": f"{result.edp / baseline.edp:.3f}",
+        "avg hops": f"{result.network.average_hops:.2f}",
+        "wireless %": f"{result.network.wireless_fraction * 100:.1f}",
+    }
+
+
+def main() -> None:
+    print(f"Design-space exploration for {APP} (this runs several full-"
+          "system simulations; give it a minute)...\n")
+    study = run_app_study(APP, seed=SEED)
+    rows = []
+    for split in (SmallWorldConfig(3.0, 1.0), SmallWorldConfig(2.0, 2.0)):
+        for methodology in ("max_wireless", "min_hop"):
+            rows.append(evaluate(study, split, methodology))
+    mesh = study.result("vfi2_mesh")
+    baseline = study.result(NVFI_MESH)
+    rows.append(
+        {
+            "(k_intra, k_inter)": "mesh",
+            "placement": "-",
+            "time vs NVFI": f"{mesh.total_time_s / baseline.total_time_s:.3f}",
+            "network EDP vs NVFI": f"{mesh.network_edp / baseline.network_edp:.3f}",
+            "full EDP vs NVFI": f"{mesh.edp / baseline.edp:.3f}",
+            "avg hops": f"{mesh.network.average_hops:.2f}",
+            "wireless %": "0.0",
+        }
+    )
+    print(format_table(rows))
+    print("\nPaper expectations: (3,1) beats (2,2); the maximized-wireless-")
+    print("utilization placement is the consistently strong configuration;")
+    print("every WiNoC point beats the VFI mesh on network EDP.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the script form of the ``benchmarks/`` suite: it runs all six
+applications through the full pipeline and prints Tables 1-2 and the data
+series behind Figs. 2, 4, 5, 6, 7 and 8.  Budget a few minutes.
+
+Run:  python examples/paper_reproduction.py
+"""
+
+import numpy as np
+
+from repro.analysis.figures import (
+    average_edp_savings,
+    collect_studies,
+    figure2_utilization,
+    figure4_vfi1_vs_vfi2,
+    figure5_bottleneck_utilization,
+    figure6_placement_comparison,
+    figure7_phase_times,
+    figure8_full_system_edp,
+)
+from repro.analysis.tables import ascii_bars, format_table, table1_datasets, table2_vf_assignments
+
+SEED = 7
+
+
+def heading(text):
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    heading("Table 1: Applications analyzed and datasets used")
+    print(table1_datasets())
+
+    print("\nRunning all six application studies (NVFI mesh, VFI1/2 mesh, "
+          "VFI WiNoC)...")
+    studies = collect_studies(seed=SEED)
+
+    heading("Table 2: V/F assignments for MapReduce applications")
+    print(table2_vf_assignments(studies.values()))
+
+    heading("Figure 2: Core utilization distributions (sorted, 64 cores)")
+    for label, values in figure2_utilization(studies).items():
+        print(f"\n{label}: mean {values.mean():.2f}, "
+              f"cv {values.std() / values.mean():.2f}")
+        deciles = {f"p{100 - 10 * i}": float(np.percentile(values, 100 - 10 * i))
+                   for i in range(0, 10, 2)}
+        print(ascii_bars(deciles, reference=1.0, width=30))
+
+    heading("Figure 4: VFI 1 vs VFI 2 (normalized to NVFI mesh)")
+    fig4 = figure4_vfi1_vs_vfi2(studies)
+    rows = [
+        {
+            "app": label,
+            "time VFI1": f"{fig4['execution_time'][label][0]:.3f}",
+            "time VFI2": f"{fig4['execution_time'][label][1]:.3f}",
+            "EDP VFI1": f"{fig4['edp'][label][0]:.3f}",
+            "EDP VFI2": f"{fig4['edp'][label][1]:.3f}",
+        }
+        for label in fig4["execution_time"]
+    ]
+    print(format_table(rows))
+
+    heading("Figure 5: Average vs bottleneck core utilization")
+    rows = [
+        {"app": label, "average": f"{avg:.3f}", "bottleneck": f"{hot:.3f}"}
+        for label, (avg, hot) in figure5_bottleneck_utilization(studies).items()
+    ]
+    print(format_table(rows))
+
+    heading("Figure 6: Network EDP, max-wireless vs min-hop placement")
+    rows = [
+        {"app": label, "EDP ratio": f"{ratio:.3f}"}
+        for label, ratio in figure6_placement_comparison(seed=SEED).items()
+    ]
+    print(format_table(rows))
+
+    heading("Figure 7: Per-phase execution time (normalized to NVFI total)")
+    rows = []
+    for app_label, configs in figure7_phase_times(studies).items():
+        for config_label, phases in configs.items():
+            row = {"app": app_label, "config": config_label}
+            row.update({k: f"{v:.3f}" for k, v in phases.items()})
+            rows.append(row)
+    print(format_table(rows))
+
+    heading("Figure 8: Full-system EDP vs NVFI mesh")
+    rows = [
+        {"app": label, "VFI Mesh": f"{mesh:.3f}", "VFI WiNoC": f"{winoc:.3f}"}
+        for label, (mesh, winoc) in figure8_full_system_edp(studies).items()
+    ]
+    print(format_table(rows))
+    average, maximum = average_edp_savings(studies)
+    print(
+        f"\nWiNoC EDP savings: average {average * 100:.1f}% "
+        f"(paper: 33.7%), max {maximum * 100:.1f}% (paper: 66.2%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

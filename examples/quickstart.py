@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark through the full paper pipeline.
+
+This walks the complete flow of the DAC'15 study for Word Count:
+
+1. execute the app functionally on the Phoenix++-style engine (the
+   answer is verified against a reference implementation);
+2. characterize it on the baseline NVFI mesh platform;
+3. run the VFI design flow (clustering -> V/F assignment -> bottleneck
+   reassignment -> Eq. 3 stealing);
+4. simulate the VFI mesh and VFI WiNoC systems;
+5. print the normalized execution time and EDP of each configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_app_study
+from repro.analysis.tables import ascii_bars
+
+
+def main() -> None:
+    print("Running the Word Count study (NVFI mesh -> design flow -> "
+          "VFI mesh -> VFI WiNoC)...\n")
+    study = run_app_study("wordcount", seed=7)
+
+    design = study.design
+    print("VFI design for", study.label)
+    print("  islands (VFI 1):", ", ".join(design.vfi1.labels()))
+    print("  islands (VFI 2):", ", ".join(design.vfi2.labels()))
+    print("  bottleneck cores:", design.bottleneck.bottleneck_workers or "none")
+    print("  reassigned islands:", list(design.vfi2.reassigned_islands) or "none")
+    print()
+
+    print("Normalized execution time (NVFI mesh = 1.0):")
+    print(
+        ascii_bars(
+            {
+                "NVFI Mesh": study.normalized_time("nvfi_mesh"),
+                "VFI 1 Mesh": study.normalized_time("vfi1_mesh"),
+                "VFI 2 Mesh": study.normalized_time("vfi2_mesh"),
+                "VFI WiNoC": study.normalized_time("vfi2_winoc"),
+            },
+            reference=1.5,
+        )
+    )
+    print()
+    print("Normalized full-system EDP (NVFI mesh = 1.0):")
+    print(
+        ascii_bars(
+            {
+                "NVFI Mesh": study.normalized_edp("nvfi_mesh"),
+                "VFI 1 Mesh": study.normalized_edp("vfi1_mesh"),
+                "VFI 2 Mesh": study.normalized_edp("vfi2_mesh"),
+                "VFI WiNoC": study.normalized_edp("vfi2_winoc"),
+            },
+            reference=1.2,
+        )
+    )
+    print()
+    winoc = study.result("vfi2_winoc")
+    print(
+        f"WiNoC: average hops {winoc.network.average_hops:.2f} "
+        f"(mesh: {study.result('vfi2_mesh').network.average_hops:.2f}), "
+        f"wireless bit fraction {winoc.network.wireless_fraction * 100:.1f}%"
+    )
+    saved = 1.0 - study.normalized_edp("vfi2_winoc")
+    print(f"Full-system EDP saved by VFI + WiNoC: {saved * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

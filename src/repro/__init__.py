@@ -1,0 +1,64 @@
+"""repro: Energy-efficient MapReduce on VFI-enabled wireless-NoC multicore
+platforms.
+
+A self-contained reproduction of Duraisamy et al., "Energy Efficient
+MapReduce with VFI-enabled Multicore Platforms" (DAC 2015): a
+Phoenix++-style MapReduce engine, the six benchmark applications, a
+64-core full-system performance/energy simulator with mesh and wireless
+small-world NoCs, the VFI clustering / V/F-assignment / task-stealing
+design flow, and builders for every table and figure in the paper's
+evaluation.
+
+Quick start::
+
+    from repro import run_app_study
+
+    study = run_app_study("wordcount")
+    print(study.normalized_time("vfi2_winoc"), study.normalized_edp("vfi2_winoc"))
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+per-figure reproduction harnesses.
+"""
+
+from repro.apps import APP_NAMES, create_app
+from repro.core.design_flow import VfiDesign, design_vfi
+from repro.core.experiment import (
+    NVFI_MESH,
+    VFI1_MESH,
+    VFI2_MESH,
+    VFI2_WINOC,
+    AppStudy,
+    run_app_study,
+)
+from repro.core.platforms import (
+    build_nvfi_mesh,
+    build_vfi_mesh,
+    build_vfi_winoc,
+)
+from repro.mapreduce import JobConfig, MapReduceJob, run_job
+from repro.sim import Platform, SystemSimulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_NAMES",
+    "create_app",
+    "run_job",
+    "MapReduceJob",
+    "JobConfig",
+    "design_vfi",
+    "VfiDesign",
+    "build_nvfi_mesh",
+    "build_vfi_mesh",
+    "build_vfi_winoc",
+    "Platform",
+    "SystemSimulator",
+    "simulate",
+    "run_app_study",
+    "AppStudy",
+    "NVFI_MESH",
+    "VFI1_MESH",
+    "VFI2_MESH",
+    "VFI2_WINOC",
+    "__version__",
+]

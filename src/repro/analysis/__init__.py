@@ -1,0 +1,37 @@
+"""Result analysis: table formatting and figure-series builders.
+
+Each paper table/figure has a builder that turns :class:`AppStudy`
+results into plain data structures (dicts of floats / numpy arrays), plus
+ASCII renderers so benchmarks and examples can print the same rows/series
+the paper reports.
+"""
+
+from repro.analysis.figures import (
+    figure2_utilization,
+    figure4_vfi1_vs_vfi2,
+    figure5_bottleneck_utilization,
+    figure6_placement_comparison,
+    figure7_phase_times,
+    figure8_full_system_edp,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.tables import (
+    ascii_bars,
+    format_table,
+    table1_datasets,
+    table2_vf_assignments,
+)
+
+__all__ = [
+    "generate_report",
+    "format_table",
+    "ascii_bars",
+    "table1_datasets",
+    "table2_vf_assignments",
+    "figure2_utilization",
+    "figure4_vfi1_vs_vfi2",
+    "figure5_bottleneck_utilization",
+    "figure6_placement_comparison",
+    "figure7_phase_times",
+    "figure8_full_system_edp",
+]

@@ -1,0 +1,180 @@
+"""Figure-series builders: one function per paper figure.
+
+Every builder consumes :class:`repro.core.experiment.AppStudy` objects
+(memoized by :func:`repro.core.experiment.run_app_study`) and returns
+plain data -- the same series the paper plots -- so benchmarks can both
+assert on the *shape* and print the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.experiment import (
+    NVFI_MESH,
+    VFI1_MESH,
+    VFI2_MESH,
+    VFI2_WINOC,
+    AppStudy,
+    run_app_study,
+)
+from repro.core.platforms import build_vfi_winoc
+from repro.mapreduce.tasks import Phase
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+#: Paper Fig. 2 order.
+FIG2_APPS = ("kmeans", "pca", "matrix_multiply", "histogram")
+#: Paper Fig. 4/5 apps (the three needing V/F reassignment).
+FIG4_APPS = ("pca", "histogram", "matrix_multiply")
+#: Paper Fig. 7/8 present all six.
+ALL_APPS = (
+    "histogram",
+    "linear_regression",
+    "wordcount",
+    "pca",
+    "kmeans",
+    "matrix_multiply",
+)
+
+
+def figure2_utilization(
+    studies: Mapping[str, AppStudy]
+) -> Dict[str, np.ndarray]:
+    """Fig. 2: per-core utilization, sorted highest to lowest, per app."""
+    series = {}
+    for name in FIG2_APPS:
+        study = studies[name]
+        utilization = study.result(NVFI_MESH).utilization
+        series[study.label] = np.sort(utilization)[::-1]
+    return series
+
+
+def figure4_vfi1_vs_vfi2(
+    studies: Mapping[str, AppStudy]
+) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Fig. 4: normalized execution time (a) and EDP (b), VFI1 vs VFI2."""
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {
+        "execution_time": {},
+        "edp": {},
+    }
+    for name in FIG4_APPS:
+        study = studies[name]
+        out["execution_time"][study.label] = (
+            study.normalized_time(VFI1_MESH),
+            study.normalized_time(VFI2_MESH),
+        )
+        out["edp"][study.label] = (
+            study.normalized_edp(VFI1_MESH),
+            study.normalized_edp(VFI2_MESH),
+        )
+    return out
+
+
+def figure5_bottleneck_utilization(
+    studies: Mapping[str, AppStudy]
+) -> Dict[str, Tuple[float, float]]:
+    """Fig. 5: (average, bottleneck) core utilization per app."""
+    out = {}
+    for name in FIG4_APPS:
+        study = studies[name]
+        report = study.design.bottleneck
+        out[study.label] = (
+            report.average_utilization,
+            report.bottleneck_utilization,
+        )
+    return out
+
+
+def figure6_placement_comparison(
+    app_names: Iterable[str] = ALL_APPS,
+    scale: float = 1.0,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Fig. 6: network EDP of max-wireless-utilization relative to
+    min-hop-count placement (values < 1 mean max-wireless wins)."""
+    out = {}
+    for name in app_names:
+        study = run_app_study(name, scale=scale, seed=seed)
+        max_wireless = study.result(VFI2_WINOC)
+        # Build and simulate the min-hop-count methodology on the same
+        # design and trace.
+        rate = (
+            study.design.traffic
+            * 8.0
+            / study.result(NVFI_MESH).total_time_s
+        )
+        platform = build_vfi_winoc(
+            study.design,
+            "vfi2",
+            methodology="min_hop",
+            seed=spawn_seed(seed, name, "winoc"),
+            traffic_rate_bps=rate,
+        )
+        min_hop = simulate(
+            platform,
+            study.trace,
+            locality=study.app.profile.l2_locality,
+            stealing_policy=study.design.stealing_policy("vfi2"),
+        )
+        out[study.label] = max_wireless.network_edp / min_hop.network_edp
+    return out
+
+
+def figure7_phase_times(
+    studies: Mapping[str, AppStudy]
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 7: per-phase execution time, normalized to the app's NVFI
+    total, for VFI mesh and VFI WiNoC.
+
+    Returns ``{app_label: {config_label: {phase: normalized_time}}}``.
+    """
+    phase_order = (Phase.MAP, Phase.REDUCE, Phase.MERGE, Phase.LIB_INIT)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in ALL_APPS:
+        study = studies[name]
+        baseline = study.result(NVFI_MESH).total_time_s
+        per_config = {}
+        for config, label in ((VFI2_MESH, "VFI Mesh"), (VFI2_WINOC, "VFI WiNoC")):
+            result = study.result(config)
+            per_config[label] = {
+                str(phase): result.phase_duration_s(phase) / baseline
+                for phase in phase_order
+            }
+        out[study.label] = per_config
+    return out
+
+
+def figure8_full_system_edp(
+    studies: Mapping[str, AppStudy]
+) -> Dict[str, Tuple[float, float]]:
+    """Fig. 8: full-system EDP of (VFI Mesh, VFI WiNoC) relative to NVFI
+    mesh, per app."""
+    out = {}
+    for name in ALL_APPS:
+        study = studies[name]
+        out[study.label] = (
+            study.normalized_edp(VFI2_MESH),
+            study.normalized_edp(VFI2_WINOC),
+        )
+    return out
+
+
+def collect_studies(
+    app_names: Iterable[str] = ALL_APPS,
+    scale: float = 1.0,
+    seed: int = 7,
+) -> Dict[str, AppStudy]:
+    """Run (or fetch memoized) studies for *app_names*."""
+    return {name: run_app_study(name, scale=scale, seed=seed) for name in app_names}
+
+
+def average_edp_savings(studies: Mapping[str, AppStudy]) -> Tuple[float, float]:
+    """(average, maximum) WiNoC EDP savings vs NVFI mesh (paper: 33.7%,
+    66.2%)."""
+    savings = [
+        1.0 - studies[name].normalized_edp(VFI2_WINOC) for name in ALL_APPS
+    ]
+    return float(np.mean(savings)), float(np.max(savings))

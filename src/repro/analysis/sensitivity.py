@@ -1,0 +1,129 @@
+"""Sensitivity of the headline conclusions to calibrated constants.
+
+The substituted power/energy models carry calibrated 65-nm constants
+(core dynamic/leakage watts, pJ/bit wire and wireless energies).  The
+paper's qualitative conclusions should not hinge on their exact values;
+this module re-simulates a study's configurations under perturbed
+constants and reports how the normalized EDP ordering responds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.experiment import AppStudy, NVFI_MESH, VFI2_MESH, VFI2_WINOC
+from repro.core.platforms import build_nvfi_mesh, build_vfi_mesh, build_vfi_winoc, geometry_for
+from repro.energy.core_power import CorePowerParams
+from repro.noc.energy import NocEnergyParams
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+#: The constants the sensitivity sweep perturbs, with the attribute they
+#: live on: (params-class, attribute).
+PERTURBABLE = {
+    "core_dynamic": ("core", "dynamic_w_nominal"),
+    "core_leakage": ("core", "leakage_w_nominal"),
+    "wire_energy": ("noc", "wire_pj_per_bit_per_mm"),
+    "wireless_energy": ("noc", "wireless_pj_per_bit"),
+    "router_energy": ("noc", "router_pj_per_bit"),
+}
+
+
+@dataclass
+class SensitivityRow:
+    parameter: str
+    multiplier: float
+    #: normalized (to this variant's NVFI mesh) EDP per configuration
+    vfi_mesh_edp: float
+    vfi_winoc_edp: float
+
+    @property
+    def winoc_beats_mesh(self) -> bool:
+        return self.vfi_winoc_edp < self.vfi_mesh_edp
+
+    @property
+    def vfi_saves_edp(self) -> bool:
+        return self.vfi_mesh_edp < 1.0
+
+
+def _perturbed_params(parameter: str, multiplier: float):
+    domain, attribute = PERTURBABLE[parameter]
+    core = CorePowerParams()
+    noc = NocEnergyParams()
+    if domain == "core":
+        core = replace(core, **{attribute: getattr(core, attribute) * multiplier})
+    else:
+        noc = replace(noc, **{attribute: getattr(noc, attribute) * multiplier})
+    return core, noc
+
+
+def resimulate_with_power(
+    study: AppStudy,
+    core_power_params: Optional[CorePowerParams] = None,
+    noc_energy_params: Optional[NocEnergyParams] = None,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Re-simulate NVFI mesh / VFI2 mesh / VFI2 WiNoC with new power
+    constants; return each VFI config's EDP normalized to the variant's
+    own NVFI baseline."""
+    app = study.app
+    name = app.profile.name
+    geometry = geometry_for(study.trace.num_workers)
+    locality = app.profile.l2_locality
+    rate = study.design.traffic * 8.0 / study.result(NVFI_MESH).total_time_s
+
+    def adjust(platform):
+        return platform.with_power(core_power_params, noc_energy_params)
+
+    nvfi = simulate(adjust(build_nvfi_mesh(geometry)), study.trace, locality=locality)
+    mesh = simulate(
+        adjust(
+            build_vfi_mesh(
+                study.design, "vfi2", geometry=geometry,
+                seed=spawn_seed(seed, name, "mapping"),
+            )
+        ),
+        study.trace,
+        locality=locality,
+        stealing_policy=study.design.stealing_policy("vfi2"),
+    )
+    winoc = simulate(
+        adjust(
+            build_vfi_winoc(
+                study.design, "vfi2", geometry=geometry,
+                seed=spawn_seed(seed, name, "winoc"),
+                traffic_rate_bps=rate,
+            )
+        ),
+        study.trace,
+        locality=locality,
+        stealing_policy=study.design.stealing_policy("vfi2"),
+    )
+    return {
+        VFI2_MESH: mesh.edp / nvfi.edp,
+        VFI2_WINOC: winoc.edp / nvfi.edp,
+    }
+
+
+def sensitivity_sweep(
+    study: AppStudy,
+    multipliers: tuple = (0.5, 2.0),
+    parameters: Optional[List[str]] = None,
+    seed: int = 7,
+) -> List[SensitivityRow]:
+    """Perturb each constant by each multiplier and collect the EDPs."""
+    rows: List[SensitivityRow] = []
+    for parameter in parameters or list(PERTURBABLE):
+        for multiplier in multipliers:
+            core, noc = _perturbed_params(parameter, multiplier)
+            edps = resimulate_with_power(study, core, noc, seed=seed)
+            rows.append(
+                SensitivityRow(
+                    parameter=parameter,
+                    multiplier=multiplier,
+                    vfi_mesh_edp=edps[VFI2_MESH],
+                    vfi_winoc_edp=edps[VFI2_WINOC],
+                )
+            )
+    return rows

@@ -1,0 +1,70 @@
+"""Plain-text tables (paper Tables 1 and 2) and ASCII bar helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.apps.registry import paper_dataset_table
+from repro.vfi.vf_assign import vf_table_row
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] = None) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(row[i]) for row in cells))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    reference: float = None,
+) -> str:
+    """One horizontal ASCII bar per entry, scaled to *reference* (or max)."""
+    if not values:
+        return "(no data)"
+    scale = reference if reference is not None else max(values.values())
+    if scale <= 0:
+        scale = 1.0
+    lines = []
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * value / scale)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def table1_datasets() -> str:
+    """Paper Table 1: applications analyzed and datasets used."""
+    rows = paper_dataset_table()
+    return format_table(
+        rows, columns=["application", "input_dataset", "iterations"]
+    )
+
+
+def table2_vf_assignments(studies: Iterable) -> str:
+    """Paper Table 2: V/F assignments per island, VFI 1 and VFI 2."""
+    rows: List[Dict] = []
+    for study in studies:
+        row = vf_table_row(study.label, study.design.vfi1, study.design.vfi2)
+        flat = {"application": row["application"]}
+        for island, label in enumerate(row["vfi1"]):
+            flat[f"cluster{island + 1}"] = label
+        flat["vfi2"] = ", ".join(
+            f"c{i + 1}:{label}"
+            for i, label in enumerate(row["vfi2"])
+            if row["vfi1"][i] != label
+        ) or "(unchanged)"
+        rows.append(flat)
+    return format_table(rows)

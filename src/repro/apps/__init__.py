@@ -1,0 +1,32 @@
+"""The six Phoenix++ benchmark applications evaluated in the paper.
+
+Each application is a real, functionally correct MapReduce job (it computes
+word counts, histograms, k-means centroids, a regression fit, a matrix
+product, a covariance matrix) over a *synthetic* dataset generated with the
+paper's shape parameters (Table 1), plus an :class:`AppProfile` describing
+the architectural characteristics the paper calls out per app (traffic
+locality, iteration count, merge behaviour).
+"""
+
+from repro.apps.base import AppProfile, BenchmarkApp
+from repro.apps.histogram import HistogramApp
+from repro.apps.kmeans import KmeansApp
+from repro.apps.linear_regression import LinearRegressionApp
+from repro.apps.matrix_multiply import MatrixMultiplyApp
+from repro.apps.pca import PcaApp
+from repro.apps.registry import APP_NAMES, create_app, paper_dataset_table
+from repro.apps.wordcount import WordCountApp
+
+__all__ = [
+    "AppProfile",
+    "BenchmarkApp",
+    "WordCountApp",
+    "HistogramApp",
+    "KmeansApp",
+    "LinearRegressionApp",
+    "MatrixMultiplyApp",
+    "PcaApp",
+    "APP_NAMES",
+    "create_app",
+    "paper_dataset_table",
+]

@@ -1,0 +1,181 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on real inputs (Table 1: a 100 MB text for Word Count,
+a 399 MB image for Histogram, ...).  Those inputs are not available here,
+so each generator synthesizes data with the same *statistical shape*:
+
+* text with a Zipf word-frequency distribution (natural-language-like key
+  skew for Word Count);
+* 8-bit pixel arrays with a mixture-of-Gaussians intensity profile
+  (Histogram);
+* clustered points laid out contiguously by cluster (Kmeans -- contiguity
+  makes map chunks cluster-correlated, which is what produces the paper's
+  heterogeneous second-iteration utilization);
+* noisy linear samples (Linear Regression);
+* dense random matrices (Matrix Multiplication, PCA).
+
+All generators take an explicit seed and are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_positive
+
+
+def zipf_text(
+    num_words: int,
+    vocabulary_size: int = 5000,
+    zipf_exponent: float = 1.2,
+    num_segments: int = 1,
+    exponent_range: tuple = (1.05, 2.2),
+    seed: SeedLike = None,
+) -> List[str]:
+    """Generate *num_words* word tokens with a Zipf frequency distribution.
+
+    With ``num_segments > 1`` the text is a sequence of segments whose
+    Zipf exponents are drawn from *exponent_range* -- modeling document
+    structure (boilerplate and repeated headers are low-entropy, prose is
+    high-entropy).  Map chunks over such a text differ genuinely in
+    working-set size, which is what makes Word Count's core utilization
+    non-homogeneous in the paper.
+
+    Word lengths grow slowly with rank (rare words tend to be longer in
+    natural text), so per-chunk processing work also varies with content.
+    """
+    check_positive("num_words", num_words)
+    check_positive("vocabulary_size", vocabulary_size)
+    check_positive("num_segments", num_segments)
+    if zipf_exponent <= 1.0:
+        raise ValueError(f"zipf_exponent must be > 1, got {zipf_exponent}")
+    rng = derive_rng(seed)
+    vocabulary = [_word_for_rank(rank) for rank in range(vocabulary_size)]
+    ranks = np.arange(1, vocabulary_size + 1, dtype=float)
+    if num_segments <= 1:
+        exponents = [zipf_exponent]
+        lengths = [num_words]
+    else:
+        exponents = rng.uniform(*exponent_range, size=num_segments)
+        weights = rng.dirichlet(np.full(num_segments, 3.0))
+        lengths = np.maximum(1, (weights * num_words).astype(int))
+    words: List[str] = []
+    for exponent, length in zip(exponents, lengths):
+        probabilities = ranks ** -float(exponent)
+        probabilities /= probabilities.sum()
+        indices = rng.choice(vocabulary_size, size=int(length), p=probabilities)
+        words.extend(vocabulary[index] for index in indices)
+    return words[:num_words] if len(words) >= num_words else words
+
+
+def _word_for_rank(rank: int) -> str:
+    """Deterministic pseudo-word for a vocabulary rank (base-26 digits)."""
+    letters = []
+    value = rank
+    while True:
+        letters.append(chr(ord("a") + value % 26))
+        value //= 26
+        if value == 0:
+            break
+    # Longer suffix for rarer words mimics natural length/rank correlation.
+    suffix = "x" * min(6, rank // 700)
+    return "".join(reversed(letters)) + suffix
+
+
+def pixel_image(
+    num_pixels: int,
+    num_modes: int = 3,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate *num_pixels* 8-bit intensities from a Gaussian mixture."""
+    check_positive("num_pixels", num_pixels)
+    check_positive("num_modes", num_modes)
+    rng = derive_rng(seed)
+    means = rng.uniform(30, 225, size=num_modes)
+    sigmas = rng.uniform(10, 40, size=num_modes)
+    modes = rng.integers(0, num_modes, size=num_pixels)
+    values = rng.normal(means[modes], sigmas[modes])
+    return np.clip(values, 0, 255).astype(np.uint8)
+
+
+def clustered_points(
+    num_points: int,
+    dimension: int,
+    num_clusters: int,
+    spread: float = 0.08,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate clustered points, contiguous by cluster.
+
+    Returns ``(points, true_assignment)``.  Cluster sizes are drawn from a
+    Dirichlet distribution so they are intentionally unequal -- the paper's
+    Kmeans shows highly non-homogeneous core utilization precisely because
+    work concentrates as clusters converge.
+    """
+    check_positive("num_points", num_points)
+    check_positive("dimension", dimension)
+    check_positive("num_clusters", num_clusters)
+    rng = derive_rng(seed)
+    weights = rng.dirichlet(np.full(num_clusters, 2.0))
+    sizes = np.maximum(1, (weights * num_points).astype(int))
+    # Adjust so sizes sum exactly to num_points.
+    while sizes.sum() > num_points:
+        sizes[int(np.argmax(sizes))] -= 1
+    while sizes.sum() < num_points:
+        sizes[int(np.argmin(sizes))] += 1
+    centers = rng.uniform(-1.0, 1.0, size=(num_clusters, dimension))
+    chunks = []
+    labels = []
+    for cluster, size in enumerate(sizes):
+        chunks.append(
+            centers[cluster] + rng.normal(0.0, spread, size=(size, dimension))
+        )
+        labels.append(np.full(size, cluster))
+    return np.vstack(chunks), np.concatenate(labels)
+
+
+def linear_samples(
+    num_samples: int,
+    slope: float = 2.5,
+    intercept: float = -1.0,
+    noise: float = 0.3,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate (x, y) samples of ``y = slope*x + intercept + noise``."""
+    check_positive("num_samples", num_samples)
+    rng = derive_rng(seed)
+    x = rng.uniform(-10.0, 10.0, size=num_samples)
+    y = slope * x + intercept + rng.normal(0.0, noise, size=num_samples)
+    return np.column_stack([x, y])
+
+
+def dense_matrix(
+    rows: int,
+    cols: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate a dense float matrix with entries in [-1, 1]."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    rng = derive_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(rows, cols))
+
+
+def correlated_matrix(
+    rows: int,
+    cols: int,
+    rank: int = 8,
+    noise: float = 0.1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate a low-rank-plus-noise matrix (gives PCA non-trivial spectra)."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    check_positive("rank", rank)
+    rng = derive_rng(seed)
+    left = rng.normal(0.0, 1.0, size=(rows, rank))
+    right = rng.normal(0.0, 1.0, size=(rank, cols))
+    return left @ right + rng.normal(0.0, noise, size=(rows, cols))

@@ -1,0 +1,74 @@
+"""Application registry: build benchmark apps by name.
+
+The canonical iteration order matches the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.apps.base import BenchmarkApp
+from repro.apps.histogram import HistogramApp
+from repro.apps.kmeans import KmeansApp
+from repro.apps.linear_regression import LinearRegressionApp
+from repro.apps.matrix_multiply import MatrixMultiplyApp
+from repro.apps.pca import PcaApp
+from repro.apps.string_match import StringMatchApp
+from repro.apps.wordcount import WordCountApp
+
+_REGISTRY: Dict[str, Type[BenchmarkApp]] = {
+    "matrix_multiply": MatrixMultiplyApp,
+    "kmeans": KmeansApp,
+    "pca": PcaApp,
+    "histogram": HistogramApp,
+    "wordcount": WordCountApp,
+    "linear_regression": LinearRegressionApp,
+}
+
+#: Applications beyond the paper's six (reachable via create_app but not
+#: part of the Table 1 canon).
+_EXTRA: Dict[str, Type[BenchmarkApp]] = {
+    "string_match": StringMatchApp,
+}
+
+_ALIASES: Dict[str, str] = {
+    "sm": "string_match",
+    "mm": "matrix_multiply",
+    "wc": "wordcount",
+    "hist": "histogram",
+    "lr": "linear_regression",
+    "km": "kmeans",
+}
+
+#: Canonical names in the paper's Table 1 order.
+APP_NAMES: List[str] = list(_REGISTRY)
+
+
+def create_app(name: str, scale: float = 1.0, seed: int = 7) -> BenchmarkApp:
+    """Instantiate a benchmark app by canonical name or short alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key in _EXTRA:
+        return _EXTRA[key](scale=scale, seed=seed)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown app {name!r}; known: "
+            f"{sorted(_REGISTRY) + sorted(_EXTRA) + sorted(_ALIASES)}"
+        )
+    return _REGISTRY[key](scale=scale, seed=seed)
+
+
+def paper_dataset_table() -> List[dict]:
+    """Rows of the paper's Table 1 (application, input dataset size)."""
+    rows = []
+    for name in APP_NAMES:
+        profile = _REGISTRY[name].profile
+        rows.append(
+            {
+                "application": profile.label,
+                "name": name,
+                "input_dataset": profile.paper_dataset,
+                "iterations": profile.iterations,
+            }
+        )
+    return rows

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-apps``
+    Show the six benchmark applications and their paper datasets.
+``run-study <app>``
+    Run one application through the full pipeline and print the
+    normalized time/EDP of every configuration.
+``design <app>``
+    Run only the VFI design flow and print the clustering and V/F tables.
+``report [--output FILE]``
+    Run all six studies and emit the full markdown reproduction report.
+``topology <app>``
+    Build the application's WiNoC and render it (die map, V/F floorplan,
+    degrees, link histogram).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import ascii_bars, format_table, table1_datasets
+from repro.apps.registry import APP_NAMES
+from repro.core.experiment import (
+    NVFI_MESH,
+    VFI1_MESH,
+    VFI2_MESH,
+    VFI2_WINOC,
+    run_app_study,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Energy-efficient MapReduce on VFI-enabled wireless-NoC "
+            "multicore platforms (DAC 2015 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the six benchmark applications")
+
+    study = sub.add_parser("run-study", help="run one app through the pipeline")
+    study.add_argument("app", choices=APP_NAMES)
+    study.add_argument("--scale", type=float, default=1.0)
+    study.add_argument("--seed", type=int, default=7)
+
+    design = sub.add_parser("design", help="run only the VFI design flow")
+    design.add_argument("app", choices=APP_NAMES)
+    design.add_argument("--scale", type=float, default=1.0)
+    design.add_argument("--seed", type=int, default=7)
+
+    report = sub.add_parser("report", help="full markdown reproduction report")
+    report.add_argument("--output", default=None, help="write to file")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=7)
+
+    topology = sub.add_parser("topology", help="render an app's WiNoC")
+    topology.add_argument("app", choices=APP_NAMES)
+    topology.add_argument("--scale", type=float, default=1.0)
+    topology.add_argument("--seed", type=int, default=7)
+    topology.add_argument(
+        "--methodology", choices=("max_wireless", "min_hop"), default="max_wireless"
+    )
+    return parser
+
+
+def _cmd_list_apps() -> int:
+    print(table1_datasets())
+    return 0
+
+
+def _cmd_run_study(args) -> int:
+    study = run_app_study(args.app, scale=args.scale, seed=args.seed)
+    print(f"{study.label}: V/F islands (VFI 2): {', '.join(study.design.vfi2.labels())}")
+    rows = []
+    for config in (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC):
+        result = study.result(config)
+        rows.append(
+            {
+                "config": config,
+                "time vs NVFI": f"{study.normalized_time(config):.3f}",
+                "EDP vs NVFI": f"{study.normalized_edp(config):.3f}",
+                "avg hops": f"{result.network.average_hops:.2f}",
+                "wireless %": f"{result.network.wireless_fraction * 100:.1f}",
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_design(args) -> int:
+    study = run_app_study(args.app, scale=args.scale, seed=args.seed)
+    design = study.design
+    print(f"Design for {study.label} (from the NVFI characterization):")
+    print("\nIsland membership (worker -> island):")
+    members = {}
+    for worker, cluster in enumerate(design.worker_clusters):
+        members.setdefault(cluster, []).append(worker)
+    rows = []
+    for island in sorted(members):
+        rows.append(
+            {
+                "island": island,
+                "VFI 1": design.vfi1.labels()[island],
+                "VFI 2": design.vfi2.labels()[island],
+                "mean util": f"{design.vfi1.island_utilization[island]:.3f}",
+                "workers": " ".join(map(str, members[island][:8]))
+                + (" ..." if len(members[island]) > 8 else ""),
+            }
+        )
+    print(format_table(rows))
+    report = design.bottleneck
+    print(
+        f"\nBottleneck: workers {report.bottleneck_workers or 'none'} "
+        f"(ratio {report.ratio:.2f}, body cv {report.body_cv:.3f}); "
+        f"reassigned islands: {list(design.vfi2.reassigned_islands) or 'none'}"
+    )
+    print("\nUtilization profile (sorted):")
+    utilization = sorted(design.utilization, reverse=True)
+    bars = {f"p{100 - 10 * i}": utilization[min(63, i * 6)] for i in range(10)}
+    print(ascii_bars(bars, reference=1.0, width=30))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.core.experiment import NVFI_MESH
+    from repro.core.platforms import build_vfi_winoc
+    from repro.noc.visualize import describe_topology, render_vf_map
+    from repro.utils.rng import spawn_seed
+
+    study = run_app_study(args.app, scale=args.scale, seed=args.seed)
+    rate = (
+        study.design.traffic * 8.0 / study.result(NVFI_MESH).total_time_s
+    )
+    platform = build_vfi_winoc(
+        study.design,
+        "vfi2",
+        methodology=args.methodology,
+        seed=spawn_seed(args.seed, args.app, "winoc"),
+        traffic_rate_bps=rate,
+    )
+    print(describe_topology(platform.topology, list(platform.layout.node_cluster)))
+    print()
+    print("V/F floorplan (VFI 2):")
+    print(render_vf_map(platform.layout, platform.vf_points))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "run-study":
+        return _cmd_run_study(args)
+    if args.command == "design":
+        return _cmd_design(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "topology":
+        return _cmd_topology(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

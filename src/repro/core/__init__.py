@@ -1,0 +1,38 @@
+"""The paper's contribution: the VFI + WiNoC co-design flow for MapReduce.
+
+:mod:`repro.core.design_flow` implements Fig. 3 -- characterize on a
+non-VFI system, cluster workers into islands (Eq. 1), assign V/F (VFI 1),
+reassign for bottleneck cores (VFI 2), cap task stealing (Eq. 3).
+
+:mod:`repro.core.platforms` builds the four evaluated system
+configurations (NVFI mesh, VFI 1/2 mesh, VFI 2 WiNoC with either
+placement methodology).
+
+:mod:`repro.core.experiment` runs a benchmark application through the
+whole flow and returns every simulation result the paper's figures need.
+"""
+
+from repro.core.design_flow import VfiDesign, design_vfi
+from repro.core.experiment import AppStudy, run_app_study
+from repro.core.platforms import (
+    build_nvfi_mesh,
+    build_vfi_mesh,
+    build_vfi_winoc,
+)
+from repro.core.sweep import SweepResult, seed_sweep, size_sweep
+from repro.core.traffic import memory_traffic_matrix, total_node_traffic
+
+__all__ = [
+    "VfiDesign",
+    "design_vfi",
+    "build_nvfi_mesh",
+    "build_vfi_mesh",
+    "build_vfi_winoc",
+    "AppStudy",
+    "run_app_study",
+    "memory_traffic_matrix",
+    "total_node_traffic",
+    "SweepResult",
+    "seed_sweep",
+    "size_sweep",
+]

@@ -1,0 +1,205 @@
+"""End-to-end experiment orchestration.
+
+:func:`run_app_study` takes one benchmark application through the entire
+paper pipeline:
+
+1. run the app functionally -> verified result + calibrated trace;
+2. simulate the **NVFI mesh** baseline -> utilization profile + traffic;
+3. run the Fig. 3 design flow -> clustering, VFI 1, VFI 2, Eq. (3) policy;
+4. simulate **VFI 1 mesh**, **VFI 2 mesh** and **VFI 2 WiNoC**
+   (either placement methodology) on the same trace.
+
+Studies are memoized per (app, scale, seed, ...) because several paper
+figures slice the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import BenchmarkApp
+from repro.apps.registry import create_app
+from repro.core.design_flow import VfiDesign, design_vfi, structural_bottleneck_workers
+from repro.core.platforms import (
+    build_nvfi_mesh,
+    build_vfi_mesh,
+    build_vfi_winoc,
+    geometry_for,
+)
+from repro.core.traffic import total_node_traffic
+from repro.mapreduce.trace import JobTrace
+from repro.sim.stats import SimulationResult
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+#: Canonical configuration keys, in presentation order.
+NVFI_MESH = "nvfi_mesh"
+VFI1_MESH = "vfi1_mesh"
+VFI2_MESH = "vfi2_mesh"
+VFI2_WINOC = "vfi2_winoc"
+
+
+@dataclass
+class AppStudy:
+    """All simulation outputs for one application."""
+
+    app: BenchmarkApp
+    trace: JobTrace
+    design: VfiDesign
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return self.app.profile.label
+
+    def result(self, config: str) -> SimulationResult:
+        if config not in self.results:
+            raise KeyError(
+                f"config {config!r} not simulated; have {sorted(self.results)}"
+            )
+        return self.results[config]
+
+    def normalized_time(self, config: str, baseline: str = NVFI_MESH) -> float:
+        """Execution time relative to the NVFI mesh (paper Figs. 4a, 7)."""
+        return (
+            self.result(config).total_time_s / self.result(baseline).total_time_s
+        )
+
+    def normalized_edp(self, config: str, baseline: str = NVFI_MESH) -> float:
+        """Full-system EDP relative to the NVFI mesh (Figs. 4b, 8)."""
+        return self.result(config).edp / self.result(baseline).edp
+
+    def phase_share(self, config: str) -> Dict[str, float]:
+        """Wall-time share per phase for one configuration."""
+        result = self.result(config)
+        breakdown = result.phase_breakdown()
+        return {
+            str(phase): duration / result.total_time_s
+            for phase, duration in breakdown.items()
+        }
+
+
+_STUDY_CACHE: Dict[Tuple, AppStudy] = {}
+
+
+def run_app_study(
+    app_name: str,
+    scale: float = 1.0,
+    seed: int = 7,
+    num_workers: int = 64,
+    winoc_methodology: str = "max_wireless",
+    include_vfi1: bool = True,
+    use_cache: bool = True,
+) -> AppStudy:
+    """Run the full paper pipeline for one application (memoized)."""
+    key = (app_name, scale, seed, num_workers, winoc_methodology, include_vfi1)
+    if use_cache and key in _STUDY_CACHE:
+        return _STUDY_CACHE[key]
+
+    app = create_app(app_name, scale=scale, seed=seed)
+    locality = app.profile.l2_locality
+    trace = app.run(num_workers=num_workers)
+    geometry = geometry_for(num_workers)
+
+    # 1. NVFI-mesh characterization.
+    nvfi = build_nvfi_mesh(geometry)
+    nvfi_result = simulate(nvfi, trace, locality=locality)
+
+    # 2. Design flow (Fig. 3) from the measured profile.
+    traffic = total_node_traffic(trace, locality)
+    design = design_vfi(
+        utilization=nvfi_result.utilization,
+        traffic=traffic,
+        seed=spawn_seed(seed, app_name, "clustering"),
+        structural_workers=structural_bottleneck_workers(trace),
+    )
+
+    results: Dict[str, SimulationResult] = {NVFI_MESH: nvfi_result}
+
+    # 3. VFI mesh systems (Eq. 3 stealing active).
+    map_seed = spawn_seed(seed, app_name, "mapping")
+    if include_vfi1:
+        vfi1_platform = build_vfi_mesh(design, "vfi1", geometry=geometry, seed=map_seed)
+        results[VFI1_MESH] = simulate(
+            vfi1_platform,
+            trace,
+            locality=locality,
+            stealing_policy=design.stealing_policy("vfi1"),
+        )
+    vfi2_platform = build_vfi_mesh(design, "vfi2", geometry=geometry, seed=map_seed)
+    results[VFI2_MESH] = simulate(
+        vfi2_platform,
+        trace,
+        locality=locality,
+        stealing_policy=design.stealing_policy("vfi2"),
+    )
+
+    # 4. VFI WiNoC (wireless routing calibrated to the offered load).
+    rate_bps = traffic * 8.0 / nvfi_result.total_time_s
+    winoc_platform = build_vfi_winoc(
+        design,
+        "vfi2",
+        methodology=winoc_methodology,
+        geometry=geometry,
+        seed=spawn_seed(seed, app_name, "winoc"),
+        traffic_rate_bps=rate_bps,
+    )
+    results[VFI2_WINOC] = simulate(
+        winoc_platform,
+        trace,
+        locality=locality,
+        stealing_policy=design.stealing_policy("vfi2"),
+    )
+
+    study = AppStudy(app=app, trace=trace, design=design, results=results)
+    if use_cache:
+        _STUDY_CACHE[key] = study
+    return study
+
+
+def clear_study_cache() -> None:
+    _STUDY_CACHE.clear()
+
+
+def select_winoc_methodology(
+    app_name: str,
+    scale: float = 1.0,
+    seed: int = 7,
+    num_workers: int = 64,
+) -> str:
+    """Pick the better wireless methodology for an app (paper Sec. 6).
+
+    "We will choose between the minimized hop-count and maximized
+    wireless utilization wireless placement methodologies depending on
+    their achievable performances" -- this runs both VFI-WiNoC variants
+    on the app's trace and returns the name of the one with the lower
+    network EDP.
+    """
+    base = run_app_study(
+        app_name, scale=scale, seed=seed, num_workers=num_workers,
+        winoc_methodology="max_wireless",
+    )
+    max_wireless_edp = base.result(VFI2_WINOC).network_edp
+
+    geometry = geometry_for(num_workers)
+    rate = base.design.traffic * 8.0 / base.result(NVFI_MESH).total_time_s
+    min_hop_platform = build_vfi_winoc(
+        base.design,
+        "vfi2",
+        methodology="min_hop",
+        geometry=geometry,
+        seed=spawn_seed(seed, app_name, "winoc"),
+        traffic_rate_bps=rate,
+    )
+    min_hop = simulate(
+        min_hop_platform,
+        base.trace,
+        locality=base.app.profile.l2_locality,
+        stealing_policy=base.design.stealing_policy("vfi2"),
+    )
+    if max_wireless_edp <= min_hop.network_edp:
+        return "max_wireless"
+    return "min_hop"

@@ -1,0 +1,237 @@
+"""Builders for the paper's four evaluated system configurations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.design_flow import VfiDesign
+from repro.core.traffic import inter_cluster_traffic
+from repro.mapping.thread_mapping import (
+    ThreadMapping,
+    communication_aware_mapping,
+    identity_mapping,
+    wireless_centric_mapping,
+)
+from repro.noc.calibration import calibrate_wireless_routing
+from repro.noc.placement import (
+    center_wireless_placement,
+    optimize_wireless_placement,
+)
+from repro.noc.routing import build_mesh_routing, build_routing_table
+from repro.noc.smallworld import SmallWorldConfig, build_small_world
+from repro.noc.topology import GridGeometry, build_mesh
+from repro.noc.wireless import WirelessSpec, assign_wireless_links
+from repro.sim.config import MemoryParams
+from repro.sim.platform import Platform
+from repro.utils.rng import SeedLike, derive_rng, spawn_seed
+from repro.vfi.islands import NOMINAL, VfiLayout, quadrant_clusters
+from repro.vfi.vf_assign import VfAssignment
+
+
+def default_geometry() -> GridGeometry:
+    """The paper's 8x8, 64-core die."""
+    return GridGeometry(8, 8)
+
+
+def geometry_for(num_cores: int) -> GridGeometry:
+    """Square die for *num_cores* (must be a square of an even side, so
+    the four-quadrant island layout divides it)."""
+    side = int(round(num_cores**0.5))
+    if side * side != num_cores:
+        raise ValueError(f"{num_cores} cores do not form a square grid")
+    if side % 2:
+        raise ValueError(f"side {side} must be even for quadrant islands")
+    return GridGeometry(side, side)
+
+
+def memory_params_for(geometry: GridGeometry) -> MemoryParams:
+    """Memory controllers at the die corners, whatever the die size."""
+    corners = (
+        geometry.node_at(0, 0),
+        geometry.node_at(geometry.columns - 1, 0),
+        geometry.node_at(0, geometry.rows - 1),
+        geometry.node_at(geometry.columns - 1, geometry.rows - 1),
+    )
+    return MemoryParams(controller_nodes=corners)
+
+
+def build_nvfi_mesh(
+    geometry: Optional[GridGeometry] = None,
+    name: str = "nvfi-mesh",
+) -> Platform:
+    """Baseline: every island at nominal V/F, mesh NoC, identity mapping.
+
+    The quadrant layout is kept (it is physically there) but all four
+    islands run 1.0 V / 2.5 GHz, so the platform behaves as a single
+    clock/voltage domain.
+    """
+    geometry = geometry or default_geometry()
+    layout = quadrant_clusters(geometry)
+    mesh = build_mesh(geometry)
+    return Platform(
+        name=name,
+        layout=layout,
+        vf_points=[NOMINAL] * layout.num_clusters,
+        topology=mesh,
+        routing=build_mesh_routing(mesh),
+        mapping=identity_mapping(geometry.num_nodes),
+        memory_params=memory_params_for(geometry),
+    )
+
+
+def vfi_thread_mapping(
+    design: VfiDesign,
+    layout: VfiLayout,
+    seed: SeedLike = None,
+    iterations: int = 2000,
+) -> ThreadMapping:
+    """Place cluster *j*'s workers on island *j*, communication-aware."""
+    return communication_aware_mapping(
+        design.worker_clusters,
+        layout,
+        design.traffic,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def build_vfi_mesh(
+    design: VfiDesign,
+    system: str = "vfi2",
+    geometry: Optional[GridGeometry] = None,
+    mapping: Optional[ThreadMapping] = None,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Platform:
+    """VFI 1 or VFI 2 system on the baseline mesh interconnect."""
+    geometry = geometry or default_geometry()
+    layout = quadrant_clusters(geometry)
+    assignment = design.vfi1 if system == "vfi1" else design.vfi2
+    if system not in ("vfi1", "vfi2"):
+        raise ValueError(f"unknown system {system!r}")
+    if mapping is None:
+        mapping = vfi_thread_mapping(design, layout, seed=seed)
+    mesh = build_mesh(geometry)
+    return Platform(
+        name=name or f"{system}-mesh",
+        layout=layout,
+        vf_points=list(assignment.points),
+        topology=mesh,
+        routing=build_mesh_routing(mesh),
+        mapping=mapping,
+        memory_params=memory_params_for(geometry),
+    )
+
+
+def build_vfi_winoc(
+    design: VfiDesign,
+    system: str = "vfi2",
+    methodology: str = "max_wireless",
+    geometry: Optional[GridGeometry] = None,
+    smallworld_config: SmallWorldConfig = SmallWorldConfig(),
+    wireless_spec: WirelessSpec = WirelessSpec(),
+    sa_iterations: int = 300,
+    seed: SeedLike = 11,
+    traffic_rate_bps: Optional[np.ndarray] = None,
+    name: Optional[str] = None,
+) -> Platform:
+    """VFI system on the wireless small-world NoC (paper Secs. 5-6).
+
+    ``methodology`` selects the placement/mapping strategy:
+
+    * ``"max_wireless"`` -- WIs at island centers + "logically near,
+      physically far" thread mapping (the configuration the paper finds
+      consistently better, Fig. 6);
+    * ``"min_hop"`` -- communication-aware mapping + simulated-annealing
+      WI placement minimizing traffic-weighted hop count.
+
+    ``traffic_rate_bps`` is an optional *worker-level* sustained traffic
+    estimate (bits/s); when given, the wireless routing weights are
+    congestion-calibrated so no token channel is oversubscribed
+    (:mod:`repro.noc.calibration`).
+    """
+    if methodology not in ("max_wireless", "min_hop"):
+        raise ValueError(f"unknown methodology {methodology!r}")
+    geometry = geometry or default_geometry()
+    layout = quadrant_clusters(geometry)
+    assignment: VfAssignment = design.vfi1 if system == "vfi1" else design.vfi2
+    base_seed = seed if isinstance(seed, int) else 11
+
+    # 1. Thread mapping.
+    if methodology == "min_hop":
+        mapping = vfi_thread_mapping(
+            design, layout, seed=spawn_seed(base_seed, "mapping")
+        )
+    else:
+        # WI anchors are known up front (island centers).
+        anchor_placement = center_wireless_placement(
+            geometry, layout.node_cluster, wireless_spec.num_channels
+        )
+        wi_nodes = sorted(
+            node for nodes in anchor_placement.values() for node in nodes
+        )
+        mapping = wireless_centric_mapping(
+            design.worker_clusters,
+            layout,
+            design.traffic,
+            wi_nodes,
+            seed=spawn_seed(base_seed, "mapping"),
+        )
+
+    # 2. Node-level traffic implied by the mapping; inter-island volumes
+    #    drive the small-world link quotas.
+    node_traffic = mapping.map_traffic(design.traffic)
+    cluster_traffic = inter_cluster_traffic(
+        node_traffic, layout.node_cluster, layout.num_clusters
+    )
+
+    # 3. Wireline small-world fabric.
+    wireline = build_small_world(
+        geometry,
+        list(layout.node_cluster),
+        inter_cluster_traffic=cluster_traffic,
+        config=smallworld_config,
+        seed=spawn_seed(base_seed, "smallworld"),
+        name="small-world",
+    )
+
+    # 4. Wireless overlay per methodology.
+    if methodology == "max_wireless":
+        placement = center_wireless_placement(
+            geometry, layout.node_cluster, wireless_spec.num_channels
+        )
+    else:
+        placement = optimize_wireless_placement(
+            wireline,
+            list(layout.node_cluster),
+            node_traffic,
+            spec=wireless_spec,
+            iterations=sa_iterations,
+            seed=spawn_seed(base_seed, "placement"),
+        )
+    winoc = assign_wireless_links(wireline, placement, wireless_spec)
+
+    # 5. Congestion-calibrated routing over the combined fabric.
+    rate_matrix = None
+    if traffic_rate_bps is not None:
+        rate_matrix = mapping.map_traffic(np.asarray(traffic_rate_bps))
+    routing = calibrate_wireless_routing(
+        winoc,
+        list(layout.node_cluster),
+        [p.frequency_hz for p in assignment.points],
+        rate_matrix,
+        wireless=wireless_spec,
+    )
+
+    return Platform(
+        name=name or f"{system}-winoc-{methodology}",
+        layout=layout,
+        vf_points=list(assignment.points),
+        topology=winoc,
+        routing=routing,
+        mapping=mapping,
+        wireless_spec=wireless_spec,
+        memory_params=memory_params_for(geometry),
+    )

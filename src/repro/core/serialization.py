@@ -1,0 +1,134 @@
+"""JSON serialization of designs and study summaries.
+
+Reproducibility artifacts: a :class:`repro.core.design_flow.VfiDesign`
+can be saved and reloaded (the exact clustering, both V/F systems, the
+bottleneck report and the characterization inputs), and a study's key
+metrics can be exported as one JSON document for dashboards or archival.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.core.design_flow import VfiDesign
+from repro.core.experiment import AppStudy
+from repro.vfi.bottleneck import BottleneckReport
+from repro.vfi.clustering import ClusteringResult
+from repro.vfi.islands import VfPoint
+from repro.vfi.vf_assign import VfAssignment
+
+
+def _vf_to_dict(assignment: VfAssignment) -> Dict:
+    return {
+        "points": [
+            {"frequency_hz": p.frequency_hz, "voltage_v": p.voltage_v}
+            for p in assignment.points
+        ],
+        "island_utilization": list(assignment.island_utilization),
+        "reassigned_islands": list(assignment.reassigned_islands),
+    }
+
+
+def _vf_from_dict(data: Dict) -> VfAssignment:
+    return VfAssignment(
+        points=tuple(
+            VfPoint(entry["frequency_hz"], entry["voltage_v"])
+            for entry in data["points"]
+        ),
+        island_utilization=tuple(data["island_utilization"]),
+        reassigned_islands=tuple(data["reassigned_islands"]),
+    )
+
+
+def design_to_dict(design: VfiDesign) -> Dict:
+    """Serialize a design to plain JSON-compatible data."""
+    return {
+        "num_islands": design.num_islands,
+        "clustering": {
+            "assignment": list(design.clustering.assignment),
+            "cost": design.clustering.cost,
+            "method": design.clustering.method,
+            "evaluations": design.clustering.evaluations,
+        },
+        "vfi1": _vf_to_dict(design.vfi1),
+        "vfi2": _vf_to_dict(design.vfi2),
+        "bottleneck": {
+            "bottleneck_workers": list(design.bottleneck.bottleneck_workers),
+            "average_utilization": design.bottleneck.average_utilization,
+            "bottleneck_utilization": design.bottleneck.bottleneck_utilization,
+            "body_cv": design.bottleneck.body_cv,
+        },
+        "utilization": design.utilization.tolist(),
+        "traffic": design.traffic.tolist(),
+    }
+
+
+def design_from_dict(data: Dict) -> VfiDesign:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    return VfiDesign(
+        num_islands=int(data["num_islands"]),
+        clustering=ClusteringResult(
+            assignment=tuple(data["clustering"]["assignment"]),
+            cost=float(data["clustering"]["cost"]),
+            method=data["clustering"]["method"],
+            evaluations=int(data["clustering"]["evaluations"]),
+        ),
+        vfi1=_vf_from_dict(data["vfi1"]),
+        vfi2=_vf_from_dict(data["vfi2"]),
+        bottleneck=BottleneckReport(
+            bottleneck_workers=list(data["bottleneck"]["bottleneck_workers"]),
+            average_utilization=float(data["bottleneck"]["average_utilization"]),
+            bottleneck_utilization=float(
+                data["bottleneck"]["bottleneck_utilization"]
+            ),
+            body_cv=float(data["bottleneck"]["body_cv"]),
+        ),
+        utilization=np.asarray(data["utilization"], dtype=float),
+        traffic=np.asarray(data["traffic"], dtype=float),
+    )
+
+
+def save_design(design: VfiDesign, path: str) -> None:
+    """Write a design to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(design_to_dict(design), handle, indent=1)
+
+
+def load_design(path: str) -> VfiDesign:
+    """Read a design back from :func:`save_design` output."""
+    with open(path) as handle:
+        return design_from_dict(json.load(handle))
+
+
+def study_summary_dict(study: AppStudy) -> Dict:
+    """One JSON document summarizing a study's key metrics."""
+    summary = {
+        "app": study.app.profile.name,
+        "label": study.label,
+        "paper_dataset": study.app.profile.paper_dataset,
+        "vfi1": study.design.vfi1.labels(),
+        "vfi2": study.design.vfi2.labels(),
+        "reassigned_islands": list(study.design.vfi2.reassigned_islands),
+        "configs": {},
+    }
+    for config, result in study.results.items():
+        summary["configs"][config] = {
+            "total_time_s": result.total_time_s,
+            "total_energy_j": result.total_energy_j,
+            "edp": result.edp,
+            "network_edp": result.network_edp,
+            "normalized_time": study.normalized_time(config),
+            "normalized_edp": study.normalized_edp(config),
+            "average_hops": result.network.average_hops,
+            "wireless_fraction": result.network.wireless_fraction,
+        }
+    return summary
+
+
+def save_study_summary(study: AppStudy, path: str) -> None:
+    """Write :func:`study_summary_dict` to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(study_summary_dict(study), handle, indent=1)

@@ -1,0 +1,107 @@
+"""Parameter sweeps: seeds (robustness) and system sizes (scalability).
+
+The paper reports single-configuration numbers; a reproduction should
+also show that its conclusions are not artifacts of one random seed or
+of the 64-core size.  These helpers run the full pipeline across seeds
+or die sizes and aggregate the normalized metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.experiment import (
+    NVFI_MESH,
+    VFI1_MESH,
+    VFI2_MESH,
+    VFI2_WINOC,
+    run_app_study,
+)
+
+CONFIGS = (VFI1_MESH, VFI2_MESH, VFI2_WINOC)
+
+
+@dataclass
+class SweepResult:
+    """Normalized metrics per (parameter value, configuration)."""
+
+    parameter: str
+    #: rows[value][config] = {"time": t, "edp": e}
+    rows: Dict[object, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def aggregate(self) -> Dict[str, Dict[str, Tuple[float, float]]]:
+        """Per-config (mean, std) over the swept values, per metric."""
+        out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        for config in CONFIGS:
+            metrics: Dict[str, Tuple[float, float]] = {}
+            for metric in ("time", "edp"):
+                values = [
+                    row[config][metric]
+                    for row in self.rows.values()
+                    if config in row
+                ]
+                if values:
+                    metrics[metric] = (
+                        float(np.mean(values)),
+                        float(np.std(values)),
+                    )
+            out[config] = metrics
+        return out
+
+    def spread(self, config: str, metric: str) -> float:
+        """Max minus min of a metric across the sweep (stability check)."""
+        values = [
+            row[config][metric] for row in self.rows.values() if config in row
+        ]
+        if not values:
+            raise KeyError(f"no data for {config}/{metric}")
+        return max(values) - min(values)
+
+
+def seed_sweep(
+    app_name: str,
+    seeds: Sequence[int],
+    scale: float = 1.0,
+    num_workers: int = 64,
+) -> SweepResult:
+    """Run the pipeline for several seeds (dataset + SA randomness)."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    result = SweepResult(parameter="seed")
+    for seed in seeds:
+        study = run_app_study(
+            app_name, scale=scale, seed=seed, num_workers=num_workers
+        )
+        result.rows[seed] = {
+            config: {
+                "time": study.normalized_time(config),
+                "edp": study.normalized_edp(config),
+            }
+            for config in CONFIGS
+        }
+    return result
+
+
+def size_sweep(
+    app_name: str,
+    sizes: Iterable[int] = (16, 36, 64),
+    scale: float = 1.0,
+    seed: int = 7,
+) -> SweepResult:
+    """Run the pipeline at several (square) system sizes."""
+    result = SweepResult(parameter="num_workers")
+    for size in sizes:
+        study = run_app_study(
+            app_name, scale=scale, seed=seed, num_workers=size
+        )
+        result.rows[size] = {
+            config: {
+                "time": study.normalized_time(config),
+                "edp": study.normalized_edp(config),
+            }
+            for config in CONFIGS
+        }
+    return result

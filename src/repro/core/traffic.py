@@ -1,0 +1,67 @@
+"""Traffic-matrix construction for clustering and WiNoC design.
+
+The clustering objective's ``f_ip`` and the WiNoC's inter-cluster link
+quotas need the traffic each pair of cores exchanges.  Two components:
+
+* explicit key-value flows recorded in the job trace
+  (:meth:`repro.mapreduce.trace.JobTrace.worker_flow_matrix`);
+* memory-system traffic implied by each worker's L2 accesses and the
+  application's home-bank locality distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapreduce.trace import JobTrace
+from repro.noc.packets import control_bits, data_bits
+from repro.utils.validation import check_probability
+
+
+def memory_traffic_matrix(trace: JobTrace, locality: float) -> np.ndarray:
+    """Worker-to-worker bytes implied by L1-miss traffic.
+
+    Each L1 miss sends a control packet to the home bank and receives a
+    data packet back; with probability *locality* the home bank is local
+    (no network traffic), otherwise uniformly interleaved.
+    """
+    check_probability("locality", locality)
+    n = trace.num_workers
+    accesses = np.zeros(n)
+    for record in trace.all_tasks():
+        accesses[record.home_worker] += record.cost.l2_accesses
+    per_access_bytes = (control_bits() + data_bits()) / 8.0
+    remote_share = (1.0 - locality) * (n - 1) / n
+    matrix = np.zeros((n, n))
+    for worker in range(n):
+        volume = accesses[worker] * per_access_bytes * remote_share
+        if volume <= 0:
+            continue
+        share = volume / (n - 1)
+        matrix[worker, :] += share
+        matrix[worker, worker] -= share
+    return matrix
+
+
+def total_node_traffic(
+    trace: JobTrace, locality: float, kv_weight: float = 1.0
+) -> np.ndarray:
+    """Combined worker-pair traffic (bytes): key-value flows + memory."""
+    kv = trace.worker_flow_matrix()
+    memory = memory_traffic_matrix(trace, locality)
+    return kv_weight * kv + memory
+
+
+def inter_cluster_traffic(
+    node_traffic: np.ndarray, clusters, num_clusters: int
+) -> np.ndarray:
+    """Aggregate a node-level traffic matrix to cluster level."""
+    clusters = np.asarray(clusters, dtype=int)
+    n = len(clusters)
+    if node_traffic.shape != (n, n):
+        raise ValueError(
+            f"traffic {node_traffic.shape} does not match {n} nodes"
+        )
+    one_hot = np.zeros((n, num_clusters))
+    one_hot[np.arange(n), clusters] = 1.0
+    return one_hot.T @ node_traffic @ one_hot

@@ -1,0 +1,20 @@
+"""Power and energy models: cores (McPAT-style), NoC aggregation, EDP.
+
+The paper feeds GEM5 activity statistics into McPAT for processor power
+and uses synthesized-netlist / HSPICE numbers for the network.  Here the
+core model is an analytic McPAT-class abstraction -- dynamic power
+scaling with ``V^2 f`` and activity, leakage scaling superlinearly with
+``V`` -- and the network energy comes from
+:class:`repro.noc.energy.NocEnergyModel`.
+"""
+
+from repro.energy.core_power import CorePowerModel, CorePowerParams
+from repro.energy.metrics import EnergyBreakdown, edp, normalized
+
+__all__ = [
+    "CorePowerModel",
+    "CorePowerParams",
+    "EnergyBreakdown",
+    "edp",
+    "normalized",
+]

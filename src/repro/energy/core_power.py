@@ -1,0 +1,74 @@
+"""Analytic per-core power model (McPAT-class abstraction).
+
+For an out-of-order x86-class core in 65 nm at the paper's nominal
+1.0 V / 2.5 GHz we use ~1.9 W peak dynamic and ~0.25 W leakage per core
+(64 cores = ~140 W chip at full tilt, consistent with McPAT numbers for
+this class of multicore).  Scaling:
+
+* dynamic:  P_dyn = P_dyn_nom * a * (V / V_nom)^2 * (f / f_nom)
+  with activity ``a`` = 1 when busy, ``idle_activity`` when clock-gated;
+* leakage:  P_leak = P_leak_nom * (V / V_nom)^gamma, gamma ~ 2.5
+  (subthreshold leakage is superlinear in supply voltage).
+
+Energy over an interval = busy_time * (P_dyn + P_leak)
+                        + idle_time * (idle_activity * P_dyn + P_leak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vfi.islands import NOMINAL, VfPoint
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    dynamic_w_nominal: float = 1.9
+    leakage_w_nominal: float = 0.25
+    #: Clock-gated idle dynamic activity factor.
+    idle_activity: float = 0.05
+    #: Leakage voltage exponent.
+    leakage_gamma: float = 2.5
+    nominal: VfPoint = NOMINAL
+
+    def __post_init__(self) -> None:
+        check_positive("dynamic_w_nominal", self.dynamic_w_nominal)
+        check_positive("leakage_w_nominal", self.leakage_w_nominal, allow_zero=True)
+        check_probability("idle_activity", self.idle_activity)
+        check_positive("leakage_gamma", self.leakage_gamma)
+
+
+class CorePowerModel:
+    """Power/energy of one core across DVFS operating points."""
+
+    def __init__(self, params: CorePowerParams = CorePowerParams()):
+        self.params = params
+
+    def dynamic_power_w(self, point: VfPoint, activity: float = 1.0) -> float:
+        """Dynamic power at *point* with the given activity factor."""
+        check_probability("activity", activity)
+        p = self.params
+        v_scale = (point.voltage_v / p.nominal.voltage_v) ** 2
+        f_scale = point.frequency_hz / p.nominal.frequency_hz
+        return p.dynamic_w_nominal * activity * v_scale * f_scale
+
+    def leakage_power_w(self, point: VfPoint) -> float:
+        p = self.params
+        v_scale = (point.voltage_v / p.nominal.voltage_v) ** p.leakage_gamma
+        return p.leakage_w_nominal * v_scale
+
+    def energy_j(
+        self, point: VfPoint, busy_s: float, idle_s: float
+    ) -> float:
+        """Core energy over an interval split into busy and idle time."""
+        if busy_s < 0 or idle_s < 0:
+            raise ValueError(
+                f"busy_s/idle_s must be >= 0, got {busy_s}, {idle_s}"
+            )
+        p_busy = self.dynamic_power_w(point, 1.0) + self.leakage_power_w(point)
+        p_idle = (
+            self.dynamic_power_w(point, self.params.idle_activity)
+            + self.leakage_power_w(point)
+        )
+        return busy_s * p_busy + idle_s * p_idle

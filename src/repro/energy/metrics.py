@@ -1,0 +1,61 @@
+"""Energy/EDP metrics and normalization helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-delay product: the paper's primary figure of merit."""
+    if energy_j < 0 or delay_s < 0:
+        raise ValueError(f"energy/delay must be >= 0, got {energy_j}, {delay_s}")
+    return energy_j * delay_s
+
+
+def normalized(value: float, baseline: float) -> float:
+    """Value relative to a baseline (the paper normalizes to NVFI mesh)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline}")
+    return value / baseline
+
+
+@dataclass
+class EnergyBreakdown:
+    """Full-system energy split, in joules."""
+
+    core_dynamic_j: float = 0.0
+    core_static_j: float = 0.0
+    noc_dynamic_j: float = 0.0
+    noc_static_j: float = 0.0
+
+    @property
+    def core_j(self) -> float:
+        return self.core_dynamic_j + self.core_static_j
+
+    @property
+    def noc_j(self) -> float:
+        return self.noc_dynamic_j + self.noc_static_j
+
+    @property
+    def total_j(self) -> float:
+        return self.core_j + self.noc_j
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "core_dynamic_j": self.core_dynamic_j,
+            "core_static_j": self.core_static_j,
+            "noc_dynamic_j": self.noc_dynamic_j,
+            "noc_static_j": self.noc_static_j,
+            "total_j": self.total_j,
+        }
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        if not isinstance(other, EnergyBreakdown):
+            return NotImplemented
+        return EnergyBreakdown(
+            core_dynamic_j=self.core_dynamic_j + other.core_dynamic_j,
+            core_static_j=self.core_static_j + other.core_static_j,
+            noc_dynamic_j=self.noc_dynamic_j + other.noc_dynamic_j,
+            noc_static_j=self.noc_static_j + other.noc_static_j,
+        )

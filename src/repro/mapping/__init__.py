@@ -1,0 +1,15 @@
+"""Thread-to-core mapping strategies (paper Sec. 6)."""
+
+from repro.mapping.thread_mapping import (
+    ThreadMapping,
+    communication_aware_mapping,
+    identity_mapping,
+    wireless_centric_mapping,
+)
+
+__all__ = [
+    "ThreadMapping",
+    "identity_mapping",
+    "communication_aware_mapping",
+    "wireless_centric_mapping",
+]

@@ -1,0 +1,79 @@
+"""A Phoenix++-style shared-memory MapReduce engine.
+
+This package reimplements the execution structure of Phoenix++ (Talbot et
+al., MapReduce'11) that the paper's VFI study depends on:
+
+* the four execution stages -- **Split**, **Map**, **Reduce**, **Merge** --
+  plus the serial **library initialization** performed by the master core;
+* Phoenix++-style intermediate key-value *containers* (hash, array,
+  one-bucket) with pluggable *combiners*;
+* a work queue with **task stealing**, including the paper's modified
+  VFI-aware stealing cap of Eq. (3);
+* an execution *trace* per job (task costs, inter-worker key-value flow)
+  that the performance simulator in :mod:`repro.sim` replays on a timing
+  and energy model.
+
+The engine is functional: jobs really compute their answers (word counts,
+k-means centroids, ...), and the same run produces the workload trace the
+architectural study needs.
+"""
+
+from repro.mapreduce.combiners import (
+    BufferCombiner,
+    Combiner,
+    CountCombiner,
+    MaxCombiner,
+    MeanCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.mapreduce.containers import (
+    ArrayContainer,
+    Container,
+    HashContainer,
+    OneBucketContainer,
+)
+from repro.mapreduce.job import JobConfig, MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime, run_job
+from repro.mapreduce.scheduler import (
+    CappedStealingPolicy,
+    DefaultStealingPolicy,
+    StealingPolicy,
+    TaskQueueSet,
+    vfi_task_cap,
+)
+from repro.mapreduce.splitter import chunk_indices, split_evenly
+from repro.mapreduce.tasks import Phase, Task, TaskCost
+from repro.mapreduce.trace import JobTrace, MergeStageTrace, PhaseTrace, TaskRecord
+
+__all__ = [
+    "Combiner",
+    "SumCombiner",
+    "CountCombiner",
+    "MinCombiner",
+    "MaxCombiner",
+    "MeanCombiner",
+    "BufferCombiner",
+    "Container",
+    "HashContainer",
+    "ArrayContainer",
+    "OneBucketContainer",
+    "MapReduceJob",
+    "JobConfig",
+    "MapReduceRuntime",
+    "run_job",
+    "TaskQueueSet",
+    "StealingPolicy",
+    "DefaultStealingPolicy",
+    "CappedStealingPolicy",
+    "vfi_task_cap",
+    "split_evenly",
+    "chunk_indices",
+    "Phase",
+    "Task",
+    "TaskCost",
+    "JobTrace",
+    "PhaseTrace",
+    "MergeStageTrace",
+    "TaskRecord",
+]

@@ -1,0 +1,125 @@
+"""Phoenix++-style combiners.
+
+In Phoenix++ a *combiner* folds each emitted value into a small per-key
+accumulator inside the map worker, so the intermediate state stays compact
+and the Reduce phase mostly aggregates accumulators.  The engine applies
+combiners both map-side (per worker) and reduce-side (across workers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, List, TypeVar
+
+V = TypeVar("V")
+A = TypeVar("A")
+
+
+class Combiner(Generic[V, A]):
+    """Associative fold used for map-side combining.
+
+    Subclasses implement :meth:`identity`, :meth:`add` and :meth:`merge`;
+    ``merge`` must be associative and commutative so reduce-side combining
+    is order independent (a property-based test enforces this).
+    """
+
+    def identity(self) -> A:
+        raise NotImplementedError
+
+    def add(self, acc: A, value: V) -> A:
+        """Fold one raw *value* into accumulator *acc*."""
+        raise NotImplementedError
+
+    def merge(self, acc: A, other: A) -> A:
+        """Merge two accumulators."""
+        raise NotImplementedError
+
+    def finalize(self, acc: A) -> Any:
+        """Turn the accumulator into the final output value."""
+        return acc
+
+
+class SumCombiner(Combiner[float, float]):
+    """Sums values; the classic word-count / histogram combiner."""
+
+    def identity(self) -> float:
+        return 0.0
+
+    def add(self, acc: float, value: float) -> float:
+        return acc + value
+
+    def merge(self, acc: float, other: float) -> float:
+        return acc + other
+
+
+class CountCombiner(Combiner[Any, int]):
+    """Counts occurrences, ignoring the value payload."""
+
+    def identity(self) -> int:
+        return 0
+
+    def add(self, acc: int, value: Any) -> int:
+        return acc + 1
+
+    def merge(self, acc: int, other: int) -> int:
+        return acc + other
+
+
+class MinCombiner(Combiner[float, float]):
+    """Keeps the minimum value."""
+
+    def identity(self) -> float:
+        return float("inf")
+
+    def add(self, acc: float, value: float) -> float:
+        return value if value < acc else acc
+
+    def merge(self, acc: float, other: float) -> float:
+        return other if other < acc else acc
+
+
+class MaxCombiner(Combiner[float, float]):
+    """Keeps the maximum value."""
+
+    def identity(self) -> float:
+        return float("-inf")
+
+    def add(self, acc: float, value: float) -> float:
+        return value if value > acc else acc
+
+    def merge(self, acc: float, other: float) -> float:
+        return other if other > acc else acc
+
+
+class MeanCombiner(Combiner[float, tuple]):
+    """Tracks (sum, count) and finalizes to the arithmetic mean."""
+
+    def identity(self) -> tuple:
+        return (0.0, 0)
+
+    def add(self, acc: tuple, value: float) -> tuple:
+        total, count = acc
+        return (total + value, count + 1)
+
+    def merge(self, acc: tuple, other: tuple) -> tuple:
+        return (acc[0] + other[0], acc[1] + other[1])
+
+    def finalize(self, acc: tuple) -> float:
+        total, count = acc
+        if count == 0:
+            raise ValueError("cannot finalize MeanCombiner with zero samples")
+        return total / count
+
+
+class BufferCombiner(Combiner[Any, List[Any]]):
+    """Keeps every value (no reduction); used when Reduce needs all values."""
+
+    def identity(self) -> List[Any]:
+        return []
+
+    def add(self, acc: List[Any], value: Any) -> List[Any]:
+        acc.append(value)
+        return acc
+
+    def merge(self, acc: List[Any], other: List[Any]) -> List[Any]:
+        acc.extend(other)
+        return acc

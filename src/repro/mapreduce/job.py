@@ -1,0 +1,172 @@
+"""Job specification for the Phoenix++-style engine.
+
+A job subclasses :class:`MapReduceJob` and provides:
+
+* :meth:`split` -- divide the input into map chunks;
+* :meth:`map` -- process one chunk, emitting (key, value) pairs, and return
+  the *work units* spent (an app-specific operation count that the cost
+  model converts into instructions -- this is what lets data-dependent
+  imbalance, e.g. k-means convergence, show up in core utilization);
+* a :class:`repro.mapreduce.containers.Container` factory (Phoenix++'s
+  container choice is part of the job definition);
+* a :class:`JobConfig` with the architectural cost coefficients.
+
+Iterative jobs (Kmeans, PCA in the paper) override :meth:`max_iterations`,
+:meth:`begin_iteration` and :meth:`end_iteration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Sequence
+
+from repro.mapreduce.containers import Container, HashContainer
+from repro.mapreduce.combiners import Combiner, SumCombiner
+from repro.utils.validation import check_positive
+
+Emit = Callable[[Hashable, Any], None]
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Architectural cost coefficients for a job.
+
+    The functional engine counts *work units* (map) and *pairs/bytes*
+    (reduce/merge); this config converts those counts into the instruction
+    and memory-access numbers the timing simulator charges.
+
+    Attributes
+    ----------
+    instructions_per_map_unit:
+        Instructions per unit of map work returned by :meth:`MapReduceJob.map`.
+    instructions_per_reduce_pair:
+        Instructions to merge one (key, accumulator) pair in Reduce.
+    instructions_per_merge_byte:
+        Instructions per byte merged in a Merge funnel task.
+    bytes_per_pair:
+        Size of one serialized intermediate (key, accumulator) pair.
+    l1_mpki:
+        L1 misses per kilo-instruction; every miss is an L2 access that
+        crosses the NoC (request + response).
+    l2_mpki:
+        L2 misses per kilo-instruction; every miss additionally reaches a
+        memory controller.
+    lib_init_instructions:
+        Serial library-initialization instructions on the master core per
+        iteration (task scheduling + key/value storage allocation; paper
+        Sec. 4.2).
+    trace_scale:
+        Uniform multiplier applied to the finished trace, used to
+        extrapolate a scaled-down functional dataset to paper size.
+    tasks_per_worker:
+        Map-task over-decomposition factor (Phoenix++ creates more tasks
+        than cores so stealing has material to work with).
+    """
+
+    instructions_per_map_unit: float = 50.0
+    instructions_per_reduce_pair: float = 120.0
+    instructions_per_merge_byte: float = 3.0
+    bytes_per_pair: float = 16.0
+    l1_mpki: float = 12.0
+    l2_mpki: float = 1.2
+    lib_init_instructions: float = 2.0e6
+    trace_scale: float = 1.0
+    tasks_per_worker: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_positive("instructions_per_map_unit", self.instructions_per_map_unit)
+        check_positive("instructions_per_reduce_pair", self.instructions_per_reduce_pair)
+        check_positive(
+            "instructions_per_merge_byte", self.instructions_per_merge_byte
+        )
+        check_positive("bytes_per_pair", self.bytes_per_pair)
+        check_positive("l1_mpki", self.l1_mpki, allow_zero=True)
+        check_positive("l2_mpki", self.l2_mpki, allow_zero=True)
+        check_positive("lib_init_instructions", self.lib_init_instructions, allow_zero=True)
+        check_positive("trace_scale", self.trace_scale)
+        check_positive("tasks_per_worker", self.tasks_per_worker)
+
+
+class MapReduceJob:
+    """Base class for MapReduce jobs.
+
+    Subclasses must implement :meth:`split` and :meth:`map`; everything
+    else has Phoenix++-style defaults (hash container, sum combiner, one
+    iteration, merge of the full reduce output).
+    """
+
+    name: str = "job"
+
+    def __init__(self, config: JobConfig = JobConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Required hooks
+    # ------------------------------------------------------------------ #
+
+    def split(self, num_tasks: int) -> List[Any]:
+        """Return up to *num_tasks* similarly sized map chunks."""
+        raise NotImplementedError
+
+    def map(self, chunk: Any, emit: Emit) -> float:
+        """Process *chunk*, emit intermediate pairs, return work units.
+
+        May instead return ``(work_units, miss_weight)``: the optional
+        miss weight scales this task's cache-miss intensity relative to
+        the job's nominal MPKI, modeling data-dependent locality (tasks
+        with weight > 1 stall more per instruction and so show a lower
+        core utilization while busy)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Optional hooks with Phoenix++ defaults
+    # ------------------------------------------------------------------ #
+
+    def combiner(self) -> Combiner:
+        return SumCombiner()
+
+    def make_container(self) -> Container:
+        """Per-worker intermediate container (Phoenix++ container choice)."""
+        return HashContainer(self.combiner())
+
+    def num_map_tasks(self, num_workers: int) -> int:
+        """Number of map tasks to create for *num_workers* cores."""
+        return max(1, round(num_workers * self.config.tasks_per_worker))
+
+    def reduce_finalize(self, key: Hashable, accumulator: Any) -> Any:
+        """Final per-key reduction; defaults to the combiner's finalize."""
+        return self.combiner().finalize(accumulator)
+
+    def sort_key(self, key: Hashable, value: Any) -> Any:
+        """Ordering used by the Merge funnel (Phoenix++ sorts final output)."""
+        return key
+
+    def merge_enabled(self) -> bool:
+        """Whether the job has a Merge phase (LR in the paper does not)."""
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Iteration hooks (Kmeans, PCA run two MapReduce iterations)
+    # ------------------------------------------------------------------ #
+
+    def max_iterations(self) -> int:
+        return 1
+
+    def begin_iteration(self, iteration: int) -> bool:
+        """Prepare iteration *iteration*; return ``False`` to stop early."""
+        return iteration < self.max_iterations()
+
+    def end_iteration(self, iteration: int, result: Dict[Hashable, Any]) -> None:
+        """Observe the merged output of iteration *iteration*."""
+
+    def final_result(self, last_result: Dict[Hashable, Any]) -> Any:
+        """Convert the last iteration's merged output into the job result."""
+        return last_result
+
+    # ------------------------------------------------------------------ #
+    # Cost-model hooks (rarely overridden)
+    # ------------------------------------------------------------------ #
+
+    def reduce_work(self, key: Hashable, accumulators: Sequence[Any]) -> float:
+        """Work units for reducing one key; defaults to the fan-in count."""
+        return float(len(accumulators))

@@ -1,0 +1,249 @@
+"""Work queues and task-stealing policies.
+
+Phoenix++ assigns each created task to a worker queue; a worker that drains
+its own queue *steals* unfinished tasks from others (paper Sec. 3.2).  On a
+VFI platform the paper modifies stealing (Sec. 4.3, Eq. 3): a core running
+below the maximum frequency is restricted to
+
+    Nf = floor( N/C * (1 - (fmax - f)/fmax) )
+
+tasks, "to prevent the cores with lower V/F from performing an undesired
+task stealing".  We apply the cap to *stealing*: a slow core always may
+run tasks from its own queue (fast cores steal those leftovers first
+anyway, taking from the tail), but once it has executed Nf or more
+tasks it must not steal -- which is exactly the undesired behaviour the
+paper's Word Count case study describes.  A floor of one task keeps the
+budget sane when N/C is small enough that Eq. (3) floors to zero.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.mapreduce.tasks import Task
+
+
+def vfi_task_cap(total_tasks: int, num_cores: int, freq_hz: float, fmax_hz: float) -> int:
+    """Eq. (3): max tasks a core at *freq_hz* may run when ``freq < fmax``.
+
+    Cores at ``fmax`` are uncapped (the equation is defined for f < fmax).
+    """
+    if total_tasks < 0:
+        raise ValueError(f"total_tasks must be >= 0, got {total_tasks}")
+    if num_cores <= 0:
+        raise ValueError(f"num_cores must be > 0, got {num_cores}")
+    if freq_hz <= 0 or fmax_hz <= 0:
+        raise ValueError("frequencies must be > 0")
+    if freq_hz > fmax_hz:
+        raise ValueError(f"freq {freq_hz} exceeds fmax {fmax_hz}")
+    if freq_hz == fmax_hz:
+        return total_tasks
+    return math.floor((total_tasks / num_cores) * (1.0 - (fmax_hz - freq_hz) / fmax_hz))
+
+
+class StealingPolicy:
+    """Decides whether a worker may take one more task, and from whom."""
+
+    def prepare(
+        self,
+        total_tasks: int,
+        num_workers: int,
+        initial_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Called once per phase before any task executes.
+
+        ``initial_counts`` is the number of tasks initially queued on each
+        worker (the scheduler's round-robin allocation).
+        """
+
+    def may_steal(self, worker: int, executed_by_worker: int) -> bool:
+        """May *worker* (having executed ``executed_by_worker`` tasks) steal?"""
+        return True
+
+    def choose_victim(
+        self, thief: int, queue_lengths: Sequence[int]
+    ) -> Optional[int]:
+        """Pick the victim queue to steal from (default: longest queue)."""
+        best: Optional[int] = None
+        best_len = 0
+        for victim, length in enumerate(queue_lengths):
+            if victim == thief:
+                continue
+            if length > best_len:
+                best, best_len = victim, length
+        return best
+
+
+class DefaultStealingPolicy(StealingPolicy):
+    """Unmodified Phoenix++ stealing: any idle worker steals greedily."""
+
+
+class CappedStealingPolicy(StealingPolicy):
+    """VFI-aware stealing with the per-core task cap of Eq. (3).
+
+    Parameters
+    ----------
+    core_frequencies_hz:
+        Frequency of each worker's core (index = worker id).
+    fmax_hz:
+        Maximum operating frequency on the chip; ``None`` uses the max of
+        *core_frequencies_hz*.
+    """
+
+    def __init__(
+        self,
+        core_frequencies_hz: Sequence[float],
+        fmax_hz: Optional[float] = None,
+    ):
+        if not core_frequencies_hz:
+            raise ValueError("core_frequencies_hz must be non-empty")
+        self.core_frequencies_hz = list(core_frequencies_hz)
+        self.fmax_hz = float(fmax_hz if fmax_hz is not None else max(core_frequencies_hz))
+        for freq in self.core_frequencies_hz:
+            if freq > self.fmax_hz:
+                raise ValueError(
+                    f"core frequency {freq} exceeds fmax {self.fmax_hz}"
+                )
+        self._caps: List[int] = []
+
+    def prepare(
+        self,
+        total_tasks: int,
+        num_workers: int,
+        initial_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        if num_workers != len(self.core_frequencies_hz):
+            raise ValueError(
+                f"policy built for {len(self.core_frequencies_hz)} workers, "
+                f"phase has {num_workers}"
+            )
+        if initial_counts is None:
+            initial_counts = [0] * num_workers
+        # Eq. (3) budget, floored at the worker's own initial allocation:
+        # the cap exists to stop *undesired stealing*, never to leave a
+        # worker's own queue stranded behind a zero/low budget when N/C is
+        # small (slow workers' leftovers are stolen from the tail anyway).
+        self._caps = [
+            max(
+                1,
+                int(initial_counts[worker]),
+                vfi_task_cap(total_tasks, num_workers, freq, self.fmax_hz),
+            )
+            for worker, freq in enumerate(self.core_frequencies_hz)
+        ]
+
+    def cap_for(self, worker: int) -> int:
+        if not self._caps:
+            raise RuntimeError("prepare() must run before cap_for()")
+        return self._caps[worker]
+
+    def may_steal(self, worker: int, executed_by_worker: int) -> bool:
+        return executed_by_worker < self.cap_for(worker)
+
+
+@dataclass
+class TaskQueueSet:
+    """Per-worker FIFO task queues with stealing.
+
+    Used directly by the functional runtime (to decide execution order) and
+    replayed with timing by :mod:`repro.sim`.
+    """
+
+    num_workers: int
+    policy: StealingPolicy = field(default_factory=DefaultStealingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be > 0, got {self.num_workers}")
+        self._queues: List[Deque[Task]] = [deque() for _ in range(self.num_workers)]
+        self._executed: Dict[int, int] = {w: 0 for w in range(self.num_workers)}
+        self._total = 0
+
+    def load(self, tasks: Sequence[Task]) -> None:
+        """Distribute *tasks* to their home workers and arm the policy."""
+        for queue in self._queues:
+            queue.clear()
+        self._executed = {w: 0 for w in range(self.num_workers)}
+        self._total = len(tasks)
+        initial_counts = [0] * self.num_workers
+        for task in tasks:
+            if not 0 <= task.home_worker < self.num_workers:
+                raise ValueError(
+                    f"task {task.task_id} home_worker {task.home_worker} "
+                    f"out of range [0, {self.num_workers})"
+                )
+            initial_counts[task.home_worker] += 1
+        self.policy.prepare(self._total, self.num_workers, initial_counts)
+        for task in tasks:
+            self._queues[task.home_worker].append(task)
+
+    def queue_length(self, worker: int) -> int:
+        return len(self._queues[worker])
+
+    def executed_count(self, worker: int) -> int:
+        return self._executed[worker]
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def next_task(self, worker: int) -> Optional[Task]:
+        """Pop the next task for *worker*: own queue first, then steal.
+
+        Returns ``None`` when no work remains or the worker's stealing
+        budget is exhausted.  A worker always may pop its own queue (fast
+        cores steal those leftovers from the tail); the Eq. (3) cap only
+        gates stealing, per the paper's stated intent.
+        """
+        own = self._queues[worker]
+        if own:
+            task = own.popleft()
+            self._executed[worker] += 1
+            return task
+        if not self.policy.may_steal(worker, self._executed[worker]):
+            return None
+        lengths = [len(queue) for queue in self._queues]
+        victim = self.policy.choose_victim(worker, lengths)
+        if victim is None or not self._queues[victim]:
+            return None
+        task = self._queues[victim].pop()
+        self._executed[worker] += 1
+        return task
+
+    def drain_serial(self) -> List[tuple]:
+        """Execute all queues in a deterministic round-robin order.
+
+        Returns a list of ``(worker, task)`` pairs in execution order.  This
+        is how the functional runtime consumes the queues when no timing
+        model is involved; the timing simulator instead interleaves
+        :meth:`next_task` calls by simulated completion times.
+        """
+        order: List[tuple] = []
+        idle_rounds = 0
+        worker = 0
+        while self.remaining > 0 and idle_rounds < self.num_workers:
+            task = self.next_task(worker)
+            if task is None:
+                idle_rounds += 1
+            else:
+                idle_rounds = 0
+                order.append((worker, task))
+            worker = (worker + 1) % self.num_workers
+        # Correctness backstop: if the policy capped every worker while work
+        # remains (possible with a user-supplied fmax above every core),
+        # execute the leftovers on worker 0 regardless of the cap.
+        order.extend(self.force_drain(0))
+        return order
+
+    def force_drain(self, worker: int) -> List[tuple]:
+        """Pop every remaining task and attribute execution to *worker*."""
+        order: List[tuple] = []
+        for queue in self._queues:
+            while queue:
+                task = queue.popleft()
+                self._executed[worker] += 1
+                order.append((worker, task))
+        return order

@@ -1,0 +1,52 @@
+"""Split-phase helpers: divide input data into similarly sized sub-units.
+
+Per the paper (Sec. 3.1): "During the Split phase, the input data is divided
+into multiple similarly sized sub-units. The number of available cores and
+the nature of the application determine the number of data units created."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def chunk_indices(total: int, num_chunks: int) -> List[Tuple[int, int]]:
+    """Return ``num_chunks`` half-open index ranges covering [0, total).
+
+    Ranges differ in length by at most one element, matching the
+    "similarly sized sub-units" requirement.  When ``total < num_chunks``
+    the trailing ranges are empty and are dropped.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if num_chunks <= 0:
+        raise ValueError(f"num_chunks must be > 0, got {num_chunks}")
+    base, extra = divmod(total, num_chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_chunks):
+        length = base + (1 if index < extra else 0)
+        if length == 0:
+            break
+        ranges.append((start, start + length))
+        start += length
+    return ranges
+
+
+def split_evenly(data: Sequence, num_chunks: int) -> List[Sequence]:
+    """Split *data* into up to *num_chunks* contiguous, similarly sized parts."""
+    return [data[lo:hi] for lo, hi in chunk_indices(len(data), num_chunks)]
+
+
+def default_task_count(data_units: int, num_workers: int, *, tasks_per_worker: int = 2) -> int:
+    """Heuristic Phoenix++ task count: enough tasks for stealing to matter.
+
+    Phoenix++ typically creates more tasks than cores so finished cores have
+    something to steal; the Word Count case study in the paper uses 100 map
+    tasks on 64 cores (~1.5 per core).
+    """
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be > 0, got {num_workers}")
+    if data_units <= 0:
+        return num_workers
+    return max(1, min(data_units, num_workers * tasks_per_worker))

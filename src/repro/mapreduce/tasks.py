@@ -1,0 +1,119 @@
+"""Task and phase primitives shared by the functional engine and the timing
+simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Phase(enum.Enum):
+    """Phoenix++ execution stages (paper Fig. 1), plus library init.
+
+    Library initialization happens once before each Map phase and runs on
+    the master core only; the paper identifies it as one source of
+    *bottleneck cores* (Sec. 4.2).
+    """
+
+    LIB_INIT = "lib_init"
+    SPLIT = "split"
+    MAP = "map"
+    REDUCE = "reduce"
+    MERGE = "merge"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Architectural cost of one task, consumed by :mod:`repro.sim`.
+
+    Attributes
+    ----------
+    instructions:
+        Dynamic instruction count charged to the executing core.
+    l2_accesses:
+        Number of L1-miss accesses that travel over the NoC to an L2 bank
+        (MOESI directory request/response traffic).
+    memory_accesses:
+        Number of L2-miss accesses that additionally reach a memory
+        controller.
+    kv_bytes_in / kv_bytes_out:
+        Intermediate key-value bytes consumed / produced; these bytes
+        become explicit core-to-core NoC transfers in the Reduce and Merge
+        phases.
+    """
+
+    instructions: float
+    l2_accesses: float = 0.0
+    memory_accesses: float = 0.0
+    kv_bytes_in: float = 0.0
+    kv_bytes_out: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "instructions",
+            "l2_accesses",
+            "memory_accesses",
+            "kv_bytes_in",
+            "kv_bytes_out",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"TaskCost.{name} must be >= 0, got {value}")
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """Return this cost uniformly scaled by *factor*."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return TaskCost(
+            instructions=self.instructions * factor,
+            l2_accesses=self.l2_accesses * factor,
+            memory_accesses=self.memory_accesses * factor,
+            kv_bytes_in=self.kv_bytes_in * factor,
+            kv_bytes_out=self.kv_bytes_out * factor,
+        )
+
+    def __add__(self, other: "TaskCost") -> "TaskCost":
+        if not isinstance(other, TaskCost):
+            return NotImplemented
+        return TaskCost(
+            instructions=self.instructions + other.instructions,
+            l2_accesses=self.l2_accesses + other.l2_accesses,
+            memory_accesses=self.memory_accesses + other.memory_accesses,
+            kv_bytes_in=self.kv_bytes_in + other.kv_bytes_in,
+            kv_bytes_out=self.kv_bytes_out + other.kv_bytes_out,
+        )
+
+    @staticmethod
+    def zero() -> "TaskCost":
+        return TaskCost(instructions=0.0)
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    The functional runtime creates tasks with a *payload* (the data chunk or
+    key partition) and fills in *cost* after executing them.  The timing
+    simulator only looks at ``task_id``, ``phase``, ``cost`` and
+    ``home_worker``.
+    """
+
+    task_id: int
+    phase: Phase
+    payload: Any = None
+    cost: Optional[TaskCost] = None
+    home_worker: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def require_cost(self) -> TaskCost:
+        """Return the task cost, raising if the task has not been executed."""
+        if self.cost is None:
+            raise RuntimeError(
+                f"task {self.task_id} ({self.phase}) has no cost; "
+                "run it through the functional runtime first"
+            )
+        return self.cost

@@ -1,0 +1,243 @@
+"""Vectorized all-pairs latency evaluation.
+
+:meth:`repro.noc.network.FlowNetworkModel.latency` walks a path per call;
+the system simulator needs all-pairs latencies for several packet classes
+at every phase relaxation, which would cost ~10^4 path walks per refresh.
+:class:`DenseLatencyModel` precomputes the load-independent pieces
+(router pipeline, wire traversal, synchronizers, wireless propagation and
+token overhead) per (src, dst) pair once, and reduces the load-dependent
+pieces to one sparse mat-vec (queueing) plus a ragged min (bottleneck
+capacity) over shared *resources* -- directed wire links and wireless
+channels.
+
+``tests/noc/test_dense.py`` verifies bit-equality (to float tolerance)
+against the reference per-path implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.noc.network import FlowNetworkModel
+from repro.noc.topology import LinkKind
+
+
+class DenseLatencyModel:
+    """All-pairs latency under load, vectorized over path resources.
+
+    With ``bulk=True`` the model evaluates the wire-preferring bulk
+    message class (see :class:`repro.noc.network.FlowNetworkModel`)."""
+
+    def __init__(self, model: FlowNetworkModel, bulk: bool = False):
+        self.model = model
+        self.bulk = bulk
+        n = model.topology.num_nodes
+        self.num_nodes = n
+        links = model.topology.links
+        num_links = len(links)
+        num_channels = max(model.wireless.num_channels, 1)
+        self.num_resources = 2 * num_links + num_channels
+
+        # Per-resource service time, raw capacity and buffer bound.
+        service = np.zeros(self.num_resources)
+        capacity = np.zeros(self.num_resources)
+        buffer_flits = np.zeros(self.num_resources)
+        node_freq = model._node_freq
+        params = model.params
+        for index, link in enumerate(links):
+            if link.kind is LinkKind.WIRELESS:
+                continue  # wireless hops bill against their channel
+            f_link = min(node_freq[link.a], node_freq[link.b])
+            cap = params.flit_bits * f_link / params.link_traversal_cycles
+            for direction in (0, 1):
+                resource = 2 * index + direction
+                service[resource] = params.link_traversal_cycles / f_link
+                capacity[resource] = cap
+                buffer_flits[resource] = params.wire_buffer_flits
+        for channel in range(num_channels):
+            resource = 2 * num_links + channel
+            service[resource] = params.flit_bits / model.wireless.bandwidth_bps
+            capacity[resource] = model.wireless.bandwidth_bps
+            buffer_flits[resource] = params.wi_buffer_flits
+        self._service = service
+        self._capacity = capacity
+        self._buffer_flits = buffer_flits
+        self._num_links = num_links
+
+        # Static head latency and path resource membership per pair.
+        head = np.zeros((n, n))
+        rows: List[int] = []
+        cols: List[int] = []
+        resources_per_pair: List[np.ndarray] = []
+        for src in range(n):
+            for dst in range(n):
+                pair = src * n + dst
+                if src == dst:
+                    head[src, dst] = params.router_pipeline_cycles / node_freq[src]
+                    resources_per_pair.append(np.empty(0, dtype=np.int64))
+                    continue
+                pair_resources: List[int] = []
+                t = 0.0
+                node = src
+                path_links, directions = model._path(src, dst, bulk=bulk)
+                for link, direction in zip(path_links, directions):
+                    peer = link.other(node)
+                    t += params.router_pipeline_cycles / node_freq[node]
+                    index = model._link_index[link.key]
+                    if link.kind is LinkKind.WIRELESS:
+                        t += (
+                            model.wireless.propagation_s
+                            + model.wireless.token_overhead_s
+                        )
+                        resource = 2 * num_links + link.channel
+                    else:
+                        f_link = min(node_freq[node], node_freq[peer])
+                        t += params.link_traversal_cycles / f_link
+                        resource = 2 * index + direction
+                    pair_resources.append(resource)
+                    if model.clusters[node] != model.clusters[peer]:
+                        t += params.domain_sync_cycles / min(
+                            node_freq[node], node_freq[peer]
+                        )
+                    node = peer
+                t += params.router_pipeline_cycles / node_freq[dst]
+                head[src, dst] = t
+                unique = np.array(sorted(set(pair_resources)), dtype=np.int64)
+                resources_per_pair.append(unique)
+                rows.extend([pair] * len(pair_resources))
+                cols.extend(pair_resources)
+        self._head = head
+        self._usage = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(n * n, self.num_resources),
+        )
+        self._resources_per_pair = resources_per_pair
+
+    # ------------------------------------------------------------------ #
+
+    def _resource_load(self) -> np.ndarray:
+        load = np.zeros(self.num_resources)
+        link_load = self.model.load.link_load
+        for index, link in enumerate(self.model.topology.links):
+            if link.kind is LinkKind.WIRELESS:
+                continue
+            load[2 * index] = link_load[index, 0]
+            load[2 * index + 1] = link_load[index, 1]
+        channels = self.model.load.channel_load
+        load[2 * self._num_links : 2 * self._num_links + len(channels)] = channels
+        return load
+
+    def utilization(self) -> np.ndarray:
+        """Per-resource utilization (capped at the model's maximum)."""
+        load = self._resource_load()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho = np.where(self._capacity > 0, load / self._capacity, 0.0)
+        return np.minimum(rho, self.model.params.max_utilization)
+
+    def latency_matrices(
+        self, payload_bits: Sequence[float]
+    ) -> Dict[float, np.ndarray]:
+        """All-pairs latency for each payload size, under current load."""
+        n = self.num_nodes
+        rho = self.utilization()
+        queue_per_resource = np.minimum(
+            self._service * rho / (2.0 * (1.0 - rho)),
+            np.maximum(self._buffer_flits - 1, 0) * self._service,
+        )
+        queue = np.asarray(
+            self._usage @ queue_per_resource
+        ).reshape(n, n)
+        # Raw line rate for per-packet serialization (contention is already
+        # in the queueing term; see repro.noc.network module docs).
+        bottleneck = np.full(n * n, np.inf)
+        for pair, resources in enumerate(self._resources_per_pair):
+            if len(resources):
+                bottleneck[pair] = self._capacity[resources].min()
+        bottleneck = bottleneck.reshape(n, n)
+        head = self._head + queue
+        return {
+            bits: head + np.where(np.isinf(bottleneck), 0.0, bits / bottleneck)
+            for bits in payload_bits
+        }
+
+    def bottleneck_matrix(self) -> np.ndarray:
+        """Effective per-pair path capacity (bits/s) under current load."""
+        rho = self.utilization()
+        effective = self._capacity * (1.0 - rho)
+        n = self.num_nodes
+        bottleneck = np.full(n * n, np.inf)
+        for pair, resources in enumerate(self._resources_per_pair):
+            if len(resources):
+                bottleneck[pair] = effective[resources].min()
+        return bottleneck.reshape(n, n)
+
+
+class PairwiseEnergy:
+    """Load-independent per-pair transfer energy, hops and wireless share.
+
+    Path energy per bit never depends on load, so it is precomputed for
+    every (src, dst) pair; recording a transfer is then O(1) while still
+    feeding the same counters as
+    :meth:`repro.noc.energy.NocEnergyModel.transfer_energy`.
+    """
+
+    def __init__(self, model: FlowNetworkModel, bulk: bool = False):
+        self.model = model
+        self.bulk = bulk
+        n = model.topology.num_nodes
+        params = model.energy.params
+        self.energy_per_bit = np.zeros((n, n))  # joules per bit
+        self.hops = np.zeros((n, n))
+        self.wireless_links = np.zeros((n, n))  # wireless hops on path
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                links, _ = model._path(src, dst, bulk=bulk)
+                pj_per_bit = params.router_pj_per_bit  # ejection router
+                wireless = 0
+                for link in links:
+                    pj_per_bit += params.router_pj_per_bit
+                    if link.kind is LinkKind.WIRELESS:
+                        pj_per_bit += params.wireless_pj_per_bit
+                        wireless += 1
+                    else:
+                        pj_per_bit += (
+                            params.wire_pj_per_bit_per_mm * link.length_mm
+                        )
+                self.energy_per_bit[src, dst] = pj_per_bit * 1e-12
+                self.hops[src, dst] = len(links)
+                self.wireless_links[src, dst] = wireless
+
+    def record(self, src: int, dst: int, bits: float) -> float:
+        """O(1) equivalent of ``model.record_transfer(src, dst, bits)``."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        if src == dst or bits == 0:
+            return 0.0
+        energy = self.energy_per_bit[src, dst] * bits
+        counters = self.model.energy
+        counters.dynamic_joules += energy
+        counters.bits_moved += bits
+        counters.bit_hops += bits * self.hops[src, dst]
+        counters.wireless_bits += bits * self.wireless_links[src, dst]
+        return energy
+
+    def record_aggregate(
+        self,
+        energy_j: float,
+        bits: float,
+        bit_hops: float,
+        wireless_bits: float,
+    ) -> float:
+        """Feed pre-expected aggregates (e.g. bank-distribution averages)
+        into the energy counters."""
+        counters = self.model.energy
+        counters.dynamic_joules += energy_j
+        counters.bits_moved += bits
+        counters.bit_hops += bit_hops
+        counters.wireless_bits += wireless_bits
+        return energy_j

@@ -1,0 +1,114 @@
+"""NoC energy model.
+
+Per-flit energies follow the paper's methodology: switch energy from a
+synthesized 65-nm RTL netlist, wireline energy from HSPICE per unit
+length, wireless energy from the mm-wave transceiver characterization of
+the companion work (Deb et al., IEEE TC 2013).  We use per-*bit* constants
+so flit width is a free parameter:
+
+* router traversal (buffering + crossbar + arbitration): ~0.35 pJ/bit/hop;
+* wireline traversal: ~1.2 pJ/bit/mm (65-nm global wire with repeaters);
+* wireless transmission (TX + RX): ~2.3 pJ/bit regardless of distance
+  (Deb et al. report 2.3 pJ/bit for the mm-wave transceiver pair).
+
+The crossover is what the WiNoC exploits: beyond one ~2.5 mm mesh hop the
+wire path costs more energy than one wireless transmission, so every
+long-range transfer moved onto a wireless shortcut saves energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.noc.topology import Link, LinkKind
+from repro.utils.units import PJ
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NocEnergyParams:
+    router_pj_per_bit: float = 0.35
+    wire_pj_per_bit_per_mm: float = 1.2
+    wireless_pj_per_bit: float = 2.3
+    #: Static power per switch (leakage + clock), scaled by V^2 at runtime.
+    switch_leakage_w: float = 4.0e-3
+
+    def __post_init__(self) -> None:
+        check_positive("router_pj_per_bit", self.router_pj_per_bit)
+        check_positive("wire_pj_per_bit_per_mm", self.wire_pj_per_bit_per_mm)
+        check_positive("wireless_pj_per_bit", self.wireless_pj_per_bit)
+        check_positive("switch_leakage_w", self.switch_leakage_w, allow_zero=True)
+
+
+class NocEnergyModel:
+    """Accumulates dynamic NoC energy per transfer.
+
+    Dynamic energy of moving *bits* along a path is the sum of a router
+    traversal per hop (plus the ejection router) and the link-specific
+    transport term.  Static energy is charged per switch over the elapsed
+    simulated time by :meth:`static_energy`.
+    """
+
+    def __init__(self, params: NocEnergyParams = NocEnergyParams()):
+        self.params = params
+        self.dynamic_joules = 0.0
+        self.bits_moved = 0.0
+        self.bit_hops = 0.0
+        self.wireless_bits = 0.0
+
+    def transfer_energy(self, links: Iterable[Link], bits: float) -> float:
+        """Energy (J) to move *bits* along *links*; also accumulates."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        params = self.params
+        energy_pj = 0.0
+        hops = 0
+        wireless_bits = 0.0
+        for link in links:
+            hops += 1
+            energy_pj += params.router_pj_per_bit * bits
+            if link.kind is LinkKind.WIRELESS:
+                energy_pj += params.wireless_pj_per_bit * bits
+                wireless_bits += bits
+            else:
+                energy_pj += params.wire_pj_per_bit_per_mm * link.length_mm * bits
+        # Ejection router at the destination.
+        energy_pj += params.router_pj_per_bit * bits
+        energy = energy_pj * PJ
+        self.dynamic_joules += energy
+        self.bits_moved += bits
+        self.bit_hops += bits * hops
+        self.wireless_bits += wireless_bits
+        return energy
+
+    def static_energy(
+        self, num_switches: int, elapsed_s: float, voltage_scale: float = 1.0
+    ) -> float:
+        """Leakage/clock energy of the switch fabric over *elapsed_s*."""
+        if elapsed_s < 0:
+            raise ValueError(f"elapsed_s must be >= 0, got {elapsed_s}")
+        return (
+            self.params.switch_leakage_w
+            * voltage_scale**2
+            * num_switches
+            * elapsed_s
+        )
+
+    @property
+    def average_hops(self) -> float:
+        if self.bits_moved == 0:
+            return 0.0
+        return self.bit_hops / self.bits_moved
+
+    @property
+    def wireless_fraction(self) -> float:
+        if self.bits_moved == 0:
+            return 0.0
+        return self.wireless_bits / self.bits_moved
+
+    def reset(self) -> None:
+        self.dynamic_joules = 0.0
+        self.bits_moved = 0.0
+        self.bit_hops = 0.0
+        self.wireless_bits = 0.0

@@ -1,0 +1,309 @@
+"""Contention-aware flow model of the NoC.
+
+The timing simulator needs, for millions of memory accesses and bulk
+key-value transfers, the latency of moving packets between switches under
+load.  Simulating every flit in Python is intractable, so the network is
+modeled at the *flow* level, the standard analytic approach for NoC
+design-space exploration:
+
+* Every (source, destination) pair uses one deterministic path (XY on the
+  mesh, weighted shortest path on the WiNoC).
+* During each execution phase the simulator registers the phase's traffic
+  as flows (bits/s); the model attributes them to link *directions* and
+  to shared wireless channels.
+* Per-hop latency = router pipeline (at the switch's VFI clock) + link
+  traversal (wire clocked by the slower adjacent domain, or wireless
+  propagation + token overhead) + an M/D/1-style queueing term driven by
+  the resource's utilization + a synchronizer penalty when a packet
+  crosses VFI clock domains.
+* End-to-end packet latency = per-hop head latency summed over the path
+  + payload serialization at the path's raw bottleneck line rate (the
+  queueing term already accounts for contention; degrading the
+  serialization rate too would double-count it).  Bulk *streams* instead
+  see the utilization-degraded effective capacity
+  (:meth:`FlowNetworkModel.path_capacity`).
+
+VFI clocking matters twice: lowering a cluster's V/F slows its routers
+(raising inter-cluster latency through it), and the mesh baseline pays it
+on every multi-hop path -- which is exactly the effect the paper's WiNoC
+sidesteps with single-hop long-range links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.noc.energy import NocEnergyModel, NocEnergyParams
+from repro.noc.routing import RoutingTable
+from repro.noc.topology import Link, LinkKind, Topology
+from repro.noc.wireless import WirelessSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Router/link microarchitecture parameters (paper Sec. 7)."""
+
+    flit_bits: int = 32
+    router_pipeline_cycles: int = 4
+    link_traversal_cycles: int = 1
+    #: Mixed-clock FIFO penalty for crossing VFI domains.
+    domain_sync_cycles: int = 4
+    #: Utilization cap: beyond this the queueing term saturates.
+    max_utilization: float = 0.95
+    #: Port buffer depths (paper Sec. 7): wired ports hold 2 flits, WI
+    #: ports 8.  A finite buffer bounds how long a flit can wait at a hop
+    #: (M/D/1/K behaviour): at most ``depth - 1`` service times queue in
+    #: front of it before backpressure stalls the upstream router instead.
+    wire_buffer_flits: int = 2
+    wi_buffer_flits: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("flit_bits", self.flit_bits)
+        check_positive("router_pipeline_cycles", self.router_pipeline_cycles)
+        check_positive("link_traversal_cycles", self.link_traversal_cycles)
+        check_positive("domain_sync_cycles", self.domain_sync_cycles, allow_zero=True)
+        check_positive("wire_buffer_flits", self.wire_buffer_flits)
+        check_positive("wi_buffer_flits", self.wi_buffer_flits)
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError(
+                f"max_utilization must be in (0,1), got {self.max_utilization}"
+            )
+
+
+class NetworkLoad:
+    """Traffic bookkeeping: bits/s per directed link and per channel."""
+
+    def __init__(self, num_links: int, num_channels: int):
+        self.link_load = np.zeros((num_links, 2))
+        self.channel_load = np.zeros(max(num_channels, 1))
+
+    def clear(self) -> None:
+        self.link_load[:] = 0.0
+        self.channel_load[:] = 0.0
+
+
+class FlowNetworkModel:
+    """Latency/energy model of one interconnect instance.
+
+    Parameters
+    ----------
+    topology, routing:
+        The switch network and its deterministic routing.
+    clusters:
+        VFI cluster id per node (all zeros for a non-VFI platform).
+    cluster_frequencies_hz:
+        Clock of each cluster's switches (indexed by cluster id).
+    cluster_voltages:
+        Supply voltage per cluster (for static-power scaling).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingTable,
+        clusters: Sequence[int],
+        cluster_frequencies_hz: Sequence[float],
+        cluster_voltages: Optional[Sequence[float]] = None,
+        params: NocParams = NocParams(),
+        wireless: WirelessSpec = WirelessSpec(),
+        energy_params: NocEnergyParams = NocEnergyParams(),
+        bulk_routing: Optional[RoutingTable] = None,
+    ):
+        if len(clusters) != topology.num_nodes:
+            raise ValueError("clusters length does not match topology")
+        self.topology = topology
+        self.routing = routing
+        self.clusters = list(clusters)
+        self.cluster_frequencies_hz = list(cluster_frequencies_hz)
+        for cid in self.clusters:
+            if not 0 <= cid < len(self.cluster_frequencies_hz):
+                raise ValueError(f"cluster {cid} has no frequency assigned")
+        self.cluster_voltages = (
+            list(cluster_voltages)
+            if cluster_voltages is not None
+            else [1.0] * len(self.cluster_frequencies_hz)
+        )
+        self.params = params
+        self.wireless = wireless
+        self.energy = NocEnergyModel(energy_params)
+        self._link_index: Dict[frozenset, int] = {
+            link.key: index for index, link in enumerate(topology.links)
+        }
+        self.load = NetworkLoad(len(topology.links), wireless.num_channels)
+        self._node_freq = np.array(
+            [self.cluster_frequencies_hz[cid] for cid in self.clusters]
+        )
+        #: Routing for bulk (streaming) transfers.  Token-MAC wireless
+        #: channels are latency shortcuts, not bandwidth: a 16 Gbps shared
+        #: medium is much slower than a wormhole wire path for large
+        #: streams, so bulk key-value traffic uses a wire-preferring route
+        #: (message-class routing, as with protocol-class virtual
+        #: channels).  Defaults to the latency routing (mesh platforms).
+        self.bulk_routing = bulk_routing or routing
+        # Path caches: (src, dst) -> (links, directions)
+        self._path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
+        self._bulk_path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # flow registration
+    # ------------------------------------------------------------------ #
+
+    def reset_flows(self) -> None:
+        self.load.clear()
+
+    def add_flow(
+        self, src: int, dst: int, bits_per_s: float, bulk: bool = False
+    ) -> None:
+        """Register sustained traffic from *src* to *dst*."""
+        if bits_per_s < 0:
+            raise ValueError(f"bits_per_s must be >= 0, got {bits_per_s}")
+        if src == dst or bits_per_s == 0:
+            return
+        for link, direction in zip(*self._path(src, dst, bulk=bulk)):
+            index = self._link_index[link.key]
+            self.load.link_load[index, direction] += bits_per_s
+            if link.kind is LinkKind.WIRELESS:
+                self.load.channel_load[link.channel] += bits_per_s
+
+    # ------------------------------------------------------------------ #
+    # latency
+    # ------------------------------------------------------------------ #
+
+    def latency(
+        self, src: int, dst: int, payload_bits: float, bulk: bool = False
+    ) -> float:
+        """Latency (s) of one packet of *payload_bits* from *src* to *dst*."""
+        if payload_bits < 0:
+            raise ValueError(f"payload_bits must be >= 0, got {payload_bits}")
+        if src == dst:
+            # Local port: one router traversal.
+            return self.params.router_pipeline_cycles / self._node_freq[src]
+        params = self.params
+        head = 0.0
+        bottleneck = np.inf
+        links, directions = self._path(src, dst, bulk=bulk)
+        node = src
+        for link, direction in zip(links, directions):
+            peer = link.other(node)
+            f_node = self._node_freq[node]
+            head += params.router_pipeline_cycles / f_node
+            index = self._link_index[link.key]
+            if link.kind is LinkKind.WIRELESS:
+                capacity = self.wireless.bandwidth_bps
+                rho = min(
+                    self.load.channel_load[link.channel] / capacity,
+                    params.max_utilization,
+                )
+                service = params.flit_bits / capacity
+                head += self.wireless.propagation_s + self.wireless.token_overhead_s
+                buffer_flits = params.wi_buffer_flits
+            else:
+                f_link = min(f_node, self._node_freq[peer])
+                capacity = params.flit_bits * f_link / params.link_traversal_cycles
+                rho = min(
+                    self.load.link_load[index, direction] / capacity,
+                    params.max_utilization,
+                )
+                service = params.link_traversal_cycles / f_link
+                head += service
+                buffer_flits = params.wire_buffer_flits
+            # M/D/1 waiting time, bounded by the port's finite buffer
+            # (at most depth-1 flits can be queued in front).
+            wait = service * rho / (2.0 * (1.0 - rho))
+            head += min(wait, (buffer_flits - 1) * service)
+            if self.clusters[node] != self.clusters[peer]:
+                head += params.domain_sync_cycles / min(
+                    f_node, self._node_freq[peer]
+                )
+            bottleneck = min(bottleneck, capacity)
+            node = peer
+        # Ejection pipeline at the destination router.
+        head += params.router_pipeline_cycles / self._node_freq[dst]
+        return head + payload_bits / bottleneck
+
+    def latency_matrix(self, payload_bits: float) -> np.ndarray:
+        """All-pairs packet latency under the current load."""
+        n = self.topology.num_nodes
+        matrix = np.zeros((n, n))
+        for src in range(n):
+            for dst in range(n):
+                matrix[src, dst] = self.latency(src, dst, payload_bits)
+        return matrix
+
+    def path_capacity(self, src: int, dst: int, bulk: bool = False) -> float:
+        """Effective bottleneck throughput (bits/s) of the (src,dst) path."""
+        if src == dst:
+            return np.inf
+        params = self.params
+        bottleneck = np.inf
+        links, directions = self._path(src, dst, bulk=bulk)
+        node = src
+        for link, direction in zip(links, directions):
+            peer = link.other(node)
+            index = self._link_index[link.key]
+            if link.kind is LinkKind.WIRELESS:
+                capacity = self.wireless.bandwidth_bps
+                rho = min(
+                    self.load.channel_load[link.channel] / capacity,
+                    params.max_utilization,
+                )
+            else:
+                f_link = min(self._node_freq[node], self._node_freq[peer])
+                capacity = params.flit_bits * f_link / params.link_traversal_cycles
+                rho = min(
+                    self.load.link_load[index, direction] / capacity,
+                    params.max_utilization,
+                )
+            bottleneck = min(bottleneck, capacity * (1.0 - rho))
+            node = peer
+        return bottleneck
+
+    # ------------------------------------------------------------------ #
+    # energy / statistics
+    # ------------------------------------------------------------------ #
+
+    def record_transfer(
+        self, src: int, dst: int, bits: float, bulk: bool = False
+    ) -> float:
+        """Account the energy of moving *bits* from *src* to *dst*."""
+        if src == dst:
+            return 0.0
+        links, _ = self._path(src, dst, bulk=bulk)
+        return self.energy.transfer_energy(links, bits)
+
+    def static_energy(self, elapsed_s: float) -> float:
+        """Switch leakage over *elapsed_s*, per-cluster voltage scaled."""
+        nominal_v = max(self.cluster_voltages)
+        total = 0.0
+        for node in range(self.topology.num_nodes):
+            scale = self.cluster_voltages[self.clusters[node]] / nominal_v
+            total += self.energy.static_energy(1, elapsed_s, scale)
+        return total
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return self.routing.hop_count(src, dst)
+
+    # ------------------------------------------------------------------ #
+
+    def _path(
+        self, src: int, dst: int, bulk: bool = False
+    ) -> Tuple[List[Link], List[int]]:
+        cache = self._bulk_path_cache if bulk else self._path_cache
+        key = (src, dst)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        routing = self.bulk_routing if bulk else self.routing
+        nodes = routing.path(src, dst)
+        links: List[Link] = []
+        directions: List[int] = []
+        for a, b in zip(nodes, nodes[1:]):
+            link = self.topology.find_link(a, b)
+            links.append(link)
+            directions.append(0 if a == link.a else 1)
+        cache[key] = (links, directions)
+        return links, directions

@@ -1,0 +1,183 @@
+"""Routing: dimension-ordered XY for the mesh, weighted shortest-path
+tables for irregular (small-world / wireless) topologies.
+
+Both wireline and wireless links use wormhole switching (paper Sec. 7);
+routing is deterministic, so each (source, destination) pair maps to one
+fixed path -- which is what lets the flow model attribute traffic to
+links exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.noc.topology import GridGeometry, Link, LinkKind, Topology
+
+
+def xy_route(geometry: GridGeometry, src: int, dst: int) -> List[int]:
+    """Dimension-ordered (X then Y) mesh route, inclusive of endpoints."""
+    sx, sy = geometry.coordinates(src)
+    dx, dy = geometry.coordinates(dst)
+    path = [src]
+    x, y = sx, sy
+    step = 1 if dx > x else -1
+    while x != dx:
+        x += step
+        path.append(geometry.node_at(x, y))
+    step = 1 if dy > y else -1
+    while y != dy:
+        y += step
+        path.append(geometry.node_at(x, y))
+    return path
+
+
+class RoutingTable:
+    """All-pairs deterministic paths over a topology.
+
+    Paths are materialized lazily from a Dijkstra predecessor matrix and
+    cached; ``path(src, dst)`` returns the node sequence inclusive of both
+    endpoints (``[src]`` when ``src == dst``).
+    """
+
+    def __init__(self, topology: Topology, predecessors: np.ndarray):
+        self.topology = topology
+        self._predecessors = predecessors
+        self._cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def path(self, src: int, dst: int) -> Tuple[int, ...]:
+        if src == dst:
+            return (src,)
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        nodes = [dst]
+        node = dst
+        while node != src:
+            node = int(self._predecessors[src, node])
+            if node < 0:
+                raise RuntimeError(f"no route from {src} to {dst}")
+            nodes.append(node)
+        nodes.reverse()
+        path = tuple(nodes)
+        self._cache[key] = path
+        return path
+
+    def links_on_path(self, src: int, dst: int) -> List[Link]:
+        path = self.path(src, dst)
+        return [
+            self.topology.find_link(a, b) for a, b in zip(path, path[1:])
+        ]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.path(src, dst)) - 1
+
+    def hop_matrix(self) -> np.ndarray:
+        n = self.topology.num_nodes
+        hops = np.zeros((n, n), dtype=int)
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    hops[src, dst] = self.hop_count(src, dst)
+        return hops
+
+
+#: Grid pitch used to normalize wire lengths in routing weights.
+NOMINAL_PITCH_MM = 2.5
+
+
+def default_link_weight(link: Link) -> float:
+    """Nominal per-hop routing weight.
+
+    A wire hop costs a router traversal (0.6) plus a wire term scaled by
+    its physical length (0.4 per pitch): hop-minimal routing alone would
+    happily take two long diagonal links covering far more wire
+    millimeters than the Manhattan distance, which costs both energy
+    (pJ/bit/mm) and repeater latency -- so the weight penalizes length,
+    as deterministic routers over express channels do.  A unit-pitch wire
+    keeps weight 1.0, so mesh routing is unchanged.
+
+    A wireless hop costs 1.2: a router traversal plus token/propagation
+    overhead but no distance term, which is exactly why wireless wins for
+    long-range transfers (paper Sec. 6 and the energy crossover of
+    :mod:`repro.noc.energy`).
+    """
+    if link.kind is LinkKind.WIRELESS:
+        return 1.2
+    return 0.6 + 0.4 * (link.length_mm / NOMINAL_PITCH_MM)
+
+
+def build_routing_table(
+    topology: Topology,
+    weight: Optional[Callable[[Link], float]] = None,
+) -> RoutingTable:
+    """Weighted shortest-path routing table (deterministic tie-breaks)."""
+    weight = weight or default_link_weight
+    n = topology.num_nodes
+    rows, cols, data = [], [], []
+    for link in topology.links:
+        w = weight(link)
+        if w <= 0:
+            raise ValueError(f"link weight must be > 0, got {w} for {link}")
+        # Deterministic micro-perturbation breaks ties identically across
+        # runs and platforms (no dict-order dependence).
+        w = w * (1.0 + 1e-9 * ((link.a * 131 + link.b * 17) % 97))
+        rows.extend((link.a, link.b))
+        cols.extend((link.b, link.a))
+        data.extend((w, w))
+    graph = csr_matrix((data, (rows, cols)), shape=(n, n))
+    _dist, predecessors = dijkstra(
+        graph, directed=False, return_predecessors=True
+    )
+    if np.isinf(_dist).any():
+        raise ValueError(f"topology {topology.name!r} is not connected")
+    return RoutingTable(topology, predecessors)
+
+
+def build_mesh_routing(topology: Topology) -> "MeshRoutingTable":
+    """XY routing for a mesh topology."""
+    return MeshRoutingTable(topology)
+
+
+class MeshRoutingTable(RoutingTable):
+    """Dimension-ordered XY routing (the mesh baseline's deterministic
+    router), exposed through the same interface as :class:`RoutingTable`."""
+
+    def __init__(self, topology: Topology):
+        # No predecessor matrix needed; paths come from XY geometry.
+        super().__init__(topology, predecessors=np.empty((0, 0)))
+
+    def path(self, src: int, dst: int) -> Tuple[int, ...]:
+        if src == dst:
+            return (src,)
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(xy_route(self.topology.geometry, src, dst))
+            self._cache[key] = cached
+        return cached
+
+
+def average_weighted_hops(
+    table: RoutingTable, traffic: np.ndarray
+) -> float:
+    """Traffic-weighted mean hop count (the SA placement objective)."""
+    total_traffic = 0.0
+    total_hops = 0.0
+    n = table.topology.num_nodes
+    if traffic.shape != (n, n):
+        raise ValueError(f"traffic matrix {traffic.shape} does not match {n} nodes")
+    for src in range(n):
+        for dst in range(n):
+            volume = traffic[src, dst]
+            if src == dst or volume <= 0:
+                continue
+            total_traffic += volume
+            total_hops += volume * table.hop_count(src, dst)
+    if total_traffic == 0:
+        return 0.0
+    return total_hops / total_traffic

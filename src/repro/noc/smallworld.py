@@ -1,0 +1,280 @@
+"""Small-world wireline topology construction (paper Sec. 5).
+
+The WiNoC's wireline fabric follows a power-law wiring-cost model
+(Petermann & De Los Rios, 2005): the probability of a link between two
+switches decays with their physical separation, ``P(a, b) ~ d(a, b)^-alpha``.
+The paper constrains the construction for VFI platforms:
+
+* the average switch degree ``<k>`` is 4, so the WiNoC "does not introduce
+  any additional switch overhead with respect to a conventional mesh";
+* a hard per-switch port cap ``kmax`` keeps switches realistic;
+* ``<k>`` is split into ``<k_intra>`` (links inside each VFI cluster,
+  guaranteeing cluster connectivity) and ``<k_inter>`` (links between
+  clusters);
+* the number of inter-cluster links between clusters *p* and *q* is
+  proportional to the share of inter-cluster traffic the (p, q) pair
+  carries.
+
+The evaluated configuration is ``(k_intra, k_inter) = (3, 1)``; the
+``(2, 2)`` alternative is kept for the Sec. 7.2 sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.noc.topology import GridGeometry, Link, LinkKind, Topology
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SmallWorldConfig:
+    """Parameters of the constrained small-world construction.
+
+    Separate wiring-cost exponents govern the two link populations:
+    intra-cluster links are strongly distance-penalized (``alpha_intra``)
+    so each island keeps mesh-like local connectivity for its
+    neighbourhood traffic, while inter-cluster links use a weaker penalty
+    (``alpha_inter``) so they act as the long-range shortcuts that give
+    the topology its small-world character.
+    """
+
+    k_intra: float = 3.0
+    k_inter: float = 1.0
+    kmax: int = 7
+    alpha_intra: float = 3.0
+    alpha_inter: float = 1.8
+
+    def __post_init__(self) -> None:
+        check_positive("k_intra", self.k_intra)
+        check_positive("k_inter", self.k_inter)
+        check_positive("kmax", self.kmax)
+        check_positive("alpha_intra", self.alpha_intra)
+        check_positive("alpha_inter", self.alpha_inter)
+
+    @property
+    def alpha(self) -> float:
+        """Backward-compatible average exponent (reporting only)."""
+        return 0.5 * (self.alpha_intra + self.alpha_inter)
+
+    @property
+    def k_total(self) -> float:
+        return self.k_intra + self.k_inter
+
+
+def build_small_world(
+    geometry: GridGeometry,
+    clusters: Sequence[int],
+    inter_cluster_traffic: Optional[np.ndarray] = None,
+    config: SmallWorldConfig = SmallWorldConfig(),
+    seed: SeedLike = None,
+    name: str = "small-world",
+) -> Topology:
+    """Build the VFI-constrained small-world wireline topology.
+
+    Parameters
+    ----------
+    geometry:
+        Die layout (8x8 for the paper's platform).
+    clusters:
+        Cluster id per node (``clusters[node] -> cluster``).
+    inter_cluster_traffic:
+        Symmetric ``m x m`` matrix of traffic between clusters; link counts
+        between cluster pairs are allocated proportionally.  ``None`` means
+        uniform allocation.
+    """
+    if len(clusters) != geometry.num_nodes:
+        raise ValueError(
+            f"clusters has {len(clusters)} entries for {geometry.num_nodes} nodes"
+        )
+    rng = derive_rng(seed)
+    cluster_ids = sorted(set(clusters))
+    members: Dict[int, List[int]] = {
+        cid: [n for n, c in enumerate(clusters) if c == cid] for cid in cluster_ids
+    }
+    for cid, nodes in members.items():
+        if len(nodes) < 2:
+            raise ValueError(f"cluster {cid} has fewer than 2 nodes")
+
+    degrees = np.zeros(geometry.num_nodes, dtype=int)
+    links: List[Link] = []
+    existing: set = set()
+
+    def try_add(a: int, b: int) -> bool:
+        key = frozenset((a, b))
+        if a == b or key in existing:
+            return False
+        if degrees[a] >= config.kmax or degrees[b] >= config.kmax:
+            return False
+        links.append(Link(a, b, LinkKind.WIRE, geometry.distance_mm(a, b)))
+        existing.add(key)
+        degrees[a] += 1
+        degrees[b] += 1
+        return True
+
+    # ---------------- intra-cluster construction ---------------------- #
+    for cid in cluster_ids:
+        nodes = members[cid]
+        target_links = int(round(len(nodes) * config.k_intra / 2.0))
+        if target_links < len(nodes) - 1:
+            raise ValueError(
+                f"k_intra={config.k_intra} cannot connect a cluster of "
+                f"{len(nodes)} nodes (needs >= {2 * (len(nodes) - 1) / len(nodes):.3f})"
+            )
+        # Spanning tree first (guaranteed connectivity), power-law biased.
+        order = list(nodes)
+        rng.shuffle(order)
+        connected = [order[0]]
+        for node in order[1:]:
+            weights = np.array(
+                [
+                    _wiring_weight(geometry, node, peer, config.alpha_intra)
+                    for peer in connected
+                ]
+            )
+            for peer in _weighted_order(connected, weights, rng):
+                if try_add(node, peer):
+                    break
+            else:
+                raise RuntimeError(
+                    f"could not attach node {node} within cluster {cid} "
+                    f"(kmax={config.kmax} too tight)"
+                )
+            connected.append(node)
+        # Remaining intra links by power-law sampling.
+        _add_sampled_links(
+            geometry,
+            [(a, b) for a, b in itertools.combinations(nodes, 2)],
+            target_links - (len(nodes) - 1),
+            config.alpha_intra,
+            rng,
+            try_add,
+        )
+
+    # ---------------- inter-cluster construction ---------------------- #
+    total_inter = int(round(geometry.num_nodes * config.k_inter / 2.0))
+    pair_list = list(itertools.combinations(cluster_ids, 2))
+    quotas = _inter_cluster_quotas(
+        pair_list, cluster_ids, inter_cluster_traffic, total_inter
+    )
+    for (p, q), quota in quotas.items():
+        candidates = [(a, b) for a in members[p] for b in members[q]]
+        added = _add_sampled_links(
+            geometry, candidates, quota, config.alpha_inter, rng, try_add
+        )
+        if added < quota:
+            # Port caps can exhaust a pair; spill the remainder anywhere.
+            _add_sampled_links(
+                geometry,
+                [
+                    (a, b)
+                    for a, b in itertools.combinations(range(geometry.num_nodes), 2)
+                    if clusters[a] != clusters[b]
+                ],
+                quota - added,
+                config.alpha_inter,
+                rng,
+                try_add,
+            )
+
+    topology = Topology(name=name, geometry=geometry, links=links)
+    if not topology.is_connected():
+        raise RuntimeError("small-world construction produced a disconnected network")
+    return topology
+
+
+def _wiring_weight(geometry: GridGeometry, a: int, b: int, alpha: float) -> float:
+    distance = max(geometry.distance_mm(a, b), 1e-9)
+    return distance**-alpha
+
+
+def _weighted_order(
+    items: Sequence[int], weights: np.ndarray, rng: np.random.Generator
+) -> List[int]:
+    """Items in random order biased by weights (without replacement)."""
+    remaining = list(items)
+    remaining_weights = np.array(weights, dtype=float)
+    ordered: List[int] = []
+    while remaining:
+        probabilities = remaining_weights / remaining_weights.sum()
+        index = int(rng.choice(len(remaining), p=probabilities))
+        ordered.append(remaining.pop(index))
+        remaining_weights = np.delete(remaining_weights, index)
+    return ordered
+
+
+def _add_sampled_links(
+    geometry: GridGeometry,
+    candidates: List[Tuple[int, int]],
+    count: int,
+    alpha: float,
+    rng: np.random.Generator,
+    try_add,
+) -> int:
+    """Sample *count* links from *candidates* with power-law probability."""
+    if count <= 0 or not candidates:
+        return 0
+    weights = np.array(
+        [_wiring_weight(geometry, a, b, alpha) for a, b in candidates]
+    )
+    added = 0
+    for index in map(int, _sample_order(weights, rng)):
+        if added >= count:
+            break
+        a, b = candidates[index]
+        if try_add(a, b):
+            added += 1
+    return added
+
+
+def _sample_order(weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Random permutation of indices biased by weights (Gumbel trick)."""
+    gumbel = rng.gumbel(size=len(weights))
+    return np.argsort(-(np.log(np.maximum(weights, 1e-300)) + gumbel))
+
+
+def _inter_cluster_quotas(
+    pair_list: List[Tuple[int, int]],
+    cluster_ids: List[int],
+    traffic: Optional[np.ndarray],
+    total_links: int,
+) -> Dict[Tuple[int, int], int]:
+    """Largest-remainder allocation of inter-cluster links to cluster pairs.
+
+    "The proportion of links allocated between two clusters is directly
+    related to the proportion of inter-cluster traffic between the two
+    clusters in total inter-cluster traffic" (paper Sec. 5).  Every pair
+    gets at least one link so the cluster graph stays complete.
+    """
+    if total_links < len(pair_list):
+        raise ValueError(
+            f"{total_links} inter-cluster links cannot cover "
+            f"{len(pair_list)} cluster pairs"
+        )
+    if traffic is None:
+        shares = np.ones(len(pair_list))
+    else:
+        traffic = np.asarray(traffic, dtype=float)
+        index_of = {cid: i for i, cid in enumerate(cluster_ids)}
+        shares = np.array(
+            [
+                traffic[index_of[p], index_of[q]] + traffic[index_of[q], index_of[p]]
+                for p, q in pair_list
+            ]
+        )
+        if shares.sum() <= 0:
+            shares = np.ones(len(pair_list))
+    # Reserve one link per pair, distribute the rest proportionally.
+    remaining = total_links - len(pair_list)
+    raw = shares / shares.sum() * remaining
+    base = np.floor(raw).astype(int)
+    leftover = remaining - int(base.sum())
+    order = np.argsort(-(raw - base))
+    for index in order[:leftover]:
+        base[index] += 1
+    return {pair: 1 + int(base[i]) for i, pair in enumerate(pair_list)}

@@ -1,0 +1,121 @@
+"""ASCII visualization of topologies and VFI layouts.
+
+Terminal-friendly renderings for quick inspection of generated fabrics:
+the die grid with island ids and wireless-interface markers, the V/F map
+of a design, and the wire-length histogram of a small-world fabric.
+Used by the CLI (``python -m repro topology``) and the examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.noc.topology import LinkKind, Topology
+from repro.noc.wireless import channels_of
+
+if TYPE_CHECKING:  # avoid a circular import (vfi.islands uses noc.topology)
+    from repro.vfi.islands import VfPoint, VfiLayout
+
+
+def render_die_map(
+    topology: Topology,
+    clusters: Optional[Sequence[int]] = None,
+) -> str:
+    """Grid view: island id per tile, ``*`` marking wireless interfaces.
+
+    Example cell: ``2*`` is a cluster-2 tile hosting a WI.
+    """
+    geometry = topology.geometry
+    wi_nodes = set()
+    for link in topology.wireless_links():
+        wi_nodes.update((link.a, link.b))
+    rows = []
+    for row in range(geometry.rows):
+        cells = []
+        for column in range(geometry.columns):
+            node = geometry.node_at(column, row)
+            island = str(clusters[node]) if clusters is not None else "."
+            marker = "*" if node in wi_nodes else " "
+            cells.append(f"{island}{marker}")
+        rows.append(" ".join(cells))
+    legend = "legend: digit = island id, * = wireless interface"
+    return "\n".join(rows + [legend])
+
+
+def render_vf_map(layout: "VfiLayout", points: Sequence["VfPoint"]) -> str:
+    """Grid view of per-tile supply voltage (the island V/F floorplan)."""
+    if len(points) != layout.num_clusters:
+        raise ValueError(
+            f"{len(points)} V/F points for {layout.num_clusters} islands"
+        )
+    geometry = layout.geometry
+    rows = []
+    for row in range(geometry.rows):
+        cells = []
+        for column in range(geometry.columns):
+            node = geometry.node_at(column, row)
+            point = points[layout.cluster_of(node)]
+            cells.append(f"{point.voltage_v:.1f}")
+        rows.append(" ".join(cells))
+    labels = ", ".join(
+        f"island {island}: {point.label}" for island, point in enumerate(points)
+    )
+    return "\n".join(rows + [labels])
+
+
+def render_degree_map(topology: Topology) -> str:
+    """Grid view of switch degrees (excluding the local core port)."""
+    geometry = topology.geometry
+    rows = []
+    for row in range(geometry.rows):
+        cells = [
+            str(topology.degree(geometry.node_at(column, row)))
+            for column in range(geometry.columns)
+        ]
+        rows.append(" ".join(cells))
+    rows.append(
+        f"average degree {topology.average_degree():.2f}, "
+        f"links {len(topology.links)}"
+    )
+    return "\n".join(rows)
+
+
+def render_link_histogram(topology: Topology, bucket_mm: float = 2.5) -> str:
+    """Wire-length histogram plus the wireless channel inventory."""
+    if bucket_mm <= 0:
+        raise ValueError(f"bucket_mm must be > 0, got {bucket_mm}")
+    buckets: Counter = Counter()
+    for link in topology.links:
+        if link.kind is LinkKind.WIRE:
+            buckets[int(link.length_mm // bucket_mm)] += 1
+    lines = ["wire length histogram:"]
+    for bucket in sorted(buckets):
+        lo, hi = bucket * bucket_mm, (bucket + 1) * bucket_mm
+        count = buckets[bucket]
+        lines.append(f"  {lo:5.1f}-{hi:5.1f} mm | {'#' * count} {count}")
+    channels = channels_of(topology)
+    if channels:
+        lines.append("wireless channels:")
+        for index, channel in channels.items():
+            lines.append(f"  channel {index}: WIs at {channel.wi_nodes}")
+    else:
+        lines.append("no wireless links")
+    return "\n".join(lines)
+
+
+def describe_topology(
+    topology: Topology, clusters: Optional[Sequence[int]] = None
+) -> str:
+    """Complete textual description (die map + degrees + links)."""
+    sections = [
+        f"topology: {topology.name} "
+        f"({topology.geometry.columns}x{topology.geometry.rows})",
+        render_die_map(topology, clusters),
+        "switch degrees:",
+        render_degree_map(topology),
+        render_link_histogram(topology),
+    ]
+    return "\n\n".join(sections)

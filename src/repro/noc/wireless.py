@@ -1,0 +1,156 @@
+"""Wireless overlay: mm-wave interfaces, channels and the token MAC.
+
+Following the paper (Sec. 6) and its companion work (Deb et al., IEEE TC
+2013; Wettin et al., DATE 2013):
+
+* three non-overlapping mm-wave channels can coexist on chip;
+* the optimal wireless-interface (WI) count for a 64-core system is 12,
+  so each of the four VFI clusters hosts three WIs -- one per channel;
+* WIs sharing a channel arbitrate with a token: a WI may transmit only
+  while holding the channel token, so each channel is a serialized shared
+  medium with a token-rotation overhead;
+* WI ports carry deeper (8-flit) buffers than wired ports (2 flits) to
+  hide token-wait latency.
+
+A wireless "link" in the topology connects two WIs tuned to the same
+channel; all links of one channel share that channel's bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.noc.topology import Link, LinkKind, Topology
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class WirelessSpec:
+    """Physical parameters of the wireless overlay."""
+
+    num_channels: int = 3
+    #: Channel data rate; mm-wave OOK transceivers in the companion work
+    #: sustain 16 Gbps per channel.
+    bandwidth_bps: float = 16e9
+    #: One-way over-the-air + transceiver latency.
+    propagation_s: float = 1.0e-9
+    #: Average token-acquisition overhead per packet (token rotation
+    #: among the channel's WIs).
+    token_overhead_s: float = 2.0e-9
+    #: Buffer depth (flits) at WI ports; wired ports use 2 flits.
+    wi_buffer_flits: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("num_channels", self.num_channels)
+        check_positive("bandwidth_bps", self.bandwidth_bps)
+        check_positive("propagation_s", self.propagation_s, allow_zero=True)
+        check_positive("token_overhead_s", self.token_overhead_s, allow_zero=True)
+        check_positive("wi_buffer_flits", self.wi_buffer_flits)
+
+
+@dataclass
+class WirelessChannel:
+    """One shared mm-wave channel and the WIs tuned to it."""
+
+    index: int
+    wi_nodes: List[int]
+
+    def link_pairs(self) -> List[tuple]:
+        return list(itertools.combinations(sorted(self.wi_nodes), 2))
+
+
+def assign_wireless_links(
+    base: Topology,
+    placement: Dict[int, List[int]],
+    spec: WirelessSpec = WirelessSpec(),
+    name: str = "winoc",
+) -> Topology:
+    """Overlay wireless links on *base* according to *placement*.
+
+    ``placement`` maps channel index -> WI node list (one node per VFI
+    cluster in the paper's configuration).  Every pair of same-channel WIs
+    becomes a single-hop wireless link; the flow model enforces the shared
+    per-channel capacity.
+    """
+    if len(placement) != spec.num_channels:
+        raise ValueError(
+            f"placement covers {len(placement)} channels, "
+            f"spec has {spec.num_channels}"
+        )
+    wireless: List[Link] = []
+    seen_nodes: set = set()
+    for channel_index, nodes in sorted(placement.items()):
+        if not 0 <= channel_index < spec.num_channels:
+            raise ValueError(f"channel index {channel_index} out of range")
+        if len(nodes) < 2:
+            raise ValueError(
+                f"channel {channel_index} has {len(nodes)} WIs; needs >= 2"
+            )
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"channel {channel_index} repeats a WI node")
+        overlap = seen_nodes.intersection(nodes)
+        if overlap:
+            raise ValueError(
+                f"nodes {sorted(overlap)} carry more than one WI; each switch "
+                "gets at most one wireless port"
+            )
+        seen_nodes.update(nodes)
+        channel = WirelessChannel(channel_index, list(nodes))
+        for a, b in channel.link_pairs():
+            if any(link.other(a) == b for link in base.adjacency()[a]):
+                # A direct wire already joins this WI pair; the router
+                # would always prefer the 1-hop wire (lower weight), so a
+                # parallel wireless link would never carry traffic.
+                continue
+            wireless.append(
+                Link(
+                    a,
+                    b,
+                    LinkKind.WIRELESS,
+                    length_mm=base.geometry.distance_mm(a, b),
+                    channel=channel_index,
+                )
+            )
+    return base.with_links(wireless, name=name)
+
+
+def channels_of(topology: Topology) -> Dict[int, WirelessChannel]:
+    """Recover channel membership from a topology's wireless links."""
+    nodes_by_channel: Dict[int, set] = {}
+    for link in topology.wireless_links():
+        nodes_by_channel.setdefault(link.channel, set()).update((link.a, link.b))
+    return {
+        index: WirelessChannel(index, sorted(nodes))
+        for index, nodes in sorted(nodes_by_channel.items())
+    }
+
+
+def total_wireless_interfaces(topology: Topology) -> int:
+    nodes = set()
+    for link in topology.wireless_links():
+        nodes.update((link.a, link.b))
+    return len(nodes)
+
+
+def validate_paper_overlay(
+    topology: Topology, clusters: Sequence[int], spec: WirelessSpec
+) -> None:
+    """Check the paper's 64-core overlay invariants: 12 WIs, 3 per cluster,
+    each cluster hosting one WI per channel."""
+    channels = channels_of(topology)
+    if len(channels) != spec.num_channels:
+        raise ValueError(
+            f"{len(channels)} channels in topology, expected {spec.num_channels}"
+        )
+    wi_total = total_wireless_interfaces(topology)
+    expected = spec.num_channels * len(set(clusters))
+    if wi_total != expected:
+        raise ValueError(f"{wi_total} WIs in topology, expected {expected}")
+    for index, channel in channels.items():
+        channel_clusters = [clusters[node] for node in channel.wi_nodes]
+        if len(set(channel_clusters)) != len(channel_clusters):
+            raise ValueError(
+                f"channel {index} places two WIs in one cluster: {channel.wi_nodes}"
+            )

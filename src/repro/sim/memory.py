@@ -1,0 +1,210 @@
+"""Memory-system model: S-NUCA L2 banks, directory traffic, DRAM.
+
+Every L1 miss becomes NoC traffic (paper Sec. 7: MOESI_CMP_directory with
+a 512 KB L2 bank behind every core):
+
+* a control packet from the requesting core to the home L2 bank (plus
+  the directory's extra control messages, folded in as a multiplier);
+* a data packet (64-byte line) back to the requester;
+* on an L2 miss, an additional round trip from the bank to its nearest
+  memory controller plus the DRAM access time.
+
+Message classes use different routes (separate request/response virtual
+networks, as directory protocols require for deadlock freedom anyway):
+small *control* packets take the latency-optimal class, where a wireless
+hop is a win; 17-flit *data* responses take the wire-preferring bulk
+class, because serializing a cache line through a shared 16 Gbps token
+channel would cost more than the hops it saves.
+
+The home-bank distribution is where application *locality* enters: with
+probability ``locality`` an access hits the core's own bank (private
+data, near-core sharing -- LR's behaviour), otherwise the
+address-interleaved uniform S-NUCA distribution applies (WC/Kmeans's
+distant key traffic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.noc.dense import DenseLatencyModel, PairwiseEnergy
+from repro.noc.packets import control_bits, data_bits
+from repro.sim.platform import Platform
+from repro.utils.validation import check_probability
+
+
+class MemorySystem:
+    """Latency/energy/flow accounting for the cache hierarchy."""
+
+    def __init__(self, platform: Platform, locality: float):
+        check_probability("locality", locality)
+        self.platform = platform
+        self.locality = locality
+        n = platform.num_cores
+        self.num_nodes = n
+        # Home-bank probability matrix.  S-NUCA interleaves cache lines by
+        # address, so the bulk of the distribution is uniform over all 64
+        # banks; a fraction `locality` of accesses instead hits the core's
+        # neighborhood (own bank and banks within a few hops, with
+        # exponentially decaying weight) -- modeling the share of hits to
+        # locally cached/forwarded data, largest for LR ("exchanges large
+        # data units with nearer cores").
+        geometry = platform.layout.geometry
+        hops = np.empty((n, n))
+        for src in range(n):
+            for bank in range(n):
+                hops[src, bank] = geometry.manhattan_hops(src, bank)
+        kernel = np.where(hops <= 3, np.exp(-hops / 0.9), 0.0)
+        kernel /= kernel.sum(axis=1, keepdims=True)
+        self.bank_prob = locality * kernel + (1.0 - locality) / n
+
+        mem = platform.memory_params
+        self._ctrl_bits = control_bits() * mem.coherence_control_factor
+        self._data_bits = float(data_bits())
+        # Nearest controller per bank (static).
+        geometry = platform.layout.geometry
+        self.controller_of_bank = np.array(
+            [
+                min(
+                    mem.controller_nodes,
+                    key=lambda c: (geometry.manhattan_hops(bank, c), c),
+                )
+                for bank in range(n)
+            ]
+        )
+        self.dense = DenseLatencyModel(platform.network)
+        self.dense_bulk = DenseLatencyModel(platform.network, bulk=True)
+        self.pairwise = PairwiseEnergy(platform.network)
+        self.pairwise_bulk = PairwiseEnergy(platform.network, bulk=True)
+        # Bank service time at the bank island's clock (static).
+        freqs = np.array(
+            [
+                platform.vf_points[platform.layout.cluster_of(bank)].frequency_hz
+                for bank in range(n)
+            ]
+        )
+        self._bank_service_s = mem.l2_bank_cycles / freqs
+        self._l2_round_trip: np.ndarray = np.zeros(n)
+        self._mem_extra: np.ndarray = np.zeros(n)
+        self._precompute_energy_expectations()
+        self.refresh_latencies()
+
+    # ------------------------------------------------------------------ #
+    # latency
+    # ------------------------------------------------------------------ #
+
+    def refresh_latencies(self) -> None:
+        """Recompute expected miss latencies under the current NoC load."""
+        l_ctrl = self.dense.latency_matrices([self._ctrl_bits])[self._ctrl_bits]
+        l_data = self.dense_bulk.latency_matrices([self._data_bits])[
+            self._data_bits
+        ]
+        # Expected L2 round trip per requesting node: request to bank,
+        # bank service, response back.
+        round_trip = l_ctrl + self._bank_service_s[None, :] + l_data.T
+        self._l2_round_trip = (self.bank_prob * round_trip).sum(axis=1)
+        # Expected extra time for an L2 miss: bank <-> controller + DRAM.
+        mem = self.platform.memory_params
+        mc = self.controller_of_bank
+        banks = np.arange(self.num_nodes)
+        bank_to_mc = l_ctrl[banks, mc] + l_data[mc, banks]
+        extra_per_bank = bank_to_mc + mem.dram_latency_s
+        self._mem_extra = (self.bank_prob * extra_per_bank[None, :]).sum(axis=1)
+
+    def l2_round_trip_s(self, node: int) -> float:
+        """Expected L1-miss service time for a core at *node*."""
+        return float(self._l2_round_trip[node])
+
+    def memory_extra_s(self, node: int) -> float:
+        """Expected additional time when the access also misses in L2."""
+        return float(self._mem_extra[node])
+
+    def task_stall_s(
+        self, node: int, l2_accesses: float, memory_accesses: float, mlp: float
+    ) -> float:
+        """Total stall time charged to a task, with MLP overlap."""
+        if mlp <= 0:
+            raise ValueError(f"mlp must be > 0, got {mlp}")
+        raw = (
+            l2_accesses * self.l2_round_trip_s(node)
+            + memory_accesses * self.memory_extra_s(node)
+        )
+        return raw / mlp
+
+    # ------------------------------------------------------------------ #
+    # flows and energy
+    # ------------------------------------------------------------------ #
+
+    def add_miss_flows(self, node: int, accesses_per_s: float) -> None:
+        """Register a core's sustained miss traffic with the flow model."""
+        if accesses_per_s < 0:
+            raise ValueError(f"accesses_per_s must be >= 0, got {accesses_per_s}")
+        if accesses_per_s == 0:
+            return
+        network = self.platform.network
+        for bank in range(self.num_nodes):
+            share = accesses_per_s * self.bank_prob[node, bank]
+            if share <= 0:
+                continue
+            network.add_flow(node, bank, share * self._ctrl_bits)
+            network.add_flow(bank, node, share * self._data_bits, bulk=True)
+
+    def record_miss_energy(
+        self, node: int, l2_accesses: float, memory_accesses: float
+    ) -> float:
+        """Account NoC energy of a task's miss traffic (expected paths).
+
+        Uses the precomputed expectation over the home-bank distribution,
+        so the cost is O(1) per task."""
+        if l2_accesses < 0 or memory_accesses < 0:
+            raise ValueError("access counts must be >= 0")
+        energy = (
+            l2_accesses * self._e_l2[node]
+            + memory_accesses * self._e_mem[node]
+        )
+        bits = (
+            l2_accesses * (self._ctrl_bits + self._data_bits)
+            + memory_accesses * (self._ctrl_bits + self._data_bits)
+        )
+        bit_hops = (
+            l2_accesses * self._h_l2[node] + memory_accesses * self._h_mem[node]
+        )
+        wireless = (
+            l2_accesses * self._w_l2[node] + memory_accesses * self._w_mem[node]
+        )
+        return self.pairwise.record_aggregate(energy, bits, bit_hops, wireless)
+
+    def _precompute_energy_expectations(self) -> None:
+        """Expected per-access energy/hops/wireless-bits per source node.
+
+        Control packets bill against the latency-class paths, data
+        responses against the bulk-class paths."""
+        pe = self.pairwise
+        pb = self.pairwise_bulk
+        p = self.bank_prob
+        n = self.num_nodes
+        ctrl, data = self._ctrl_bits, self._data_bits
+        # L2 round trip: ctrl node->bank (latency class), data bank->node
+        # (bulk class).
+        e_round = ctrl * pe.energy_per_bit + data * pb.energy_per_bit.T
+        h_round = ctrl * pe.hops + data * pb.hops.T
+        w_round = ctrl * pe.wireless_links + data * pb.wireless_links.T
+        self._e_l2 = (p * e_round).sum(axis=1)
+        self._h_l2 = (p * h_round).sum(axis=1)
+        self._w_l2 = (p * w_round).sum(axis=1)
+        # Memory extra: ctrl bank->controller, data controller->bank.
+        mc = self.controller_of_bank
+        banks = np.arange(n)
+        e_extra = (
+            ctrl * pe.energy_per_bit[banks, mc] + data * pb.energy_per_bit[mc, banks]
+        )
+        h_extra = ctrl * pe.hops[banks, mc] + data * pb.hops[mc, banks]
+        w_extra = (
+            ctrl * pe.wireless_links[banks, mc]
+            + data * pb.wireless_links[mc, banks]
+        )
+        self._e_mem = (p * e_extra[None, :]).sum(axis=1)
+        self._h_mem = (p * h_extra[None, :]).sum(axis=1)
+        self._w_mem = (p * w_extra[None, :]).sum(axis=1)

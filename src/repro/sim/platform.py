@@ -1,0 +1,164 @@
+"""Platform: the complete hardware configuration a trace runs on.
+
+A platform bundles the physical island layout, the per-island V/F
+assignment, the interconnect (topology + routing + flow model), the
+thread mapping, and the power models.  The four system configurations of
+the paper are all platforms:
+
+* **NVFI mesh** -- one nominal V/F everywhere, mesh, identity mapping;
+* **VFI 1 mesh** -- QP clustering + initial V/F, mesh;
+* **VFI 2 mesh** -- VFI 1 with bottleneck islands raised one step;
+* **VFI 2 WiNoC** -- VFI 2 V/F on the small-world + wireless fabric with
+  one of the two placement/mapping methodologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.energy.core_power import CorePowerModel, CorePowerParams
+from repro.mapping.thread_mapping import ThreadMapping, identity_mapping
+from repro.noc.energy import NocEnergyParams
+from repro.noc.network import FlowNetworkModel, NocParams
+from repro.noc.routing import RoutingTable, build_routing_table
+from repro.noc.topology import LinkKind, Topology
+from repro.noc.wireless import WirelessSpec
+from repro.sim.config import CoreParams, MemoryParams
+from repro.vfi.islands import VfPoint, VfiLayout
+
+
+@dataclass
+class Platform:
+    """One simulatable hardware configuration."""
+
+    name: str
+    layout: VfiLayout
+    vf_points: Sequence[VfPoint]
+    topology: Topology
+    routing: RoutingTable
+    mapping: Optional[ThreadMapping] = None
+    core_params: CoreParams = field(default_factory=CoreParams)
+    memory_params: MemoryParams = field(default_factory=MemoryParams)
+    noc_params: NocParams = field(default_factory=NocParams)
+    wireless_spec: WirelessSpec = field(default_factory=WirelessSpec)
+    core_power_params: CorePowerParams = field(default_factory=CorePowerParams)
+    noc_energy_params: NocEnergyParams = field(default_factory=NocEnergyParams)
+
+    def __post_init__(self) -> None:
+        if len(self.vf_points) != self.layout.num_clusters:
+            raise ValueError(
+                f"{len(self.vf_points)} V/F points for "
+                f"{self.layout.num_clusters} islands"
+            )
+        if self.mapping is None:
+            self.mapping = identity_mapping(self.num_cores)
+        if self.mapping.num_workers != self.num_cores:
+            raise ValueError(
+                f"mapping covers {self.mapping.num_workers} workers, "
+                f"platform has {self.num_cores} cores"
+            )
+        self.core_power = CorePowerModel(self.core_power_params)
+        self.network = self.build_network()
+
+    @property
+    def num_cores(self) -> int:
+        return self.layout.geometry.num_nodes
+
+    def build_network(self) -> FlowNetworkModel:
+        """Fresh flow model over this platform's fabric and clocks."""
+        if not hasattr(self, "_bulk_routing"):
+            self._bulk_routing = self._make_bulk_routing()
+        return FlowNetworkModel(
+            topology=self.topology,
+            routing=self.routing,
+            clusters=list(self.layout.node_cluster),
+            cluster_frequencies_hz=[p.frequency_hz for p in self.vf_points],
+            cluster_voltages=[p.voltage_v for p in self.vf_points],
+            params=self.noc_params,
+            wireless=self.wireless_spec,
+            energy_params=self.noc_energy_params,
+            bulk_routing=self._bulk_routing,
+        )
+
+    def _make_bulk_routing(self) -> RoutingTable:
+        """Wire-preferring routing for bulk key-value streams.
+
+        Token-MAC wireless channels are shared 16 Gbps media -- excellent
+        latency shortcuts for cache-line packets, poor bandwidth for bulk
+        streams -- so bulk transfers route over a heavily
+        wireless-penalized metric (message-class routing)."""
+        if not self.topology.wireless_links():
+            return self.routing
+
+        from repro.noc.routing import default_link_weight
+
+        def bulk_weight(link):
+            if link.kind is LinkKind.WIRELESS:
+                return 1e4
+            return default_link_weight(link)
+
+        return build_routing_table(self.topology, weight=bulk_weight)
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+
+    def node_of_worker(self, worker: int) -> int:
+        return self.mapping.node_of(worker)
+
+    def island_of_worker(self, worker: int) -> int:
+        return self.layout.cluster_of(self.node_of_worker(worker))
+
+    def vf_of_worker(self, worker: int) -> VfPoint:
+        return self.vf_points[self.island_of_worker(worker)]
+
+    def frequency_of_worker(self, worker: int) -> float:
+        return self.vf_of_worker(worker).frequency_hz
+
+    def worker_frequencies(self) -> List[float]:
+        return [self.frequency_of_worker(w) for w in range(self.num_cores)]
+
+    @property
+    def fmax_hz(self) -> float:
+        return max(point.frequency_hz for point in self.vf_points)
+
+    def with_vf(self, vf_points: Sequence[VfPoint], name: Optional[str] = None) -> "Platform":
+        """Same fabric and mapping, different island V/F assignment."""
+        return Platform(
+            name=name or self.name,
+            layout=self.layout,
+            vf_points=list(vf_points),
+            topology=self.topology,
+            routing=self.routing,
+            mapping=self.mapping,
+            core_params=self.core_params,
+            memory_params=self.memory_params,
+            noc_params=self.noc_params,
+            wireless_spec=self.wireless_spec,
+            core_power_params=self.core_power_params,
+            noc_energy_params=self.noc_energy_params,
+        )
+
+    def with_power(
+        self,
+        core_power_params=None,
+        noc_energy_params=None,
+        name: Optional[str] = None,
+    ) -> "Platform":
+        """Same platform with different power/energy model constants
+        (used by the sensitivity analysis)."""
+        return Platform(
+            name=name or self.name,
+            layout=self.layout,
+            vf_points=list(self.vf_points),
+            topology=self.topology,
+            routing=self.routing,
+            mapping=self.mapping,
+            core_params=self.core_params,
+            memory_params=self.memory_params,
+            noc_params=self.noc_params,
+            wireless_spec=self.wireless_spec,
+            core_power_params=core_power_params or self.core_power_params,
+            noc_energy_params=noc_energy_params or self.noc_energy_params,
+        )

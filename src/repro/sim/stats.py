@@ -1,0 +1,116 @@
+"""Simulation results: timing, utilization, energy, network statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.energy.metrics import EnergyBreakdown, edp
+from repro.mapreduce.tasks import Phase
+
+
+@dataclass
+class PhaseStats:
+    """Timing of one phase instance (one iteration's Map, etc.)."""
+
+    phase: Phase
+    iteration: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate interconnect statistics for a run."""
+
+    bits_moved: float = 0.0
+    average_hops: float = 0.0
+    wireless_fraction: float = 0.0
+    dynamic_energy_j: float = 0.0
+    static_energy_j: float = 0.0
+
+    @property
+    def energy_j(self) -> float:
+        return self.dynamic_energy_j + self.static_energy_j
+
+
+@dataclass
+class SimulationResult:
+    """Everything the paper's tables and figures consume."""
+
+    app_name: str
+    platform_name: str
+    total_time_s: float
+    busy_s: np.ndarray  # per worker
+    committed_instructions: np.ndarray  # per worker
+    worker_frequencies_hz: np.ndarray  # per worker
+    issue_width: float
+    phases: List[PhaseStats] = field(default_factory=list)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    network: NetworkStats = field(default_factory=NetworkStats)
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-worker utilization as the paper defines it (Sec. 4.1):
+        instructions committed per cycle, normalized by issue width.
+
+        Memory stalls and idle time both depress it, exactly as in the
+        GEM5 measurement the paper's Fig. 2 plots."""
+        if self.total_time_s <= 0:
+            raise ValueError("run has zero duration")
+        cycles = self.total_time_s * self.worker_frequencies_hz
+        return np.clip(
+            self.committed_instructions / (cycles * self.issue_width), 0.0, 1.0
+        )
+
+    @property
+    def busy_fraction(self) -> np.ndarray:
+        """Per-worker busy-time fraction (scheduling occupancy)."""
+        return np.clip(self.busy_s / self.total_time_s, 0.0, 1.0)
+
+    def phase_duration_s(self, phase: Phase) -> float:
+        """Total wall time of *phase* across iterations (paper Fig. 7)."""
+        return sum(p.duration_s for p in self.phases if p.phase is phase)
+
+    def phase_breakdown(self) -> Dict[Phase, float]:
+        breakdown: Dict[Phase, float] = {}
+        for stats in self.phases:
+            breakdown[stats.phase] = (
+                breakdown.get(stats.phase, 0.0) + stats.duration_s
+            )
+        return breakdown
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def edp(self) -> float:
+        """Full-system energy-delay product (paper Figs. 4b, 8)."""
+        return edp(self.energy.total_j, self.total_time_s)
+
+    @property
+    def network_edp(self) -> float:
+        """Network-only EDP (paper Fig. 6)."""
+        return edp(self.network.energy_j, self.total_time_s)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_time_s": self.total_time_s,
+            "total_energy_j": self.total_energy_j,
+            "edp": self.edp,
+            "network_edp": self.network_edp,
+            "avg_utilization": float(self.utilization.mean()),
+            "wireless_fraction": self.network.wireless_fraction,
+            "average_hops": self.network.average_hops,
+        }

@@ -1,0 +1,425 @@
+"""The full-system discrete-event simulator.
+
+Replays a :class:`repro.mapreduce.trace.JobTrace` on a
+:class:`repro.sim.platform.Platform`:
+
+* **library init** runs serially on the master worker's core;
+* the **Map** phase is event-driven: each core pulls from its queue and
+  then steals according to the configured policy, with steal decisions
+  ordered by simulated completion times -- this is where the paper's
+  Eq. (3) cap changes behaviour;
+* **Reduce** runs one task per worker after a barrier, each pulling its
+  key-value partition slices from every producer core over the NoC;
+* **Merge** runs the funnel stages with a barrier per stage, each merge
+  task pulling its partner's buffer across the NoC.
+
+Each phase is relaxed to a latency/traffic fixed point: durations are
+computed with the current NoC load estimate, the implied flows are
+re-registered, latencies refreshed, and the phase re-scheduled
+(``SimulationParams.relaxation_iterations`` rounds).  Energy is recorded
+once, after the final relaxation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.energy.metrics import EnergyBreakdown
+from repro.mapreduce.scheduler import StealingPolicy, TaskQueueSet
+from repro.mapreduce.tasks import Phase, Task
+from repro.mapreduce.trace import JobTrace, TaskRecord
+from repro.noc.packets import kv_stream_bits
+from repro.sim.config import SimulationParams
+from repro.sim.memory import MemorySystem
+from repro.sim.platform import Platform
+from repro.sim.stats import NetworkStats, PhaseStats, SimulationResult
+
+
+@dataclass
+class _ScheduledTask:
+    record: TaskRecord
+    worker: int
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class SystemSimulator:
+    """Simulates one trace on one platform.
+
+    Parameters
+    ----------
+    platform:
+        Hardware configuration (fresh network state per simulator).
+    locality:
+        The application's L2-access locality (see
+        :class:`repro.sim.memory.MemorySystem`).
+    stealing_policy:
+        Map-phase stealing policy; ``None`` selects Phoenix++'s default
+        greedy stealing.
+    params:
+        Solver knobs.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        locality: float = 0.0,
+        stealing_policy: Optional[StealingPolicy] = None,
+        params: SimulationParams = SimulationParams(),
+    ):
+        self.platform = platform
+        # Fresh network per simulation so runs never share load/energy state.
+        platform.network = platform.build_network()
+        self.memory = MemorySystem(platform, locality)
+        self.policy = stealing_policy
+        self.params = params
+        self._kv_chunk_bits = kv_stream_bits(params.kv_chunk_bytes)
+        # Bulk key-value streams use the wire-preferring message class.
+        from repro.noc.dense import PairwiseEnergy
+
+        self._bulk_energy = PairwiseEnergy(platform.network, bulk=True)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: JobTrace) -> SimulationResult:
+        if trace.num_workers != self.platform.num_cores:
+            raise ValueError(
+                f"trace has {trace.num_workers} workers, platform has "
+                f"{self.platform.num_cores} cores"
+            )
+        busy = np.zeros(self.platform.num_cores)
+        self._committed = np.zeros(self.platform.num_cores)
+        phases: List[PhaseStats] = []
+        now = 0.0
+        for iteration in trace.iterations:
+            now = self._run_lib_init(iteration.lib_init, now, busy, phases, iteration.iteration)
+            now = self._run_map(
+                iteration.map_phase.tasks, now, busy, phases, iteration.iteration
+            )
+            now = self._run_reduce(
+                iteration.reduce_phase.tasks, now, busy, phases, iteration.iteration
+            )
+            for stage in iteration.merge_stages:
+                now = self._run_merge_stage(
+                    stage.tasks, now, busy, phases, iteration.iteration
+                )
+        total_time = now
+        return self._finalize(trace, total_time, busy, phases)
+
+    # ------------------------------------------------------------------ #
+    # phases
+    # ------------------------------------------------------------------ #
+
+    def _run_lib_init(
+        self,
+        record: TaskRecord,
+        start: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+        iteration: int,
+    ) -> float:
+        self.platform.network.reset_flows()
+        self.memory.refresh_latencies()
+        worker = record.home_worker
+        duration = self._task_time(record, worker)
+        busy[worker] += duration
+        self._record_task_energy(record, worker)
+        phases.append(
+            PhaseStats(Phase.LIB_INIT, iteration, start, start + duration)
+        )
+        return start + duration
+
+    def _run_map(
+        self,
+        records: Sequence[TaskRecord],
+        start: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+        iteration: int,
+    ) -> float:
+        schedule: List[_ScheduledTask] = []
+        end = start
+        for relaxation in range(self.params.relaxation_iterations):
+            schedule, end = self._schedule_map(records, start)
+            self._register_phase_flows(schedule, max(end - start, 1e-12))
+            self.memory.refresh_latencies()
+        # Final schedule under converged latencies.
+        schedule, end = self._schedule_map(records, start)
+        for item in schedule:
+            busy[item.worker] += item.duration_s
+            self._record_task_energy(item.record, item.worker)
+        phases.append(PhaseStats(Phase.MAP, iteration, start, end))
+        return end
+
+    def _schedule_map(
+        self, records: Sequence[TaskRecord], start: float
+    ) -> Tuple[List[_ScheduledTask], float]:
+        """Event-driven map scheduling with stealing."""
+        num_workers = self.platform.num_cores
+        tasks = [
+            Task(
+                task_id=record.task_id,
+                phase=Phase.MAP,
+                payload=record,
+                home_worker=record.home_worker,
+            )
+            for record in records
+        ]
+        policy = self.policy or _fresh_default_policy()
+        queues = TaskQueueSet(num_workers, policy)
+        queues.load(tasks)
+        heap: List[Tuple[float, int]] = [(start, w) for w in range(num_workers)]
+        heapq.heapify(heap)
+        schedule: List[_ScheduledTask] = []
+        end = start
+        while heap and queues.remaining > 0:
+            now, worker = heapq.heappop(heap)
+            task = queues.next_task(worker)
+            if task is None:
+                # Capped out or nothing to steal: this core is done.
+                continue
+            record: TaskRecord = task.payload
+            duration = self._task_time(record, worker)
+            schedule.append(_ScheduledTask(record, worker, now, duration))
+            end = max(end, now + duration)
+            heapq.heappush(heap, (now + duration, worker))
+        if queues.remaining > 0:
+            # Every worker is capped (possible only with a user-supplied
+            # fmax above all cores): run leftovers on the fastest core.
+            fastest = int(
+                np.argmax([self.platform.frequency_of_worker(w) for w in range(num_workers)])
+            )
+            now = end
+            for worker, task in queues.force_drain(fastest):
+                record = task.payload
+                duration = self._task_time(record, worker)
+                schedule.append(_ScheduledTask(record, worker, now, duration))
+                now += duration
+            end = now
+        return schedule, end
+
+    def _run_reduce(
+        self,
+        records: Sequence[TaskRecord],
+        start: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+        iteration: int,
+    ) -> float:
+        schedule: List[_ScheduledTask] = []
+        end = start
+        for relaxation in range(self.params.relaxation_iterations):
+            schedule, end = self._schedule_parallel(records, start)
+            duration = max(end - start, 1e-12)
+            self._register_phase_flows(schedule, duration, kv=True)
+            self.memory.refresh_latencies()
+        schedule, end = self._schedule_parallel(records, start)
+        for item in schedule:
+            busy[item.worker] += item.duration_s
+            self._record_task_energy(item.record, item.worker, kv=True)
+        phases.append(PhaseStats(Phase.REDUCE, iteration, start, end))
+        return end
+
+    def _run_merge_stage(
+        self,
+        records: Sequence[TaskRecord],
+        start: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+        iteration: int,
+    ) -> float:
+        if not records:
+            return start
+        schedule, end = self._schedule_parallel(records, start)
+        duration = max(end - start, 1e-12)
+        self._register_phase_flows(schedule, duration, kv=True)
+        self.memory.refresh_latencies()
+        schedule, end = self._schedule_parallel(records, start)
+        for item in schedule:
+            busy[item.worker] += item.duration_s
+            self._record_task_energy(item.record, item.worker, kv=True)
+        phases.append(PhaseStats(Phase.MERGE, iteration, start, end))
+        return end
+
+    def _schedule_parallel(
+        self, records: Sequence[TaskRecord], start: float
+    ) -> Tuple[List[_ScheduledTask], float]:
+        """One task per owning worker, all starting at the barrier."""
+        schedule = []
+        end = start
+        for record in records:
+            worker = record.home_worker
+            duration = self._task_time(record, worker) + self._kv_pull_time(
+                record, worker
+            )
+            schedule.append(_ScheduledTask(record, worker, start, duration))
+            end = max(end, start + duration)
+        return schedule, end
+
+    # ------------------------------------------------------------------ #
+    # task-level models
+    # ------------------------------------------------------------------ #
+
+    def _task_time(self, record: TaskRecord, worker: int) -> float:
+        """Compute + memory-stall time of one task on *worker*'s core."""
+        platform = self.platform
+        node = platform.node_of_worker(worker)
+        frequency = platform.frequency_of_worker(worker)
+        cost = record.cost
+        compute = cost.instructions / platform.core_params.ipc / frequency
+        stall = self.memory.task_stall_s(
+            node,
+            cost.l2_accesses,
+            cost.memory_accesses,
+            platform.core_params.mlp_overlap,
+        )
+        return compute + stall
+
+    def _kv_sources(self, record: TaskRecord) -> List[Tuple[int, float]]:
+        """(source worker, bytes) pairs this task pulls over the NoC."""
+        sources: List[Tuple[int, float]] = []
+        for src, nbytes in record.input_bytes_by_worker.items():
+            if src != record.home_worker and nbytes > 0:
+                sources.append((src, nbytes))
+        if record.partner_worker is not None and record.cost.kv_bytes_in > 0:
+            if record.partner_worker != record.home_worker:
+                sources.append((record.partner_worker, record.cost.kv_bytes_in))
+        return sources
+
+    def _kv_pull_time(self, record: TaskRecord, worker: int) -> float:
+        """Time to stream the task's remote key-value inputs."""
+        sources = self._kv_sources(record)
+        if not sources:
+            return 0.0
+        platform = self.platform
+        dst = platform.node_of_worker(worker)
+        network = platform.network
+        total = 0.0
+        for src_worker, nbytes in sources:
+            src = platform.node_of_worker(src_worker)
+            bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
+            head = network.latency(
+                src, dst, min(bits, self._kv_chunk_bits), bulk=True
+            )
+            capacity = network.path_capacity(src, dst, bulk=True)
+            streaming = bits / capacity if np.isfinite(capacity) else 0.0
+            total += head + streaming
+        return total
+
+    # ------------------------------------------------------------------ #
+    # flows and energy
+    # ------------------------------------------------------------------ #
+
+    def _register_phase_flows(
+        self,
+        schedule: Sequence[_ScheduledTask],
+        phase_duration: float,
+        kv: bool = False,
+    ) -> None:
+        """Convert a phase schedule into sustained flows on the NoC."""
+        platform = self.platform
+        network = platform.network
+        network.reset_flows()
+        accesses_per_node: Dict[int, float] = {}
+        for item in schedule:
+            node = platform.node_of_worker(item.worker)
+            accesses_per_node[node] = (
+                accesses_per_node.get(node, 0.0) + item.record.cost.l2_accesses
+            )
+        for node, accesses in accesses_per_node.items():
+            self.memory.add_miss_flows(node, accesses / phase_duration)
+        if kv:
+            for item in schedule:
+                dst = platform.node_of_worker(item.worker)
+                for src_worker, nbytes in self._kv_sources(item.record):
+                    src = platform.node_of_worker(src_worker)
+                    bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
+                    network.add_flow(src, dst, bits / phase_duration, bulk=True)
+
+    def _record_task_energy(
+        self, record: TaskRecord, worker: int, kv: bool = False
+    ) -> None:
+        self._committed[worker] += record.cost.instructions
+        node = self.platform.node_of_worker(worker)
+        self.memory.record_miss_energy(
+            node, record.cost.l2_accesses, record.cost.memory_accesses
+        )
+        if kv:
+            for src_worker, nbytes in self._kv_sources(record):
+                src = self.platform.node_of_worker(src_worker)
+                bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
+                self._bulk_energy.record(src, node, bits)
+
+    # ------------------------------------------------------------------ #
+
+    def _finalize(
+        self,
+        trace: JobTrace,
+        total_time: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+    ) -> SimulationResult:
+        platform = self.platform
+        breakdown = EnergyBreakdown()
+        for worker in range(platform.num_cores):
+            point = platform.vf_of_worker(worker)
+            busy_s = float(min(busy[worker], total_time))
+            idle_s = max(total_time - busy_s, 0.0)
+            power = platform.core_power
+            breakdown.core_dynamic_j += (
+                power.dynamic_power_w(point, 1.0) * busy_s
+                + power.dynamic_power_w(point, power.params.idle_activity) * idle_s
+            )
+            breakdown.core_static_j += power.leakage_power_w(point) * total_time
+        network = platform.network
+        breakdown.noc_dynamic_j = network.energy.dynamic_joules
+        breakdown.noc_static_j = network.static_energy(total_time)
+        stats = NetworkStats(
+            bits_moved=network.energy.bits_moved,
+            average_hops=network.energy.average_hops,
+            wireless_fraction=network.energy.wireless_fraction,
+            dynamic_energy_j=breakdown.noc_dynamic_j,
+            static_energy_j=breakdown.noc_static_j,
+        )
+        return SimulationResult(
+            app_name=trace.app_name,
+            platform_name=platform.name,
+            total_time_s=total_time,
+            busy_s=busy,
+            committed_instructions=self._committed.copy(),
+            worker_frequencies_hz=np.array(platform.worker_frequencies()),
+            issue_width=platform.core_params.issue_width,
+            phases=phases,
+            energy=breakdown,
+            network=stats,
+        )
+
+
+def _fresh_default_policy() -> StealingPolicy:
+    from repro.mapreduce.scheduler import DefaultStealingPolicy
+
+    return DefaultStealingPolicy()
+
+
+def simulate(
+    platform: Platform,
+    trace: JobTrace,
+    locality: float = 0.0,
+    stealing_policy: Optional[StealingPolicy] = None,
+    params: SimulationParams = SimulationParams(),
+) -> SimulationResult:
+    """Convenience wrapper: build a simulator and run *trace*."""
+    simulator = SystemSimulator(
+        platform, locality=locality, stealing_policy=stealing_policy, params=params
+    )
+    return simulator.run(trace)

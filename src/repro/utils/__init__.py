@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic RNG handling, validation, unit helpers."""
+
+from repro.utils.rng import RngMixin, derive_rng, spawn_seed
+from repro.utils.units import (
+    GHZ,
+    MHZ,
+    NS,
+    PJ,
+    US,
+    cycles_to_seconds,
+    joules,
+    seconds_to_cycles,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngMixin",
+    "derive_rng",
+    "spawn_seed",
+    "GHZ",
+    "MHZ",
+    "NS",
+    "US",
+    "PJ",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "joules",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,35 @@
+"""Unit constants and conversions used across the performance/energy models.
+
+The library works internally in SI units (seconds, joules, hertz) except for
+the discrete-event simulator, which advances time in *seconds* as floats.
+These helpers keep conversions explicit at module boundaries.
+"""
+
+from __future__ import annotations
+
+GHZ = 1e9
+MHZ = 1e6
+NS = 1e-9
+US = 1e-6
+PJ = 1e-12
+NJ = 1e-9
+MW = 1e-3
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at *frequency_hz* into seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert a duration in seconds into cycles at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def joules(power_watts: float, seconds: float) -> float:
+    """Energy for holding *power_watts* over *seconds*."""
+    return power_watts * seconds

@@ -1,0 +1,56 @@
+"""Small argument-validation helpers.
+
+These raise early with precise messages instead of letting bad configuration
+propagate into the simulators, where failures would be far harder to trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that *value* is positive (or non-negative with *allow_zero*)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that *value* lies in [lo, hi] (or (lo, hi) if not inclusive)."""
+    if inclusive:
+        ok = lo <= value <= hi
+    else:
+        ok = lo < value < hi
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_type(
+    name: str,
+    value: Any,
+    expected: Union[Type, Tuple[Type, ...]],
+) -> Any:
+    """Validate that *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected!r}, got {type(value).__name__}: {value!r}"
+        )
+    return value

@@ -1,0 +1,60 @@
+"""Voltage/Frequency Island design: clustering, V/F assignment, bottleneck
+reassignment and VFI-aware task-stealing support (paper Sec. 4).
+
+The design flow (paper Fig. 3):
+
+1. characterize per-core utilization ``u`` and the inter-core traffic
+   matrix ``f`` on a non-VFI system;
+2. solve the 0-1 quadratic program of Eq. (1) to group the 64 workers
+   into four equal clusters (:mod:`repro.vfi.clustering`);
+3. assign a V/F pair per island from the island's utilization
+   (:mod:`repro.vfi.vf_assign`) -- the *VFI 1* system;
+4. detect bottleneck cores and, for nearly homogeneous applications,
+   raise the bottleneck island's V/F one ladder step -- the *VFI 2*
+   system (:mod:`repro.vfi.bottleneck`, Sec. 4.2);
+5. cap task stealing on below-fmax cores with Eq. (3)
+   (:func:`repro.mapreduce.scheduler.vfi_task_cap`, re-exported here).
+"""
+
+from repro.mapreduce.scheduler import CappedStealingPolicy, vfi_task_cap
+from repro.vfi.bottleneck import BottleneckReport, detect_bottlenecks, needs_reassignment
+from repro.vfi.clustering import (
+    ClusteringProblem,
+    ClusteringResult,
+    cluster_cost,
+    solve_branch_and_bound,
+    solve_simulated_annealing,
+    utilization_sorted_assignment,
+)
+from repro.vfi.islands import (
+    DVFS_LADDER,
+    VfiLayout,
+    VfPoint,
+    ladder_step_up,
+    nearest_ladder_point,
+    quadrant_clusters,
+)
+from repro.vfi.vf_assign import VfAssignment, assign_vf, reassign_for_bottlenecks
+
+__all__ = [
+    "ClusteringProblem",
+    "ClusteringResult",
+    "cluster_cost",
+    "solve_branch_and_bound",
+    "solve_simulated_annealing",
+    "utilization_sorted_assignment",
+    "DVFS_LADDER",
+    "VfPoint",
+    "VfiLayout",
+    "quadrant_clusters",
+    "nearest_ladder_point",
+    "ladder_step_up",
+    "VfAssignment",
+    "assign_vf",
+    "reassign_for_bottlenecks",
+    "BottleneckReport",
+    "detect_bottlenecks",
+    "needs_reassignment",
+    "vfi_task_cap",
+    "CappedStealingPolicy",
+]

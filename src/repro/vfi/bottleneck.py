@@ -1,0 +1,117 @@
+"""Bottleneck-core detection (paper Sec. 4.2).
+
+Certain applications (PCA, HIST, MM) show *nearly homogeneous* core
+utilization except for a few bottleneck cores -- the master cores doing
+library initialization and the funnel roots of the Merge phase.  When the
+clustering places such a core in an island assigned a low V/F, the entire
+application slows down.
+
+The reassignment rule derived from the paper:
+
+* an application *needs* reassignment when its non-bottleneck utilization
+  is nearly homogeneous **and** its bottleneck-to-average utilization
+  ratio is significant (Kmeans/WC are skipped because their utilization
+  is heterogeneous -- the QP already places the hot cores in fast
+  islands; LR is skipped because it has no meaningful bottleneck);
+* reassignment raises the V/F of the islands hosting bottleneck cores by
+  one ladder step (1.0 V / 2.5 GHz from 0.9 V / 2.25 GHz in the paper),
+  leaving every other island -- and the thread placement, hence the
+  traffic pattern -- unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Outcome of bottleneck analysis on a utilization profile."""
+
+    bottleneck_workers: List[int]
+    average_utilization: float
+    bottleneck_utilization: float
+    #: Coefficient of variation of the non-bottleneck utilizations.
+    body_cv: float
+
+    @property
+    def ratio(self) -> float:
+        """Bottleneck-to-average busy-utilization ratio (paper Fig. 5)."""
+        if self.average_utilization == 0:
+            return 0.0
+        return self.bottleneck_utilization / self.average_utilization
+
+    @property
+    def has_bottleneck(self) -> bool:
+        return bool(self.bottleneck_workers)
+
+
+def detect_bottlenecks(
+    utilization: Sequence[float],
+    ratio_threshold: float = 1.08,
+    max_fraction: float = 0.125,
+) -> BottleneckReport:
+    """Identify bottleneck workers in a utilization profile.
+
+    A worker is a bottleneck candidate when its utilization exceeds
+    ``ratio_threshold`` times the profile's 75th percentile -- the robust
+    reference for "what a normally busy core looks like" (the mean is
+    dragged down by idle-tail cores; the maximum IS the bottleneck).
+    Bottleneck cores are *rare by definition* (master threads, merge
+    funnel roots): if more than ``max_fraction`` of the cores clear the
+    threshold, the profile is heterogeneous (Kmeans/WC-like), not
+    homogeneous-with-outliers, and no bottleneck is reported.
+    """
+    check_positive("ratio_threshold", ratio_threshold)
+    check_positive("max_fraction", max_fraction)
+    u = np.asarray(utilization, dtype=float)
+    if len(u) == 0:
+        raise ValueError("utilization profile is empty")
+    if (u < 0).any() or (u > 1.0 + 1e-9).any():
+        raise ValueError("utilizations must be in [0, 1]")
+    mean = float(u.mean())
+    body_ref = float(np.percentile(u, 75))
+    threshold = ratio_threshold * body_ref
+    limit = max(1, int(len(u) * max_fraction))
+    all_candidates = [int(i) for i in np.argsort(-u) if u[i] > threshold]
+    isolated = 0 < len(all_candidates) <= limit
+    candidates = all_candidates if isolated else []
+    if candidates:
+        body = np.delete(u, candidates)
+        bottleneck_util = float(u[candidates].mean())
+    else:
+        body = u
+        bottleneck_util = float(u.max()) if len(u) else 0.0
+    body_mean = float(body.mean()) if len(body) else 0.0
+    body_cv = float(body.std() / body_mean) if body_mean > 0 else 0.0
+    return BottleneckReport(
+        bottleneck_workers=candidates,
+        average_utilization=mean,
+        bottleneck_utilization=bottleneck_util,
+        body_cv=body_cv,
+    )
+
+
+def needs_reassignment(
+    report: BottleneckReport,
+    homogeneity_cv: float = 0.20,
+    min_ratio: float = 1.10,
+) -> bool:
+    """Sec. 4.2 decision rule: homogeneous body + significant bottleneck.
+
+    Heterogeneous profiles (high body CV, e.g. Kmeans/WC) are left to the
+    QP, which already co-locates hot workers in fast islands; profiles
+    without a real bottleneck (LR) need no action either.
+    """
+    check_positive("homogeneity_cv", homogeneity_cv)
+    check_positive("min_ratio", min_ratio)
+    return (
+        report.has_bottleneck
+        and report.body_cv <= homogeneity_cv
+        and report.ratio >= min_ratio
+    )

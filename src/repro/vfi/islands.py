@@ -1,0 +1,135 @@
+"""V/F points, the DVFS ladder and the physical island layout.
+
+The paper's platform exposes five operating points between 0.6 V/1.5 GHz
+and the nominal 1.0 V/2.5 GHz (Table 2 uses 0.6/1.5, 0.8/2.0, 0.9/2.25
+and 1.0/2.5).  Physically, the 64-core die is divided into four
+contiguous 4x4-quadrant islands; the *logical* clustering of workers is
+realized by thread mapping (cluster j's workers run on quadrant j).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.noc.topology import GridGeometry
+from repro.utils.units import GHZ
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True, order=True)
+class VfPoint:
+    """One DVFS operating point."""
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("voltage_v", self.voltage_v)
+
+    @property
+    def label(self) -> str:
+        return f"{self.voltage_v:.1f}V/{self.frequency_hz / GHZ:g}GHz"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+#: The platform's DVFS ladder, slowest to fastest (nominal last).
+DVFS_LADDER: Tuple[VfPoint, ...] = (
+    VfPoint(1.50 * GHZ, 0.6),
+    VfPoint(1.75 * GHZ, 0.7),
+    VfPoint(2.00 * GHZ, 0.8),
+    VfPoint(2.25 * GHZ, 0.9),
+    VfPoint(2.50 * GHZ, 1.0),
+)
+
+NOMINAL = DVFS_LADDER[-1]
+
+
+def nearest_ladder_point(frequency_hz: float) -> VfPoint:
+    """Ladder point with frequency nearest to *frequency_hz*."""
+    check_positive("frequency_hz", frequency_hz)
+    return min(DVFS_LADDER, key=lambda p: abs(p.frequency_hz - frequency_hz))
+
+
+def ladder_step_up(point: VfPoint, steps: int = 1) -> VfPoint:
+    """Raise *point* by *steps* ladder positions (saturating at nominal)."""
+    if point not in DVFS_LADDER:
+        raise ValueError(f"{point} is not on the DVFS ladder")
+    index = DVFS_LADDER.index(point)
+    return DVFS_LADDER[min(index + steps, len(DVFS_LADDER) - 1)]
+
+
+@dataclass(frozen=True)
+class VfiLayout:
+    """Physical island layout: cluster id per grid node."""
+
+    geometry: GridGeometry
+    node_cluster: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.node_cluster) != self.geometry.num_nodes:
+            raise ValueError(
+                f"{len(self.node_cluster)} cluster ids for "
+                f"{self.geometry.num_nodes} nodes"
+            )
+
+    @property
+    def num_clusters(self) -> int:
+        return len(set(self.node_cluster))
+
+    def members(self) -> Dict[int, List[int]]:
+        members: Dict[int, List[int]] = {}
+        for node, cid in enumerate(self.node_cluster):
+            members.setdefault(cid, []).append(node)
+        return members
+
+    def cluster_of(self, node: int) -> int:
+        return self.node_cluster[node]
+
+
+def quadrant_clusters(
+    geometry: GridGeometry, clusters_per_side: int = 2
+) -> VfiLayout:
+    """Contiguous square-quadrant islands (the paper's four 4x4 VFIs).
+
+    Cluster ids are row-major over the quadrant grid: on the 8x8 die,
+    cluster 0 is the top-left 4x4 block, cluster 1 top-right, cluster 2
+    bottom-left, cluster 3 bottom-right.
+    """
+    check_positive("clusters_per_side", clusters_per_side)
+    if (
+        geometry.columns % clusters_per_side
+        or geometry.rows % clusters_per_side
+    ):
+        raise ValueError(
+            f"{geometry.columns}x{geometry.rows} grid does not divide into "
+            f"{clusters_per_side}x{clusters_per_side} quadrants"
+        )
+    block_w = geometry.columns // clusters_per_side
+    block_h = geometry.rows // clusters_per_side
+    assignment = []
+    for node in range(geometry.num_nodes):
+        column, row = geometry.coordinates(node)
+        assignment.append(
+            (row // block_h) * clusters_per_side + column // block_w
+        )
+    return VfiLayout(geometry, tuple(assignment))
+
+
+def uniform_vf(layout: VfiLayout, point: VfPoint = NOMINAL) -> List[VfPoint]:
+    """Same V/F for every island (the NVFI baseline)."""
+    return [point] * layout.num_clusters
+
+
+def cluster_frequency_vector(
+    layout: VfiLayout, points: Sequence[VfPoint]
+) -> List[float]:
+    """Per-node frequency implied by per-cluster points."""
+    if len(points) != layout.num_clusters:
+        raise ValueError(
+            f"{len(points)} V/F points for {layout.num_clusters} clusters"
+        )
+    return [points[layout.cluster_of(node)].frequency_hz for node in range(layout.geometry.num_nodes)]

@@ -1,0 +1,71 @@
+"""Sensitivity machinery (scaled down)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBABLE,
+    SensitivityRow,
+    _perturbed_params,
+    resimulate_with_power,
+    sensitivity_sweep,
+)
+from repro.core.experiment import run_app_study
+from repro.energy.core_power import CorePowerParams
+from repro.noc.energy import NocEnergyParams
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_app_study("histogram", scale=0.3, seed=9, num_workers=16)
+
+
+class TestPerturbedParams:
+    def test_core_domain(self):
+        core, noc = _perturbed_params("core_dynamic", 2.0)
+        assert core.dynamic_w_nominal == pytest.approx(
+            2 * CorePowerParams().dynamic_w_nominal
+        )
+        assert noc == NocEnergyParams()
+
+    def test_noc_domain(self):
+        core, noc = _perturbed_params("wire_energy", 0.5)
+        assert noc.wire_pj_per_bit_per_mm == pytest.approx(
+            0.5 * NocEnergyParams().wire_pj_per_bit_per_mm
+        )
+        assert core == CorePowerParams()
+
+    def test_all_registered_parameters_resolve(self):
+        for parameter in PERTURBABLE:
+            _perturbed_params(parameter, 1.5)
+
+
+class TestResimulate:
+    def test_identity_matches_study(self, study):
+        edps = resimulate_with_power(study, seed=9)
+        assert edps["vfi2_mesh"] == pytest.approx(
+            study.normalized_edp("vfi2_mesh"), rel=1e-6
+        )
+        assert edps["vfi2_winoc"] == pytest.approx(
+            study.normalized_edp("vfi2_winoc"), rel=1e-6
+        )
+
+    def test_heavier_cores_do_not_weaken_vfi_savings(self, study):
+        from dataclasses import replace
+
+        heavy = replace(CorePowerParams(), dynamic_w_nominal=4.0)
+        edps = resimulate_with_power(study, core_power_params=heavy, seed=9)
+        # More dynamic weight means the V^2 f reduction buys relatively
+        # more energy, so normalized EDP must not get worse (on a small
+        # die with near-nominal islands the effect can be ~0).
+        assert edps["vfi2_mesh"] <= study.normalized_edp("vfi2_mesh") + 1e-3
+
+
+class TestSweep:
+    def test_rows_cover_grid(self, study):
+        rows = sensitivity_sweep(
+            study, multipliers=(0.5,), parameters=["core_dynamic"], seed=9
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert isinstance(row, SensitivityRow)
+        assert row.vfi_mesh_edp > 0 and row.vfi_winoc_edp > 0

@@ -1,0 +1,44 @@
+"""Table formatting and paper-table builders."""
+
+import pytest
+
+from repro.analysis.tables import ascii_bars, format_table, table1_datasets
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_empty(self):
+        assert "empty" in format_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in format_table(rows, columns=["a"])
+
+
+class TestAsciiBars:
+    def test_scaling(self):
+        text = ascii_bars({"x": 1.0, "y": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_reference(self):
+        text = ascii_bars({"x": 0.5}, width=10, reference=1.0)
+        assert text.count("#") == 5
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+
+def test_table1_contains_all_apps():
+    text = table1_datasets()
+    for label in ("MM", "Kmeans", "PCA", "HIST", "WC", "LR"):
+        assert label in text
+    assert "999 x 999" in text

@@ -1,0 +1,160 @@
+"""App-specific semantics beyond the generic functional checks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import NUM_BINS, HistogramApp, HistogramJob
+from repro.apps.kmeans import (
+    CONVERGENCE_TOL,
+    CentroidCombiner,
+    KmeansApp,
+)
+from repro.apps.linear_regression import (
+    LinearRegressionApp,
+    StatsCombiner,
+    fit_from_stats,
+)
+from repro.apps.matrix_multiply import MatrixMultiplyApp, RowCombiner
+from repro.apps.pca import PcaApp, ValueCombiner
+from repro.apps.wordcount import WordCountApp
+from repro.mapreduce.runtime import run_job
+
+SCALE = 0.3
+SEED = 17
+
+
+class TestWordCount:
+    def test_verify_catches_wrong_counts(self):
+        app = WordCountApp(scale=SCALE, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        word = next(iter(result))
+        result[word] += 1
+        with pytest.raises(AssertionError):
+            app.verify_result(result)
+
+    def test_map_returns_miss_weight(self):
+        app = WordCountApp(scale=SCALE, seed=SEED)
+        job = app.make_job()
+        chunk = job.split(100)[0]
+        emitted = []
+        work, weight = job.map(chunk, lambda k, v: emitted.append(k))
+        assert work > 0 and weight > 0
+        assert len(emitted) == len(chunk)
+
+
+class TestHistogram:
+    def test_bins_bounded(self):
+        app = HistogramApp(scale=SCALE, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        assert all(0 <= bin_index < NUM_BINS for bin_index in result)
+
+    def test_verify_catches_miscount(self):
+        app = HistogramApp(scale=SCALE, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        some_bin = next(iter(result))
+        result[some_bin] += 1
+        with pytest.raises(AssertionError):
+            app.verify_result(result)
+
+
+class TestKmeans:
+    def test_centroid_combiner_merges_sums(self):
+        combiner = CentroidCombiner()
+        acc = combiner.add(combiner.identity(), (np.array([1.0, 2.0]), 1))
+        acc = combiner.add(acc, (np.array([3.0, 4.0]), 1))
+        assert combiner.finalize(acc) == (2.0, 3.0)
+
+    def test_empty_accumulator_rejected(self):
+        combiner = CentroidCombiner()
+        with pytest.raises(ValueError):
+            combiner.finalize(combiner.identity())
+
+    def test_some_clusters_converge_after_first_iteration(self):
+        app = KmeansApp(scale=0.5, seed=SEED)
+        job = app.make_job()
+        run_job(job, 64)
+        history = job.centroid_history
+        movement = np.linalg.norm(history[1] - history[0], axis=1)
+        converged = (movement < CONVERGENCE_TOL).sum()
+        assert 0 < converged < app.NUM_CLUSTERS  # partial convergence
+
+    def test_miss_weight_varies_in_second_iteration(self):
+        app = KmeansApp(scale=0.5, seed=SEED)
+        trace = app.run(num_workers=64)
+        tasks = trace.iterations[1].map_phase.tasks
+        mpki = np.array(
+            [t.cost.l2_accesses / (t.cost.instructions / 1000) for t in tasks]
+        )
+        assert mpki.max() > 2 * mpki.min()
+
+
+class TestLinearRegression:
+    def test_fit_from_stats_closed_form(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 2 * x + 1
+        stats = (
+            len(x),
+            x.sum(),
+            y.sum(),
+            (x * x).sum(),
+            (y * y).sum(),
+            (x * y).sum(),
+        )
+        slope, intercept = fit_from_stats(stats)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_from_stats((3.0, 3.0, 3.0, 3.0, 3.0, 3.0))
+        with pytest.raises(ValueError):
+            fit_from_stats((1.0, 0, 0, 0, 0, 0))
+
+    def test_stats_combiner_is_elementwise_sum(self):
+        combiner = StatsCombiner()
+        merged = combiner.merge((1,) * 6, (2,) * 6)
+        assert merged == (3,) * 6
+
+    def test_recovers_true_slope(self):
+        app = LinearRegressionApp(scale=SCALE, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        slope, intercept = result
+        assert slope == pytest.approx(app.TRUE_SLOPE, abs=0.05)
+        assert intercept == pytest.approx(app.TRUE_INTERCEPT, abs=0.1)
+
+
+class TestMatrixMultiply:
+    def test_row_combiner_rejects_double_emission(self):
+        combiner = RowCombiner()
+        acc = combiner.add(combiner.identity(), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            combiner.add(acc, (3.0, 4.0))
+
+    def test_dimension_multiple_of_64(self):
+        app = MatrixMultiplyApp(scale=1.0, seed=SEED)
+        assert app.dimension % 64 == 0
+
+    def test_product_correct(self):
+        app = MatrixMultiplyApp(scale=0.5, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        app.verify_result(result)
+
+
+class TestPca:
+    def test_value_combiner_single_emission(self):
+        combiner = ValueCombiner()
+        acc = combiner.add(combiner.identity(), 3.5)
+        assert combiner.finalize(acc) == 3.5
+        with pytest.raises(ValueError):
+            combiner.add(acc, 4.0)
+
+    def test_covariance_symmetric(self):
+        app = PcaApp(scale=0.5, seed=SEED)
+        result, _ = run_job(app.make_job(), 16)
+        assert np.allclose(result, result.T)
+
+    def test_row_means_computed_in_first_iteration(self):
+        app = PcaApp(scale=0.5, seed=SEED)
+        job = app.make_job()
+        run_job(job, 16)
+        assert len(job.row_means) == app.dimension

@@ -1,0 +1,77 @@
+"""Phase-share rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.apps.calibration import (
+    PhaseShares,
+    idealized_phase_walls,
+    rebalance_trace,
+)
+from repro.mapreduce.tasks import Phase
+
+
+@pytest.fixture(scope="module")
+def raw_trace():
+    app = create_app("wordcount", scale=0.3, seed=5)
+    return app.run(num_workers=64, calibrate=False)
+
+
+class TestPhaseShares:
+    def test_normalization(self):
+        shares = PhaseShares(lib_init=1, map=2, reduce=1, merge=0)
+        normalized = shares.normalized()
+        assert normalized[Phase.MAP] == pytest.approx(0.5)
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PhaseShares(lib_init=-0.1, map=1, reduce=0, merge=0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            PhaseShares(lib_init=0, map=0, reduce=0, merge=0)
+
+
+class TestRebalance:
+    def test_target_shares_reached(self, raw_trace):
+        target = PhaseShares(lib_init=0.1, map=0.6, reduce=0.2, merge=0.1)
+        rebalanced = rebalance_trace(raw_trace, target)
+        walls = idealized_phase_walls(rebalanced)
+        total = sum(walls.values())
+        assert walls[Phase.MAP] / total == pytest.approx(0.6, abs=1e-9)
+        assert walls[Phase.LIB_INIT] / total == pytest.approx(0.1, abs=1e-9)
+
+    def test_total_wall_preserved(self, raw_trace):
+        target = PhaseShares(lib_init=0.1, map=0.6, reduce=0.2, merge=0.1)
+        before = sum(idealized_phase_walls(raw_trace).values())
+        after = sum(idealized_phase_walls(rebalance_trace(raw_trace, target)).values())
+        assert after == pytest.approx(before)
+
+    def test_within_phase_heterogeneity_preserved(self, raw_trace):
+        target = PhaseShares(lib_init=0.1, map=0.6, reduce=0.2, merge=0.1)
+        rebalanced = rebalance_trace(raw_trace, target)
+        before = np.array(
+            [t.cost.instructions for t in raw_trace.iterations[0].map_phase.tasks]
+        )
+        after = np.array(
+            [t.cost.instructions for t in rebalanced.iterations[0].map_phase.tasks]
+        )
+        assert np.allclose(after / after.sum(), before / before.sum())
+
+    def test_share_for_missing_phase_rejected(self):
+        app = create_app("linear_regression", scale=0.3, seed=5)
+        trace = app.run(num_workers=64, calibrate=False)  # LR has no merge
+        with pytest.raises(ValueError, match="merge"):
+            rebalance_trace(
+                trace, PhaseShares(lib_init=0.1, map=0.6, reduce=0.2, merge=0.1)
+            )
+
+    def test_flow_matrix_scaled_consistently(self, raw_trace):
+        target = PhaseShares(lib_init=0.1, map=0.6, reduce=0.2, merge=0.1)
+        rebalanced = rebalance_trace(raw_trace, target)
+        # kv flow lives in reduce+merge records; rescaling keeps it finite
+        # and nonnegative.
+        flow = rebalanced.worker_flow_matrix()
+        assert (flow >= 0).all() and np.isfinite(flow).all()

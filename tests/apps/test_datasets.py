@@ -1,0 +1,98 @@
+"""Synthetic dataset generators: determinism and statistical shape."""
+
+import numpy as np
+import pytest
+
+from repro.apps import datasets
+
+
+class TestZipfText:
+    def test_deterministic(self):
+        a = datasets.zipf_text(500, seed=1)
+        b = datasets.zipf_text(500, seed=1)
+        assert a == b
+
+    def test_length(self):
+        assert len(datasets.zipf_text(1234, seed=0)) == 1234
+
+    def test_zipf_skew(self):
+        words = datasets.zipf_text(20_000, vocabulary_size=1000, seed=2)
+        counts = {}
+        for w in words:
+            counts[w] = counts.get(w, 0) + 1
+        top = max(counts.values())
+        assert top > len(words) * 0.05  # hot head
+        assert len(counts) > 100  # long tail
+
+    def test_segments_vary_entropy(self):
+        words = datasets.zipf_text(40_000, num_segments=20, seed=3)
+        # unique-word ratio per block should vary notably across blocks
+        block = 2000
+        ratios = [
+            len(set(words[i : i + block])) / block
+            for i in range(0, len(words) - block, block)
+        ]
+        assert max(ratios) > 2 * min(ratios)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            datasets.zipf_text(10, zipf_exponent=1.0)
+
+
+class TestPixelImage:
+    def test_dtype_and_range(self):
+        pixels = datasets.pixel_image(5000, seed=1)
+        assert pixels.dtype == np.uint8
+        assert pixels.min() >= 0 and pixels.max() <= 255
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            datasets.pixel_image(100, seed=5), datasets.pixel_image(100, seed=5)
+        )
+
+    def test_multimodal(self):
+        pixels = datasets.pixel_image(50_000, num_modes=3, seed=2)
+        hist = np.bincount(pixels, minlength=256)
+        assert (hist > 0).sum() > 64  # spread over many intensities
+
+
+class TestClusteredPoints:
+    def test_shapes(self):
+        points, labels = datasets.clustered_points(300, 8, 5, seed=1)
+        assert points.shape == (300, 8)
+        assert labels.shape == (300,)
+        assert set(np.unique(labels)) == set(range(5))
+
+    def test_contiguous_by_cluster(self):
+        _, labels = datasets.clustered_points(200, 4, 6, seed=2)
+        # labels must be non-decreasing (contiguous blocks)
+        assert (np.diff(labels) >= 0).all()
+
+    def test_unequal_sizes(self):
+        _, labels = datasets.clustered_points(1000, 4, 8, seed=3)
+        sizes = np.bincount(labels)
+        assert sizes.max() > 1.5 * sizes.min()
+
+    def test_exact_total(self):
+        points, _ = datasets.clustered_points(997, 3, 7, seed=4)
+        assert len(points) == 997
+
+
+class TestLinearSamples:
+    def test_fit_recovers_slope(self):
+        samples = datasets.linear_samples(50_000, slope=3.0, intercept=1.0, seed=1)
+        x, y = samples[:, 0], samples[:, 1]
+        slope = np.polyfit(x, y, 1)[0]
+        assert slope == pytest.approx(3.0, abs=0.05)
+
+
+class TestMatrices:
+    def test_dense_matrix_range(self):
+        m = datasets.dense_matrix(20, 30, seed=1)
+        assert m.shape == (20, 30)
+        assert (np.abs(m) <= 1).all()
+
+    def test_correlated_matrix_low_rank_structure(self):
+        m = datasets.correlated_matrix(60, 60, rank=4, noise=0.01, seed=2)
+        s = np.linalg.svd(m, compute_uv=False)
+        assert s[3] > 20 * s[6]  # spectrum drops after the planted rank

@@ -1,0 +1,110 @@
+"""Every benchmark app computes the right answer (verified against plain
+numpy references) and produces a calibrated trace with the declared
+structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_NAMES, create_app
+from repro.apps.calibration import idealized_phase_walls
+from repro.mapreduce.tasks import Phase
+
+SCALE = 0.35  # keep functional runs quick
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for name in APP_NAMES:
+        app = create_app(name, scale=SCALE, seed=11)
+        out[name] = (app, app.run(num_workers=64))
+    return out
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_runs_and_verifies(runs, name):
+    # app.run() calls verify_result internally; arriving here means the
+    # functional answer matched the reference implementation.
+    app, trace = runs[name]
+    assert trace.num_workers == 64
+    assert trace.total_instructions() > 0
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_iteration_count_matches_profile(runs, name):
+    app, trace = runs[name]
+    assert trace.num_iterations == app.profile.iterations
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_merge_presence_matches_profile(runs, name):
+    app, trace = runs[name]
+    has_merge = any(it.merge_stages for it in trace.iterations)
+    assert has_merge == app.profile.has_merge
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_calibrated_shares_match_profile(runs, name):
+    app, trace = runs[name]
+    walls = idealized_phase_walls(trace)
+    total = sum(walls.values())
+    targets = app.profile.wall_shares.normalized()
+    for phase in (Phase.LIB_INIT, Phase.MAP, Phase.REDUCE, Phase.MERGE):
+        assert walls[phase] / total == pytest.approx(targets[phase], abs=1e-6)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_trace_deterministic(name):
+    app1 = create_app(name, scale=SCALE, seed=11)
+    app2 = create_app(name, scale=SCALE, seed=11)
+    t1 = app1.run(num_workers=64)
+    t2 = app2.run(num_workers=64)
+    assert t1.total_instructions() == pytest.approx(t2.total_instructions())
+    assert np.allclose(t1.worker_flow_matrix(), t2.worker_flow_matrix())
+
+
+def test_wordcount_creates_100_map_tasks():
+    # Paper Sec. 4.3: the scheduler creates 100 map tasks for the 100 MB
+    # Word Count input on 64 cores.
+    app = create_app("wordcount", scale=SCALE, seed=11)
+    trace = app.run(num_workers=64)
+    assert trace.map_task_count() == 100
+
+
+def test_kmeans_second_iteration_heterogeneous():
+    app = create_app("kmeans", scale=0.5, seed=11)
+    trace = app.run(num_workers=64)
+    first, second = trace.iterations
+    instr1 = np.array([t.cost.instructions for t in first.map_phase.tasks])
+    instr2 = np.array([t.cost.instructions for t in second.map_phase.tasks])
+    cv1 = instr1.std() / instr1.mean()
+    cv2 = instr2.std() / instr2.mean()
+    assert cv2 > 3 * cv1  # convergence makes iteration 2 highly imbalanced
+
+
+def test_linear_regression_single_key():
+    app = create_app("linear_regression", scale=SCALE, seed=11)
+    trace = app.run(num_workers=64)
+    reduce_tasks = [
+        t for t in trace.iterations[0].reduce_phase.tasks if t.cost.kv_bytes_out > 0
+    ]
+    assert len(reduce_tasks) == 1  # one global key
+
+
+def test_pca_iteration_roles():
+    app = create_app("pca", scale=0.5, seed=11)
+    job = app.make_job()
+    job.begin_iteration(0)
+    rows = job.split(16)
+    assert all(kind == "rows" for kind, _, _ in rows)
+    job.row_means = {i: 0.0 for i in range(app.dimension)}
+    job.begin_iteration(1)
+    pairs = job.split(16)
+    assert all(kind == "pairs" for kind, _, _ in pairs)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        create_app("wordcount", scale=0.0)
+    with pytest.raises(ValueError):
+        create_app("wordcount", scale=1.5)

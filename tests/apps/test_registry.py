@@ -1,0 +1,51 @@
+import pytest
+
+from repro.apps import APP_NAMES, create_app, paper_dataset_table
+from repro.apps.base import BenchmarkApp
+
+
+def test_app_names_cover_six_paper_apps():
+    assert len(APP_NAMES) == 6
+    assert set(APP_NAMES) == {
+        "matrix_multiply",
+        "kmeans",
+        "pca",
+        "histogram",
+        "wordcount",
+        "linear_regression",
+    }
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_create_by_name(name):
+    app = create_app(name, scale=0.3)
+    assert isinstance(app, BenchmarkApp)
+    assert app.profile.name == name
+
+
+@pytest.mark.parametrize("alias,canonical", [
+    ("mm", "matrix_multiply"),
+    ("WC", "wordcount"),
+    ("hist", "histogram"),
+    ("lr", "linear_regression"),
+    ("km", "kmeans"),
+])
+def test_aliases(alias, canonical):
+    assert create_app(alias, scale=0.3).profile.name == canonical
+
+
+def test_unknown_app_raises():
+    with pytest.raises(KeyError):
+        create_app("sorting")
+
+
+def test_paper_dataset_table_matches_paper():
+    rows = {row["application"]: row for row in paper_dataset_table()}
+    assert rows["MM"]["input_dataset"] == "Matrix with dimension 999 x 999"
+    assert rows["Kmeans"]["input_dataset"] == "Vectors with dimension of 512"
+    assert rows["PCA"]["input_dataset"] == "Matrix with dimension 960 x 960"
+    assert rows["HIST"]["input_dataset"] == "Medium (399 MB)"
+    assert rows["WC"]["input_dataset"] == "Large (100 MB)"
+    assert rows["LR"]["input_dataset"] == "Medium (100 MB)"
+    assert rows["Kmeans"]["iterations"] == 2
+    assert rows["PCA"]["iterations"] == 2

@@ -1,0 +1,35 @@
+"""The beyond-paper String Match application."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.apps.string_match import SEARCH_KEYS, StringMatchApp
+from repro.mapreduce.runtime import run_job
+
+
+class TestStringMatch:
+    def test_functional_correctness(self):
+        app = StringMatchApp(scale=0.3, seed=5)
+        trace = app.run(num_workers=32)  # run() verifies internally
+        assert trace.app_name == "string_match"
+
+    def test_counts_match_brute_force(self):
+        app = StringMatchApp(scale=0.3, seed=5)
+        result, _ = run_job(app.make_job(), 16)
+        for index, key in enumerate(SEARCH_KEYS):
+            assert result[index] == app._words.count(key)
+
+    def test_reachable_via_registry_and_alias(self):
+        assert create_app("string_match", scale=0.3).profile.label == "SM"
+        assert create_app("sm", scale=0.3).profile.label == "SM"
+
+    def test_not_in_paper_canon(self):
+        from repro.apps import APP_NAMES
+
+        assert "string_match" not in APP_NAMES
+
+    def test_runs_through_full_pipeline(self):
+        from repro.core.experiment import run_app_study
+
+        study = run_app_study("string_match", scale=0.3, seed=9, num_workers=16)
+        assert study.normalized_edp("vfi2_winoc") > 0

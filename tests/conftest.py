@@ -1,0 +1,37 @@
+"""Shared fixtures: small, fast instances of the heavyweight objects."""
+
+import pytest
+
+from repro.core.platforms import build_nvfi_mesh
+from repro.noc.topology import GridGeometry, build_mesh
+from repro.vfi.islands import quadrant_clusters
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    return GridGeometry(8, 8)
+
+
+@pytest.fixture(scope="session")
+def small_geometry():
+    return GridGeometry(4, 4)
+
+
+@pytest.fixture(scope="session")
+def mesh(geometry):
+    return build_mesh(geometry)
+
+
+@pytest.fixture(scope="session")
+def layout(geometry):
+    return quadrant_clusters(geometry)
+
+
+@pytest.fixture(scope="session")
+def quadrants(layout):
+    return list(layout.node_cluster)
+
+
+@pytest.fixture()
+def nvfi_platform():
+    return build_nvfi_mesh()

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_apps(capsys):
+    assert main(["list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "WC" in out and "999 x 999" in out
+
+
+def test_run_study(capsys):
+    assert main(["run-study", "histogram", "--scale", "0.3", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "vfi2_winoc" in out
+    assert "time vs NVFI" in out
+
+
+def test_design(capsys):
+    assert main(["design", "histogram", "--scale", "0.3", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "Island membership" in out
+    assert "VFI 1" in out and "VFI 2" in out
+
+
+def test_report_to_file(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert (
+        main(["report", "--scale", "0.3", "--seed", "9", "--output", str(target)])
+        == 0
+    )
+    assert target.exists()
+    assert "# Reproduction report" in target.read_text()
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run-study", "sorting"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_topology(capsys):
+    assert main(["topology", "histogram", "--scale", "0.3", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "wire length histogram" in out
+    assert "V/F floorplan" in out

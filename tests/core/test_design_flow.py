@@ -1,0 +1,88 @@
+"""The Fig. 3 design flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_flow import (
+    VfiDesign,
+    design_vfi,
+    structural_bottleneck_workers,
+)
+from repro.apps import create_app
+from repro.mapreduce.scheduler import CappedStealingPolicy
+
+
+def characterization(seed=0, heterogeneous=False, master_hot=True):
+    rng = np.random.default_rng(seed)
+    traffic = rng.random((64, 64))
+    np.fill_diagonal(traffic, 0.0)
+    if heterogeneous:
+        utilization = np.clip(rng.uniform(0.05, 0.9, 64), 0, 1)
+    else:
+        utilization = np.clip(rng.normal(0.55, 0.01, 64), 0, 1)
+        if master_hot:
+            utilization[0] = 0.8
+    return utilization, traffic
+
+
+class TestDesignVfi:
+    def test_produces_four_equal_islands(self):
+        u, f = characterization()
+        design = design_vfi(u, f, seed=1)
+        counts = np.bincount(design.worker_clusters, minlength=4)
+        assert (counts == 16).all()
+
+    def test_homogeneous_with_master_reassigns(self):
+        u, f = characterization(master_hot=True)
+        design = design_vfi(u, f, seed=1, structural_workers={0})
+        assert design.was_reassigned
+        assert design.vfi2.points != design.vfi1.points
+
+    def test_structural_filter_blocks_data_hot_cores(self):
+        u, f = characterization(master_hot=False)
+        u[17] = 0.85  # hot, but not the master
+        design = design_vfi(u, f, seed=1, structural_workers={0})
+        assert not design.was_reassigned
+
+    def test_heterogeneous_no_reassignment(self):
+        u, f = characterization(heterogeneous=True)
+        design = design_vfi(u, f, seed=1, structural_workers={0})
+        assert not design.was_reassigned
+
+    def test_worker_frequencies_follow_islands(self):
+        u, f = characterization()
+        design = design_vfi(u, f, seed=1)
+        freqs = design.worker_frequencies("vfi1")
+        for worker, cluster in enumerate(design.worker_clusters):
+            assert freqs[worker] == design.vfi1.points[cluster].frequency_hz
+
+    def test_stealing_policy_built_for_vfi2(self):
+        u, f = characterization(master_hot=True)
+        design = design_vfi(u, f, seed=1, structural_workers={0})
+        policy = design.stealing_policy("vfi2")
+        assert isinstance(policy, CappedStealingPolicy)
+        assert policy.fmax_hz == design.vfi2.fmax_hz
+
+    def test_unknown_system_rejected(self):
+        u, f = characterization()
+        design = design_vfi(u, f, seed=1)
+        with pytest.raises(ValueError):
+            design.worker_frequencies("vfi3")
+
+
+class TestStructuralWorkers:
+    def test_master_always_included(self):
+        trace = create_app("linear_regression", scale=0.3, seed=2).run(num_workers=64)
+        assert structural_bottleneck_workers(trace) == {0}
+
+    def test_merge_roots_optional(self):
+        trace = create_app("histogram", scale=0.25, seed=2).run(num_workers=64)
+        base = structural_bottleneck_workers(trace)
+        widened = structural_bottleneck_workers(trace, final_merge_stages=2)
+        assert base == {0}
+        assert base < widened
+
+    def test_negative_stage_count_rejected(self):
+        trace = create_app("histogram", scale=0.25, seed=2).run(num_workers=64)
+        with pytest.raises(ValueError):
+            structural_bottleneck_workers(trace, final_merge_stages=-1)

@@ -1,0 +1,35 @@
+"""Size-generic platform construction."""
+
+import pytest
+
+from repro.core.platforms import geometry_for, memory_params_for
+from repro.noc.topology import GridGeometry
+
+
+class TestGeometryFor:
+    @pytest.mark.parametrize("cores,side", [(16, 4), (36, 6), (64, 8), (100, 10)])
+    def test_square_sides(self, cores, side):
+        geometry = geometry_for(cores)
+        assert geometry.columns == geometry.rows == side
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            geometry_for(48)
+
+    def test_odd_side_rejected(self):
+        with pytest.raises(ValueError):
+            geometry_for(25)
+
+
+class TestMemoryParamsFor:
+    def test_corners_8x8(self):
+        params = memory_params_for(GridGeometry(8, 8))
+        assert params.controller_nodes == (0, 7, 56, 63)
+
+    def test_corners_4x4(self):
+        params = memory_params_for(GridGeometry(4, 4))
+        assert params.controller_nodes == (0, 3, 12, 15)
+
+    def test_corners_rectangular(self):
+        params = memory_params_for(GridGeometry(6, 4))
+        assert params.controller_nodes == (0, 5, 18, 23)

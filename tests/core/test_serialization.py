@@ -1,0 +1,68 @@
+"""Design / study JSON round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import run_app_study
+from repro.core.serialization import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+    save_study_summary,
+    study_summary_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_app_study("histogram", scale=0.3, seed=9)
+
+
+class TestDesignRoundTrip:
+    def test_round_trip_preserves_everything(self, study):
+        data = design_to_dict(study.design)
+        rebuilt = design_from_dict(data)
+        assert rebuilt.worker_clusters == study.design.worker_clusters
+        assert rebuilt.vfi1.labels() == study.design.vfi1.labels()
+        assert rebuilt.vfi2.labels() == study.design.vfi2.labels()
+        assert rebuilt.vfi2.reassigned_islands == study.design.vfi2.reassigned_islands
+        assert np.allclose(rebuilt.utilization, study.design.utilization)
+        assert np.allclose(rebuilt.traffic, study.design.traffic)
+        assert rebuilt.bottleneck.ratio == pytest.approx(
+            study.design.bottleneck.ratio
+        )
+
+    def test_json_serializable(self, study):
+        text = json.dumps(design_to_dict(study.design))
+        assert "vfi1" in text
+
+    def test_file_round_trip(self, study, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(study.design, str(path))
+        rebuilt = load_design(str(path))
+        assert rebuilt.worker_clusters == study.design.worker_clusters
+
+    def test_rebuilt_design_drives_platforms(self, study):
+        from repro.core.platforms import build_vfi_mesh
+
+        rebuilt = design_from_dict(design_to_dict(study.design))
+        platform = build_vfi_mesh(rebuilt, "vfi2", seed=1)
+        assert platform.num_cores == 64
+
+
+class TestStudySummary:
+    def test_summary_structure(self, study):
+        summary = study_summary_dict(study)
+        assert summary["app"] == "histogram"
+        assert set(summary["configs"]) == set(study.results)
+        nvfi = summary["configs"]["nvfi_mesh"]
+        assert nvfi["normalized_time"] == pytest.approx(1.0)
+
+    def test_summary_file(self, study, tmp_path):
+        path = tmp_path / "summary.json"
+        save_study_summary(study, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["label"] == "HIST"

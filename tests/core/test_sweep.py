@@ -1,0 +1,49 @@
+"""Seed and size sweeps."""
+
+import pytest
+
+from repro.core.sweep import SweepResult, seed_sweep, size_sweep
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def seeds_result():
+    return seed_sweep("histogram", seeds=(9, 10), scale=SCALE, num_workers=16)
+
+
+class TestSeedSweep:
+    def test_rows_per_seed(self, seeds_result):
+        assert sorted(seeds_result.rows) == [9, 10]
+
+    def test_configs_present(self, seeds_result):
+        for row in seeds_result.rows.values():
+            assert set(row) == {"vfi1_mesh", "vfi2_mesh", "vfi2_winoc"}
+
+    def test_aggregate_mean_std(self, seeds_result):
+        agg = seeds_result.aggregate()
+        mean, std = agg["vfi2_winoc"]["edp"]
+        assert 0 < mean < 1.5
+        assert std >= 0
+
+    def test_spread(self, seeds_result):
+        assert seeds_result.spread("vfi2_winoc", "edp") >= 0
+
+    def test_spread_unknown_config(self, seeds_result):
+        with pytest.raises(KeyError):
+            seeds_result.spread("nope", "edp")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep("histogram", seeds=())
+
+
+class TestSizeSweep:
+    def test_sizes(self):
+        sweep = size_sweep("histogram", sizes=(16,), scale=SCALE, seed=9)
+        assert list(sweep.rows) == [16]
+        assert sweep.parameter == "num_workers"
+
+    def test_non_square_size_rejected(self):
+        with pytest.raises(ValueError):
+            size_sweep("histogram", sizes=(20,), scale=SCALE, seed=9)

@@ -1,0 +1,59 @@
+"""Traffic-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.core.traffic import (
+    inter_cluster_traffic,
+    memory_traffic_matrix,
+    total_node_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return create_app("wordcount", scale=0.25, seed=3).run(num_workers=64)
+
+
+class TestMemoryTraffic:
+    def test_shape_and_nonnegative(self, trace):
+        matrix = memory_traffic_matrix(trace, locality=0.2)
+        assert matrix.shape == (64, 64)
+        assert (matrix >= 0).all()
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_locality_reduces_volume(self, trace):
+        low = memory_traffic_matrix(trace, locality=0.0).sum()
+        high = memory_traffic_matrix(trace, locality=0.9).sum()
+        assert high < low
+
+    def test_validated(self, trace):
+        with pytest.raises(ValueError):
+            memory_traffic_matrix(trace, locality=-0.1)
+
+
+class TestTotalTraffic:
+    def test_includes_kv(self, trace):
+        total = total_node_traffic(trace, locality=0.2)
+        memory_only = memory_traffic_matrix(trace, locality=0.2)
+        assert total.sum() > memory_only.sum()
+
+    def test_kv_weight(self, trace):
+        base = total_node_traffic(trace, 0.2, kv_weight=0.0)
+        weighted = total_node_traffic(trace, 0.2, kv_weight=1.0)
+        assert weighted.sum() > base.sum()
+
+
+class TestInterClusterTraffic:
+    def test_aggregates(self):
+        clusters = [0, 0, 1, 1]
+        traffic = np.arange(16, dtype=float).reshape(4, 4)
+        agg = inter_cluster_traffic(traffic, clusters, 2)
+        assert agg.shape == (2, 2)
+        assert agg.sum() == pytest.approx(traffic.sum())
+        assert agg[0, 1] == traffic[0:2, 2:4].sum()
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            inter_cluster_traffic(np.ones((3, 3)), [0, 1], 2)

@@ -1,0 +1,72 @@
+"""McPAT-style core power model."""
+
+import pytest
+
+from repro.energy.core_power import CorePowerModel, CorePowerParams
+from repro.vfi.islands import DVFS_LADDER, NOMINAL
+
+
+@pytest.fixture
+def model():
+    return CorePowerModel()
+
+
+class TestDynamicPower:
+    def test_nominal(self, model):
+        assert model.dynamic_power_w(NOMINAL, 1.0) == pytest.approx(
+            model.params.dynamic_w_nominal
+        )
+
+    def test_v2f_scaling(self, model):
+        low = DVFS_LADDER[0]  # 0.6 V / 1.5 GHz
+        expected = model.params.dynamic_w_nominal * 0.6**2 * (1.5 / 2.5)
+        assert model.dynamic_power_w(low, 1.0) == pytest.approx(expected)
+
+    def test_activity_scales_linearly(self, model):
+        full = model.dynamic_power_w(NOMINAL, 1.0)
+        assert model.dynamic_power_w(NOMINAL, 0.5) == pytest.approx(full / 2)
+
+    def test_monotone_along_ladder(self, model):
+        powers = [model.dynamic_power_w(p, 1.0) for p in DVFS_LADDER]
+        assert powers == sorted(powers)
+
+    def test_activity_validated(self, model):
+        with pytest.raises(ValueError):
+            model.dynamic_power_w(NOMINAL, 1.5)
+
+
+class TestLeakage:
+    def test_superlinear_in_voltage(self, model):
+        low = model.leakage_power_w(DVFS_LADDER[0])
+        nominal = model.leakage_power_w(NOMINAL)
+        # gamma=2.5: 0.6^2.5 ~ 0.279
+        assert low / nominal == pytest.approx(0.6**2.5)
+
+
+class TestEnergy:
+    def test_busy_costs_more_than_idle(self, model):
+        busy = model.energy_j(NOMINAL, 1.0, 0.0)
+        idle = model.energy_j(NOMINAL, 0.0, 1.0)
+        assert busy > 3 * idle
+
+    def test_additive(self, model):
+        combined = model.energy_j(NOMINAL, 2.0, 3.0)
+        assert combined == pytest.approx(
+            model.energy_j(NOMINAL, 2.0, 0.0) + model.energy_j(NOMINAL, 0.0, 3.0)
+        )
+
+    def test_low_vf_saves_energy_for_same_interval(self, model):
+        assert model.energy_j(DVFS_LADDER[0], 1.0, 1.0) < model.energy_j(
+            NOMINAL, 1.0, 1.0
+        )
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.energy_j(NOMINAL, -1.0, 0.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CorePowerParams(dynamic_w_nominal=-1)
+    with pytest.raises(ValueError):
+        CorePowerParams(idle_activity=2.0)

@@ -1,0 +1,40 @@
+import pytest
+
+from repro.energy.metrics import EnergyBreakdown, edp, normalized
+
+
+class TestEdp:
+    def test_product(self):
+        assert edp(2.0, 3.0) == 6.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 1.0)
+
+
+class TestNormalized:
+    def test_ratio(self):
+        assert normalized(3.0, 2.0) == 1.5
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+
+class TestEnergyBreakdown:
+    def test_totals(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert b.core_j == 3.0
+        assert b.noc_j == 7.0
+        assert b.total_j == 10.0
+
+    def test_add(self):
+        a = EnergyBreakdown(1.0, 1.0, 1.0, 1.0)
+        b = EnergyBreakdown(2.0, 2.0, 2.0, 2.0)
+        total = a + b
+        assert total.total_j == 12.0
+
+    def test_as_dict(self):
+        d = EnergyBreakdown(1.0, 2.0, 3.0, 4.0).as_dict()
+        assert d["total_j"] == 10.0
+        assert d["core_dynamic_j"] == 1.0

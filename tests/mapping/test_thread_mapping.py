@@ -1,0 +1,124 @@
+"""Thread-to-core mapping strategies."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.thread_mapping import (
+    ThreadMapping,
+    communication_aware_mapping,
+    identity_mapping,
+    mapping_cost,
+    wireless_centric_mapping,
+    _grid_distance_matrix,
+    _initial_cluster_mapping,
+)
+from repro.noc.topology import GridGeometry
+from repro.vfi.islands import quadrant_clusters
+
+GEO = GridGeometry(8, 8)
+LAYOUT = quadrant_clusters(GEO)
+WORKER_CLUSTERS = np.repeat([0, 1, 2, 3], 16)
+WI_NODES = [9, 10, 17, 13, 14, 21, 41, 42, 49, 45, 46, 53]
+
+
+def random_traffic(seed=0):
+    rng = np.random.default_rng(seed)
+    traffic = rng.random((64, 64)) ** 2
+    np.fill_diagonal(traffic, 0.0)
+    return traffic
+
+
+class TestThreadMapping:
+    def test_identity(self):
+        mapping = identity_mapping(8)
+        assert mapping.worker_to_node == tuple(range(8))
+        assert mapping.node_of(3) == 3
+
+    def test_bijection_enforced(self):
+        with pytest.raises(ValueError):
+            ThreadMapping((0, 0, 1))
+
+    def test_node_to_worker(self):
+        mapping = ThreadMapping((2, 0, 1))
+        assert mapping.node_to_worker() == {2: 0, 0: 1, 1: 2}
+
+    def test_map_traffic_permutes(self):
+        mapping = ThreadMapping((1, 0))
+        traffic = np.array([[0.0, 5.0], [3.0, 0.0]])
+        node_traffic = mapping.map_traffic(traffic)
+        assert node_traffic[1, 0] == 5.0
+        assert node_traffic[0, 1] == 3.0
+
+    def test_map_traffic_preserves_total(self):
+        traffic = random_traffic()
+        mapping = communication_aware_mapping(
+            WORKER_CLUSTERS, LAYOUT, traffic, iterations=50, seed=0
+        )
+        assert mapping.map_traffic(traffic).sum() == pytest.approx(traffic.sum())
+
+
+class TestClusterConstraint:
+    @pytest.mark.parametrize("strategy", ["comm", "wireless"])
+    def test_workers_land_on_their_island(self, strategy):
+        traffic = random_traffic()
+        if strategy == "comm":
+            mapping = communication_aware_mapping(
+                WORKER_CLUSTERS, LAYOUT, traffic, iterations=100, seed=1
+            )
+        else:
+            mapping = wireless_centric_mapping(
+                WORKER_CLUSTERS, LAYOUT, traffic, WI_NODES, seed=1
+            )
+        for worker, node in enumerate(mapping.worker_to_node):
+            assert LAYOUT.cluster_of(node) == WORKER_CLUSTERS[worker]
+
+    def test_oversubscribed_cluster_rejected(self):
+        bad_clusters = [0] * 20 + [1] * 44
+        with pytest.raises(ValueError):
+            _initial_cluster_mapping(bad_clusters, LAYOUT)
+
+
+class TestCommunicationAware:
+    def test_improves_on_naive_placement(self):
+        traffic = random_traffic(3)
+        distance = _grid_distance_matrix(GEO)
+        naive = _initial_cluster_mapping(WORKER_CLUSTERS, LAYOUT)
+        optimized = communication_aware_mapping(
+            WORKER_CLUSTERS, LAYOUT, traffic, iterations=1500, seed=3
+        )
+        assert mapping_cost(optimized.worker_to_node, traffic, distance) <= mapping_cost(
+            naive, traffic, distance
+        )
+
+    def test_deterministic(self):
+        traffic = random_traffic(4)
+        a = communication_aware_mapping(WORKER_CLUSTERS, LAYOUT, traffic, 100, seed=9)
+        b = communication_aware_mapping(WORKER_CLUSTERS, LAYOUT, traffic, 100, seed=9)
+        assert a.worker_to_node == b.worker_to_node
+
+
+class TestWirelessCentric:
+    def test_heavy_communicators_near_wis(self):
+        traffic = np.zeros((64, 64))
+        # worker 5 talks heavily across islands
+        traffic[5, 20] = traffic[20, 5] = 100.0
+        mapping = wireless_centric_mapping(
+            WORKER_CLUSTERS, LAYOUT, traffic, WI_NODES, seed=0
+        )
+        node5 = mapping.node_of(5)
+        island_wis = [n for n in WI_NODES if LAYOUT.cluster_of(n) == 0]
+        dist5 = min(GEO.manhattan_hops(node5, wi) for wi in island_wis)
+        # a silent worker in the same island
+        node_quiet = mapping.node_of(12)
+        dist_quiet = min(GEO.manhattan_hops(node_quiet, wi) for wi in island_wis)
+        assert dist5 <= dist_quiet
+
+    def test_requires_wi_nodes(self):
+        with pytest.raises(ValueError):
+            wireless_centric_mapping(WORKER_CLUSTERS, LAYOUT, random_traffic(), [])
+
+    def test_traffic_shape_checked(self):
+        with pytest.raises(ValueError):
+            wireless_centric_mapping(
+                WORKER_CLUSTERS, LAYOUT, np.ones((4, 4)), WI_NODES
+            )

@@ -1,0 +1,95 @@
+"""Combiner semantics, including the associativity/commutativity the
+reduce phase depends on (property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.combiners import (
+    BufferCombiner,
+    CountCombiner,
+    MaxCombiner,
+    MeanCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+
+floats = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6)
+
+
+def fold(combiner, values):
+    acc = combiner.identity()
+    for value in values:
+        acc = combiner.add(acc, value)
+    return acc
+
+
+class TestSumCombiner:
+    def test_basic(self):
+        c = SumCombiner()
+        assert c.finalize(fold(c, [1, 2, 3])) == 6
+
+    @given(st.lists(floats, min_size=1), st.lists(floats, min_size=1))
+    def test_merge_matches_concatenated_fold(self, left, right):
+        c = SumCombiner()
+        merged = c.merge(fold(c, left), fold(c, right))
+        assert merged == pytest.approx(fold(c, left + right), rel=1e-9, abs=1e-6)
+
+    @given(st.lists(floats), st.lists(floats))
+    def test_merge_commutative(self, left, right):
+        c = SumCombiner()
+        a, b = fold(c, left), fold(c, right)
+        assert c.merge(a, b) == pytest.approx(c.merge(b, a))
+
+
+class TestCountCombiner:
+    @given(st.lists(st.text(max_size=5)))
+    def test_counts_everything(self, values):
+        c = CountCombiner()
+        assert fold(c, values) == len(values)
+
+    def test_merge(self):
+        c = CountCombiner()
+        assert c.merge(3, 4) == 7
+
+
+class TestMinMax:
+    @given(st.lists(floats, min_size=1))
+    def test_min(self, values):
+        c = MinCombiner()
+        assert c.finalize(fold(c, values)) == min(values)
+
+    @given(st.lists(floats, min_size=1))
+    def test_max(self, values):
+        c = MaxCombiner()
+        assert c.finalize(fold(c, values)) == max(values)
+
+    @given(st.lists(floats, min_size=1), st.lists(floats, min_size=1))
+    def test_min_merge_associates(self, a, b):
+        c = MinCombiner()
+        assert c.merge(fold(c, a), fold(c, b)) == fold(c, a + b)
+
+
+class TestMeanCombiner:
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_mean(self, values):
+        c = MeanCombiner()
+        assert c.finalize(fold(c, values)) == pytest.approx(
+            sum(values) / len(values), rel=1e-9, abs=1e-9
+        )
+
+    def test_empty_finalize_raises(self):
+        c = MeanCombiner()
+        with pytest.raises(ValueError):
+            c.finalize(c.identity())
+
+
+class TestBufferCombiner:
+    @given(st.lists(st.integers()))
+    def test_keeps_all_values(self, values):
+        c = BufferCombiner()
+        assert fold(c, values) == values
+
+    def test_merge_extends(self):
+        c = BufferCombiner()
+        assert c.merge([1], [2, 3]) == [1, 2, 3]

@@ -1,0 +1,98 @@
+"""Phoenix++-style container behaviour and partitioning determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.containers import (
+    ArrayContainer,
+    HashContainer,
+    OneBucketContainer,
+    stable_key_hash,
+)
+
+
+class TestStableKeyHash:
+    @given(st.text(max_size=30))
+    def test_string_hash_deterministic_and_nonnegative(self, key):
+        assert stable_key_hash(key) == stable_key_hash(key)
+        assert stable_key_hash(key) >= 0
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_int_hash_nonnegative(self, key):
+        assert stable_key_hash(key) >= 0
+
+    @given(st.tuples(st.integers(0, 100), st.integers(0, 100)))
+    def test_tuple_hash_deterministic(self, key):
+        assert stable_key_hash(key) == stable_key_hash(key)
+
+    def test_distinct_strings_mostly_distinct(self):
+        hashes = {stable_key_hash(f"word{i}") for i in range(1000)}
+        assert len(hashes) > 990
+
+    def test_bool_is_not_confused_with_int_path(self):
+        assert stable_key_hash(True) == 1
+        assert stable_key_hash(False) == 0
+
+
+class TestHashContainer:
+    def test_emit_and_fold(self):
+        c = HashContainer(SumCombiner())
+        c.emit("a", 1)
+        c.emit("a", 2)
+        c.emit("b", 5)
+        assert dict(c.items()) == {"a": 3, "b": 5}
+        assert len(c) == 2
+
+    def test_partition_items_cover_everything_once(self):
+        c = HashContainer(SumCombiner())
+        for i in range(100):
+            c.emit(f"k{i}", 1)
+        seen = []
+        for p in range(8):
+            seen.extend(k for k, _ in c.partition_items(8, p))
+        assert sorted(seen) == sorted(f"k{i}" for i in range(100))
+
+    def test_partition_out_of_range(self):
+        c = HashContainer(SumCombiner())
+        with pytest.raises(ValueError):
+            list(c.partition_items(4, 4))
+
+
+class TestArrayContainer:
+    def test_dense_keys(self):
+        c = ArrayContainer(SumCombiner(), 4)
+        c.emit(0, 1.0)
+        c.emit(3, 2.0)
+        c.emit(0, 1.0)
+        assert dict(c.items()) == {0: 2.0, 3: 2.0}
+        assert len(c) == 2
+
+    def test_rejects_out_of_range(self):
+        c = ArrayContainer(SumCombiner(), 4)
+        with pytest.raises(KeyError):
+            c.emit(4, 1.0)
+
+    def test_rejects_non_int_keys(self):
+        c = ArrayContainer(SumCombiner(), 4)
+        with pytest.raises(TypeError):
+            c.emit("0", 1.0)
+        with pytest.raises(TypeError):
+            c.emit(True, 1.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ArrayContainer(SumCombiner(), 0)
+
+
+class TestOneBucketContainer:
+    def test_single_accumulator(self):
+        c = OneBucketContainer(SumCombiner())
+        assert len(c) == 0
+        c.emit("ignored", 2.0)
+        c.emit("also-ignored", 3.0)
+        items = list(c.items())
+        assert len(items) == 1
+        assert items[0][1] == 5.0
+        assert len(c) == 1

@@ -1,0 +1,71 @@
+"""Degenerate configurations the engine must survive."""
+
+import pytest
+
+from repro.mapreduce.job import JobConfig, MapReduceJob
+from repro.mapreduce.runtime import run_job
+from repro.mapreduce.splitter import split_evenly
+
+
+class TinyJob(MapReduceJob):
+    name = "tiny"
+
+    def __init__(self, items, config=JobConfig()):
+        super().__init__(config)
+        self.items = items
+
+    def split(self, num_tasks):
+        return split_evenly(self.items, num_tasks)
+
+    def map(self, chunk, emit):
+        for item in chunk:
+            emit(item % 3, 1)
+        return float(len(chunk))
+
+
+class TestSingleWorker:
+    def test_runs_and_is_correct(self):
+        result, trace = run_job(TinyJob(list(range(30))), num_workers=1)
+        assert result[0] == 10 and result[1] == 10 and result[2] == 10
+        assert trace.num_workers == 1
+        # no merge partners with a single worker
+        assert all(not it.merge_stages for it in trace.iterations)
+
+    def test_flow_matrix_empty(self):
+        _, trace = run_job(TinyJob(list(range(30))), num_workers=1)
+        assert trace.worker_flow_matrix().sum() == 0.0
+
+
+class TestFewerItemsThanWorkers:
+    def test_two_items_eight_workers(self):
+        result, trace = run_job(TinyJob([0, 1]), num_workers=8)
+        assert result == {0: 1, 1: 1}
+        assert trace.map_task_count() == 2
+
+
+class TestSingleChunk:
+    def test_one_task(self):
+        class OneChunk(TinyJob):
+            def num_map_tasks(self, num_workers):
+                return 1
+
+        result, trace = run_job(OneChunk(list(range(12))), num_workers=4)
+        assert sum(result.values()) == 12
+        assert trace.map_task_count() == 1
+
+
+class TestOddWorkerCounts:
+    @pytest.mark.parametrize("workers", [3, 5, 7])
+    def test_merge_funnel_handles_odd_widths(self, workers):
+        result, trace = run_job(TinyJob(list(range(60))), num_workers=workers)
+        assert sum(result.values()) == 60
+        for iteration in trace.iterations:
+            # funnel terminates with exactly one surviving buffer
+            widths = [len(stage.tasks) for stage in iteration.merge_stages]
+            assert all(width >= 1 for width in widths)
+
+
+class TestEmptyInput:
+    def test_no_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            run_job(TinyJob([]), num_workers=4)

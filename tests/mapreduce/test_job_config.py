@@ -1,0 +1,57 @@
+"""JobConfig validation and job defaults."""
+
+import pytest
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.containers import HashContainer
+from repro.mapreduce.job import JobConfig, MapReduceJob
+
+
+class TestJobConfig:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "instructions_per_map_unit",
+            "instructions_per_reduce_pair",
+            "instructions_per_merge_byte",
+            "bytes_per_pair",
+            "trace_scale",
+            "tasks_per_worker",
+        ],
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            JobConfig(**{field: 0})
+
+    def test_mpki_may_be_zero(self):
+        config = JobConfig(l1_mpki=0.0, l2_mpki=0.0)
+        assert config.l1_mpki == 0.0
+
+
+class TestJobDefaults:
+    def test_default_container_is_hash_with_sum(self):
+        job = MapReduceJob()
+        container = job.make_container()
+        assert isinstance(container, HashContainer)
+        assert isinstance(container.combiner, SumCombiner)
+
+    def test_default_task_count(self):
+        job = MapReduceJob()
+        assert job.num_map_tasks(64) == 96  # 64 * 1.5
+
+    def test_single_iteration_by_default(self):
+        job = MapReduceJob()
+        assert job.max_iterations() == 1
+        assert job.begin_iteration(0)
+        assert not job.begin_iteration(1)
+
+    def test_abstract_hooks_raise(self):
+        job = MapReduceJob()
+        with pytest.raises(NotImplementedError):
+            job.split(4)
+        with pytest.raises(NotImplementedError):
+            job.map(None, lambda k, v: None)
+
+    def test_reduce_work_default_is_fan_in(self):
+        job = MapReduceJob()
+        assert job.reduce_work("key", [1, 2, 3]) == 3.0

@@ -1,0 +1,181 @@
+"""Functional runtime: correctness, trace structure, key-value flow."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.containers import stable_key_hash
+from repro.mapreduce.job import JobConfig, MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime, run_job
+from repro.mapreduce.scheduler import CappedStealingPolicy
+from repro.mapreduce.splitter import split_evenly
+from repro.mapreduce.tasks import Phase
+
+
+class WordCountLike(MapReduceJob):
+    name = "wc-test"
+
+    def __init__(self, words, config=JobConfig()):
+        super().__init__(config)
+        self.words = words
+
+    def split(self, num_tasks):
+        return split_evenly(self.words, num_tasks)
+
+    def map(self, chunk, emit):
+        for word in chunk:
+            emit(word, 1)
+        return float(len(chunk))
+
+
+class TwoIterationJob(WordCountLike):
+    name = "two-iter"
+
+    def max_iterations(self):
+        return 2
+
+
+@pytest.fixture(scope="module")
+def words():
+    return ("alpha beta gamma alpha delta beta alpha " * 30).split()
+
+
+@pytest.fixture(scope="module")
+def wc_run(words):
+    return run_job(WordCountLike(words), num_workers=8)
+
+
+class TestFunctionalCorrectness:
+    def test_counts(self, wc_run, words):
+        result, _ = wc_run
+        assert result["alpha"] == words.count("alpha")
+        assert result["beta"] == words.count("beta")
+        assert sum(result.values()) == len(words)
+
+    def test_result_independent_of_worker_count(self, words):
+        r4, _ = run_job(WordCountLike(words), num_workers=4)
+        r16, _ = run_job(WordCountLike(words), num_workers=16)
+        assert r4 == r16
+
+    def test_result_unchanged_by_capped_policy(self, words):
+        policy = CappedStealingPolicy([2.5e9] * 4 + [1.5e9] * 4)
+        r_default, _ = run_job(WordCountLike(words), num_workers=8)
+        r_capped, _ = run_job(WordCountLike(words), num_workers=8, policy=policy)
+        assert r_default == r_capped
+
+
+class TestTraceStructure:
+    def test_phases_present(self, wc_run):
+        _, trace = wc_run
+        assert trace.num_iterations == 1
+        it = trace.iterations[0]
+        assert it.lib_init.phase is Phase.LIB_INIT
+        assert len(it.map_phase) == 12  # 8 workers * 1.5
+        assert len(it.reduce_phase) == 8
+        assert len(it.merge_stages) == 3  # log2(8)
+
+    def test_merge_funnel_halves(self, wc_run):
+        _, trace = wc_run
+        sizes = [len(stage.tasks) for stage in trace.iterations[0].merge_stages]
+        assert sizes == [4, 2, 1]
+
+    def test_merge_partners_distinct(self, wc_run):
+        _, trace = wc_run
+        for stage in trace.iterations[0].merge_stages:
+            for record in stage.tasks:
+                assert record.partner_worker is not None
+                assert record.partner_worker != record.home_worker
+
+    def test_costs_nonnegative_and_map_positive(self, wc_run):
+        _, trace = wc_run
+        for record in trace.all_tasks():
+            assert record.cost.instructions >= 0
+        for record in trace.iterations[0].map_phase.tasks:
+            assert record.cost.instructions > 0
+        assert trace.iterations[0].lib_init.cost.instructions > 0
+
+    def test_reduce_partition_assignment_matches_hash(self, wc_run, words):
+        _, trace = wc_run
+        for record in trace.iterations[0].reduce_phase.tasks:
+            assert record.phase is Phase.REDUCE
+        # every unique word lands in exactly one partition
+        partitions = {stable_key_hash(w) % 8 for w in set(words)}
+        assert partitions.issubset(set(range(8)))
+
+    def test_two_iterations(self, words):
+        _, trace = run_job(TwoIterationJob(words), num_workers=4)
+        assert trace.num_iterations == 2
+
+
+class TestFlowMatrix:
+    def test_shape_and_nonnegative(self, wc_run):
+        _, trace = wc_run
+        flow = trace.worker_flow_matrix()
+        assert flow.shape == (8, 8)
+        assert (flow >= 0).all()
+        assert np.allclose(np.diag(flow), 0.0)
+
+    def test_flow_scales_with_trace(self, wc_run):
+        _, trace = wc_run
+        doubled = trace.scaled(2.0)
+        assert np.allclose(doubled.worker_flow_matrix(), 2 * trace.worker_flow_matrix())
+
+
+class TestMissWeight:
+    def test_tuple_return_scales_misses(self, words):
+        class Weighted(WordCountLike):
+            def map(self, chunk, emit):
+                for word in chunk:
+                    emit(word, 1)
+                return float(len(chunk)), 2.0
+
+        _, trace_plain = run_job(WordCountLike(words), num_workers=4)
+        _, trace_weighted = run_job(Weighted(words), num_workers=4)
+        plain = trace_plain.iterations[0].map_phase.tasks[0]
+        weighted = trace_weighted.iterations[0].map_phase.tasks[0]
+        assert weighted.cost.l2_accesses == pytest.approx(2 * plain.cost.l2_accesses)
+        assert weighted.cost.instructions == pytest.approx(plain.cost.instructions)
+
+    def test_negative_weight_rejected(self, words):
+        class Bad(WordCountLike):
+            def map(self, chunk, emit):
+                return 1.0, -1.0
+
+        with pytest.raises(ValueError):
+            run_job(Bad(words), num_workers=4)
+
+    def test_negative_work_rejected(self, words):
+        class Bad(WordCountLike):
+            def map(self, chunk, emit):
+                return -1.0
+
+        with pytest.raises(ValueError):
+            run_job(Bad(words), num_workers=4)
+
+
+class TestTraceScale:
+    def test_trace_scale_multiplies_costs(self, words):
+        base, trace1 = run_job(WordCountLike(words, JobConfig()), num_workers=4)
+        _, trace3 = run_job(
+            WordCountLike(words, JobConfig(trace_scale=3.0)), num_workers=4
+        )
+        assert trace3.total_instructions() == pytest.approx(
+            3 * trace1.total_instructions()
+        )
+
+
+class TestRuntimeValidation:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(0)
+
+    def test_rejects_bad_master(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(4, master_worker=4)
+
+    def test_no_merge_job_has_no_stages(self, words):
+        class NoMerge(WordCountLike):
+            def merge_enabled(self):
+                return False
+
+        _, trace = run_job(NoMerge(words), num_workers=4)
+        assert trace.iterations[0].merge_stages == []

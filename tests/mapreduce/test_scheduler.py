@@ -1,0 +1,150 @@
+"""Task queues, stealing policies and the Eq. (3) cap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.scheduler import (
+    CappedStealingPolicy,
+    DefaultStealingPolicy,
+    TaskQueueSet,
+    vfi_task_cap,
+)
+from repro.mapreduce.tasks import Phase, Task
+
+
+def make_tasks(count, workers):
+    return [
+        Task(task_id=i, phase=Phase.MAP, home_worker=i % workers)
+        for i in range(count)
+    ]
+
+
+class TestVfiTaskCap:
+    def test_paper_word_count_case(self):
+        # Paper Sec. 4.3: N=100 tasks, C=64 cores, f=2.0 GHz vs fmax=2.5:
+        # Nf = floor(100/64 * (1 - 0.5/2.5)) = floor(1.5625 * 0.8) = 1.
+        assert vfi_task_cap(100, 64, 2.0e9, 2.5e9) == 1
+
+    def test_fmax_core_uncapped(self):
+        assert vfi_task_cap(100, 64, 2.5e9, 2.5e9) == 100
+
+    def test_zero_possible_at_small_ratio(self):
+        assert vfi_task_cap(64, 64, 1.5e9, 2.5e9) == 0
+
+    def test_monotone_in_frequency(self):
+        caps = [
+            vfi_task_cap(640, 64, f, 2.5e9)
+            for f in (1.5e9, 1.75e9, 2.0e9, 2.25e9, 2.5e9)
+        ]
+        assert caps == sorted(caps)
+
+    @given(
+        st.integers(0, 2000),
+        st.integers(1, 128),
+        st.sampled_from([1.5e9, 1.75e9, 2.0e9, 2.25e9]),
+    )
+    def test_never_exceeds_fair_share(self, n, c, f):
+        assert vfi_task_cap(n, c, f, 2.5e9) <= n / c
+
+    def test_rejects_f_above_fmax(self):
+        with pytest.raises(ValueError):
+            vfi_task_cap(10, 4, 3e9, 2.5e9)
+
+    def test_rejects_negative_tasks(self):
+        with pytest.raises(ValueError):
+            vfi_task_cap(-1, 4, 1e9, 2e9)
+
+
+class TestDefaultStealing:
+    def test_all_tasks_executed(self):
+        queues = TaskQueueSet(4, DefaultStealingPolicy())
+        queues.load(make_tasks(10, 4))
+        order = queues.drain_serial()
+        assert len(order) == 10
+        assert queues.remaining == 0
+
+    def test_steals_from_longest_queue(self):
+        queues = TaskQueueSet(3, DefaultStealingPolicy())
+        tasks = [Task(task_id=i, phase=Phase.MAP, home_worker=0) for i in range(5)]
+        queues.load(tasks)
+        # Worker 1 has nothing; must steal from worker 0 (the only victim).
+        task = queues.next_task(1)
+        assert task is not None
+        # Steals from the tail (cold end).
+        assert task.task_id == 4
+
+    def test_own_queue_first(self):
+        queues = TaskQueueSet(2, DefaultStealingPolicy())
+        queues.load(make_tasks(4, 2))
+        task = queues.next_task(1)
+        assert task.home_worker == 1
+        assert task.task_id == 1  # FIFO from own queue
+
+
+class TestCappedStealing:
+    def test_own_queue_always_allowed(self):
+        # 2 workers at different speeds; 4 tasks -> 2 own tasks each.
+        policy = CappedStealingPolicy([2.5e9, 1.5e9])
+        queues = TaskQueueSet(2, policy)
+        queues.load(make_tasks(4, 2))
+        # Slow worker may still run both of its own tasks.
+        assert queues.next_task(1) is not None
+        assert queues.next_task(1) is not None
+
+    def test_capped_worker_cannot_steal(self):
+        policy = CappedStealingPolicy([2.5e9, 2.0e9])
+        queues = TaskQueueSet(2, policy)
+        # All 10 tasks live on worker 0; worker 1 has an empty queue and a
+        # stealing budget of max(1, floor(5 * 0.8)) = 4.
+        tasks = [Task(task_id=i, phase=Phase.MAP, home_worker=0) for i in range(10)]
+        queues.load(tasks)
+        stolen = 0
+        while queues.next_task(1) is not None:
+            stolen += 1
+        assert stolen == policy.cap_for(1) == 4
+
+    def test_fast_worker_unbounded(self):
+        policy = CappedStealingPolicy([2.5e9, 2.0e9])
+        queues = TaskQueueSet(2, policy)
+        tasks = [Task(task_id=i, phase=Phase.MAP, home_worker=1) for i in range(10)]
+        queues.load(tasks)
+        taken = 0
+        while queues.next_task(0) is not None:
+            taken += 1
+        assert taken == 10
+
+    def test_cap_floor_at_initial_allocation(self):
+        # Eq. (3) floors to zero here, but a worker's own allocation is
+        # always runnable.
+        policy = CappedStealingPolicy([2.5e9, 1.5e9])
+        queues = TaskQueueSet(2, policy)
+        queues.load(make_tasks(2, 2))
+        assert policy.cap_for(1) >= 1
+
+    def test_rejects_freq_above_fmax(self):
+        with pytest.raises(ValueError):
+            CappedStealingPolicy([2.0e9, 3.0e9], fmax_hz=2.5e9)
+
+    def test_prepare_validates_worker_count(self):
+        policy = CappedStealingPolicy([2.5e9, 2.0e9])
+        with pytest.raises(ValueError):
+            policy.prepare(10, 3)
+
+    def test_drain_serial_completes_under_caps(self):
+        policy = CappedStealingPolicy([2.5e9, 2.0e9, 1.75e9, 1.5e9])
+        queues = TaskQueueSet(4, policy)
+        queues.load(make_tasks(13, 4))
+        order = queues.drain_serial()
+        assert len(order) == 13
+
+
+class TestQueueValidation:
+    def test_rejects_foreign_home_worker(self):
+        queues = TaskQueueSet(2)
+        with pytest.raises(ValueError):
+            queues.load([Task(task_id=0, phase=Phase.MAP, home_worker=5)])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            TaskQueueSet(0)

@@ -1,0 +1,58 @@
+"""Split-phase invariants (property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.splitter import chunk_indices, default_task_count, split_evenly
+
+
+class TestChunkIndices:
+    @given(st.integers(0, 5000), st.integers(1, 200))
+    def test_ranges_cover_exactly(self, total, chunks):
+        ranges = chunk_indices(total, chunks)
+        covered = sum(hi - lo for lo, hi in ranges)
+        assert covered == total
+        # contiguity
+        position = 0
+        for lo, hi in ranges:
+            assert lo == position
+            assert hi > lo
+            position = hi
+
+    @given(st.integers(1, 5000), st.integers(1, 200))
+    def test_similarly_sized(self, total, chunks):
+        ranges = chunk_indices(total, chunks)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        assert chunk_indices(3, 10) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 4)
+        with pytest.raises(ValueError):
+            chunk_indices(10, 0)
+
+
+class TestSplitEvenly:
+    def test_preserves_order(self):
+        data = list(range(10))
+        parts = split_evenly(data, 3)
+        assert [x for part in parts for x in part] == data
+
+
+class TestDefaultTaskCount:
+    def test_caps_at_data_units(self):
+        assert default_task_count(3, 64) == 3
+
+    def test_over_decomposition(self):
+        assert default_task_count(1000, 64) == 128
+
+    def test_no_data(self):
+        assert default_task_count(0, 8) == 8
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            default_task_count(10, 0)

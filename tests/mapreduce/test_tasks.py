@@ -1,0 +1,47 @@
+"""TaskCost arithmetic and Task plumbing."""
+
+import pytest
+
+from repro.mapreduce.tasks import Phase, Task, TaskCost
+
+
+class TestTaskCost:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TaskCost(instructions=-1)
+
+    def test_scaled(self):
+        cost = TaskCost(instructions=100, l2_accesses=10, kv_bytes_out=4)
+        doubled = cost.scaled(2.0)
+        assert doubled.instructions == 200
+        assert doubled.l2_accesses == 20
+        assert doubled.kv_bytes_out == 8
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            TaskCost(instructions=1).scaled(-1)
+
+    def test_add(self):
+        total = TaskCost(instructions=1, l2_accesses=2) + TaskCost(
+            instructions=3, memory_accesses=4
+        )
+        assert total.instructions == 4
+        assert total.l2_accesses == 2
+        assert total.memory_accesses == 4
+
+    def test_zero_identity(self):
+        cost = TaskCost(instructions=5, kv_bytes_in=3)
+        summed = cost + TaskCost.zero()
+        assert summed.instructions == cost.instructions
+        assert summed.kv_bytes_in == cost.kv_bytes_in
+
+
+class TestTask:
+    def test_require_cost_raises_before_execution(self):
+        task = Task(task_id=1, phase=Phase.MAP)
+        with pytest.raises(RuntimeError):
+            task.require_cost()
+
+    def test_require_cost_after(self):
+        task = Task(task_id=1, phase=Phase.MAP, cost=TaskCost(instructions=1))
+        assert task.require_cost().instructions == 1

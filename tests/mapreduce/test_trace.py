@@ -1,0 +1,94 @@
+"""JobTrace containers and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.tasks import Phase, TaskCost
+from repro.mapreduce.trace import (
+    IterationTrace,
+    JobTrace,
+    MergeStageTrace,
+    PhaseTrace,
+    TaskRecord,
+)
+
+
+def record(task_id, phase, worker, instr=100.0, **kwargs):
+    return TaskRecord(
+        task_id=task_id,
+        phase=phase,
+        cost=TaskCost(instructions=instr, kv_bytes_in=kwargs.pop("kv_in", 0.0)),
+        home_worker=worker,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def trace():
+    lib = record(0, Phase.LIB_INIT, 0, instr=50.0)
+    map_phase = PhaseTrace(
+        Phase.MAP, [record(1, Phase.MAP, 0), record(2, Phase.MAP, 1)]
+    )
+    reduce_phase = PhaseTrace(
+        Phase.REDUCE,
+        [
+            TaskRecord(
+                3,
+                Phase.REDUCE,
+                TaskCost(instructions=30.0),
+                home_worker=1,
+                input_bytes_by_worker={0: 64.0, 1: 32.0},
+            )
+        ],
+    )
+    merge = MergeStageTrace(
+        0,
+        [record(4, Phase.MERGE, 0, instr=20.0, kv_in=16.0, partner_worker=1)],
+    )
+    iteration = IterationTrace(0, lib, map_phase, reduce_phase, [merge])
+    return JobTrace(app_name="t", num_workers=2, iterations=[iteration])
+
+
+class TestAggregates:
+    def test_all_tasks(self, trace):
+        assert len(trace.all_tasks()) == 5
+
+    def test_total_instructions(self, trace):
+        assert trace.total_instructions() == pytest.approx(50 + 200 + 30 + 20)
+
+    def test_map_task_count(self, trace):
+        assert trace.map_task_count() == 2
+
+    def test_phase_total_cost(self, trace):
+        assert trace.iterations[0].map_phase.total_cost.instructions == 200.0
+
+
+class TestFlowMatrix:
+    def test_reduce_flow_excludes_self(self, trace):
+        flow = trace.worker_flow_matrix()
+        # reduce task on worker 1 pulls 64 B from worker 0; its own 32 B
+        # contribution never touches the network.
+        assert flow[0, 1] == pytest.approx(64.0)
+        assert flow[1, 1] == 0.0
+
+    def test_merge_flow(self, trace):
+        flow = trace.worker_flow_matrix()
+        assert flow[1, 0] == pytest.approx(16.0)
+
+
+class TestScaled:
+    def test_uniform_scaling(self, trace):
+        doubled = trace.scaled(2.0)
+        assert doubled.total_instructions() == pytest.approx(
+            2 * trace.total_instructions()
+        )
+        assert np.allclose(
+            doubled.worker_flow_matrix(), 2 * trace.worker_flow_matrix()
+        )
+        # original untouched
+        assert trace.total_instructions() == pytest.approx(300.0)
+
+    def test_structure_preserved(self, trace):
+        scaled = trace.scaled(3.0)
+        assert scaled.num_iterations == 1
+        assert scaled.iterations[0].merge_stages[0].tasks[0].partner_worker == 1

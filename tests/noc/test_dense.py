@@ -1,0 +1,131 @@
+"""DenseLatencyModel must agree with the reference per-path loop."""
+
+import numpy as np
+import pytest
+
+from repro.noc.dense import DenseLatencyModel, PairwiseEnergy
+from repro.noc.network import FlowNetworkModel
+from repro.noc.routing import build_mesh_routing, build_routing_table
+from repro.noc.smallworld import build_small_world
+from repro.noc.topology import GridGeometry, build_mesh
+from repro.noc.wireless import assign_wireless_links
+from repro.noc.placement import center_wireless_placement
+from repro.vfi.islands import quadrant_clusters
+
+GEO = GridGeometry(8, 8)
+CLUSTERS = list(quadrant_clusters(GEO).node_cluster)
+MIXED_FREQS = [2.5e9, 2.25e9, 2.0e9, 1.75e9]
+
+
+def build_models():
+    wireline = build_small_world(GEO, CLUSTERS, seed=3)
+    winoc = assign_wireless_links(
+        wireline, center_wireless_placement(GEO, CLUSTERS)
+    )
+    model = FlowNetworkModel(
+        winoc, build_routing_table(winoc), CLUSTERS, MIXED_FREQS
+    )
+    return model
+
+
+@pytest.fixture(scope="module")
+def loaded_model():
+    model = build_models()
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        src, dst = rng.integers(64), rng.integers(64)
+        if src != dst:
+            model.add_flow(int(src), int(dst), float(rng.uniform(1e8, 5e9)))
+    return model
+
+
+class TestDenseAgreesWithReference:
+    @pytest.mark.parametrize("payload", [64.0, 544.0, 2080.0])
+    def test_all_pairs_match(self, loaded_model, payload):
+        dense = DenseLatencyModel(loaded_model)
+        matrix = dense.latency_matrices([payload])[payload]
+        rng = np.random.default_rng(1)
+        for _ in range(150):
+            src, dst = int(rng.integers(64)), int(rng.integers(64))
+            assert matrix[src, dst] == pytest.approx(
+                loaded_model.latency(src, dst, payload), rel=1e-9
+            )
+
+    def test_unloaded_match_too(self):
+        model = build_models()
+        dense = DenseLatencyModel(model)
+        matrix = dense.latency_matrices([544.0])[544.0]
+        for src, dst in [(0, 63), (5, 5), (17, 43)]:
+            assert matrix[src, dst] == pytest.approx(
+                model.latency(src, dst, 544.0), rel=1e-9
+            )
+
+
+class TestPairwiseEnergy:
+    def test_record_matches_reference(self, loaded_model):
+        pairwise = PairwiseEnergy(loaded_model)
+        reference = FlowNetworkModel(
+            loaded_model.topology,
+            loaded_model.routing,
+            loaded_model.clusters,
+            loaded_model.cluster_frequencies_hz,
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            src, dst = int(rng.integers(64)), int(rng.integers(64))
+            bits = float(rng.uniform(1e3, 1e6))
+            assert pairwise.record(src, dst, bits) == pytest.approx(
+                reference.record_transfer(src, dst, bits), rel=1e-12
+            )
+        # counters agree too
+        assert pairwise.model.energy.bits_moved == pytest.approx(
+            reference.energy.bits_moved
+        )
+        assert pairwise.model.energy.bit_hops == pytest.approx(
+            reference.energy.bit_hops
+        )
+        assert pairwise.model.energy.wireless_bits == pytest.approx(
+            reference.energy.wireless_bits
+        )
+
+    def test_rejects_negative_bits(self, loaded_model):
+        pairwise = PairwiseEnergy(loaded_model)
+        with pytest.raises(ValueError):
+            pairwise.record(0, 1, -5)
+
+
+class TestUtilization:
+    def test_capped(self, loaded_model):
+        dense = DenseLatencyModel(loaded_model)
+        rho = dense.utilization()
+        assert (rho <= loaded_model.params.max_utilization + 1e-12).all()
+        assert (rho >= 0).all()
+
+
+class TestBulkClass:
+    def test_bulk_dense_matches_reference(self, loaded_model):
+        dense_bulk = DenseLatencyModel(loaded_model, bulk=True)
+        matrix = dense_bulk.latency_matrices([544.0])[544.0]
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            src, dst = int(rng.integers(64)), int(rng.integers(64))
+            assert matrix[src, dst] == pytest.approx(
+                loaded_model.latency(src, dst, 544.0, bulk=True), rel=1e-9
+            )
+
+    def test_bulk_pairwise_energy_matches_reference(self, loaded_model):
+        pairwise = PairwiseEnergy(loaded_model, bulk=True)
+        reference = FlowNetworkModel(
+            loaded_model.topology,
+            loaded_model.routing,
+            loaded_model.clusters,
+            loaded_model.cluster_frequencies_hz,
+            bulk_routing=loaded_model.bulk_routing,
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            src, dst = int(rng.integers(64)), int(rng.integers(64))
+            bits = float(rng.uniform(1e3, 1e6))
+            assert pairwise.record(src, dst, bits) == pytest.approx(
+                reference.record_transfer(src, dst, bits, bulk=True), rel=1e-12
+            )

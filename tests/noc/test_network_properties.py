@@ -1,0 +1,85 @@
+"""Property-style invariants of the flow network model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.network import FlowNetworkModel
+from repro.noc.routing import build_mesh_routing
+from repro.noc.topology import GridGeometry, build_mesh
+from repro.vfi.islands import quadrant_clusters
+
+GEO = GridGeometry(8, 8)
+CLUSTERS = list(quadrant_clusters(GEO).node_cluster)
+
+
+def fresh_model(freqs=None):
+    mesh = build_mesh(GEO)
+    return FlowNetworkModel(
+        mesh,
+        build_mesh_routing(mesh),
+        CLUSTERS,
+        freqs or [2.5e9] * 4,
+    )
+
+
+nodes = st.integers(0, 63)
+
+
+class TestLatencyProperties:
+    @given(nodes, nodes)
+    @settings(max_examples=40, deadline=None)
+    def test_unloaded_latency_symmetric_on_uniform_mesh(self, a, b):
+        model = fresh_model()
+        assert model.latency(a, b, 544) == pytest.approx(
+            model.latency(b, a, 544), rel=1e-9
+        )
+
+    @given(nodes, nodes, st.floats(0, 1e5))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_positive_finite(self, a, b, payload):
+        model = fresh_model()
+        latency = model.latency(a, b, payload)
+        assert 0 < latency < 1e-3
+
+    @given(nodes, nodes)
+    @settings(max_examples=20, deadline=None)
+    def test_more_load_never_faster(self, a, b):
+        model = fresh_model()
+        before = model.latency(a, b, 544)
+        for node in range(0, 64, 4):
+            model.add_flow(node, (node + 17) % 64, 5e9)
+        assert model.latency(a, b, 544) >= before - 1e-15
+
+    @given(st.sampled_from([1.5e9, 1.75e9, 2.0e9, 2.25e9]))
+    @settings(max_examples=10, deadline=None)
+    def test_slower_clocks_never_faster(self, slow):
+        nominal = fresh_model()
+        slowed = fresh_model([slow] * 4)
+        for a, b in [(0, 63), (10, 53)]:
+            assert slowed.latency(a, b, 544) > nominal.latency(a, b, 544)
+
+
+class TestFlowConservation:
+    @given(nodes, nodes, st.floats(1e6, 1e10))
+    @settings(max_examples=30, deadline=None)
+    def test_flow_load_equals_rate_times_hops(self, a, b, rate):
+        if a == b:
+            return
+        model = fresh_model()
+        model.add_flow(a, b, rate)
+        hops = model.routing.hop_count(a, b)
+        assert model.load.link_load.sum() == pytest.approx(rate * hops, rel=1e-9)
+
+
+class TestEnergyProperties:
+    @given(nodes, nodes, st.floats(1.0, 1e8))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_linear_in_bits(self, a, b, bits):
+        if a == b:
+            return
+        model = fresh_model()
+        single = model.record_transfer(a, b, bits)
+        double = model.record_transfer(a, b, 2 * bits)
+        assert double == pytest.approx(2 * single, rel=1e-9)

@@ -1,0 +1,50 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.packets import (
+    PacketClass,
+    control_bits,
+    data_bits,
+    kv_stream_bits,
+    packet_bits,
+    packet_flits,
+)
+
+
+def test_control_packet():
+    assert packet_flits(PacketClass.CONTROL) == 2  # header + address
+
+
+def test_data_packet_carries_cache_line():
+    assert packet_flits(PacketClass.DATA) == 17  # header + 64B / 32b
+
+
+def test_bits_are_flits_times_width():
+    assert control_bits() == 2 * 32
+    assert data_bits() == 17 * 32
+
+
+@given(st.floats(min_value=0.0, max_value=1e7))
+def test_kv_stream_bits_at_least_payload(total_bytes):
+    assert kv_stream_bits(total_bytes) >= total_bytes * 8
+
+
+def test_kv_stream_header_overhead():
+    # 1024 bytes in 256-byte chunks: 4 packets, 4 header flits.
+    assert kv_stream_bits(1024, 256) == 1024 * 8 + 4 * 32
+
+
+def test_kv_zero():
+    assert kv_stream_bits(0) == 0.0
+
+
+def test_kv_rejects_negative():
+    with pytest.raises(ValueError):
+        kv_stream_bits(-1)
+
+
+def test_kv_packet_payload_sizing():
+    assert packet_flits(PacketClass.KV, 256) == 1 + math.ceil(256 * 8 / 32)

@@ -1,0 +1,111 @@
+"""XY routing, Dijkstra tables, weights."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.routing import (
+    MeshRoutingTable,
+    average_weighted_hops,
+    build_mesh_routing,
+    build_routing_table,
+    xy_route,
+)
+from repro.noc.topology import GridGeometry, build_mesh
+
+import numpy as np
+
+GEO = GridGeometry(8, 8)
+MESH = build_mesh(GEO)
+
+nodes = st.integers(0, 63)
+
+
+class TestXyRoute:
+    @given(nodes, nodes)
+    def test_endpoints_and_length(self, src, dst):
+        path = xy_route(GEO, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == GEO.manhattan_hops(src, dst)
+
+    @given(nodes, nodes)
+    def test_steps_are_grid_neighbours(self, src, dst):
+        path = xy_route(GEO, src, dst)
+        for a, b in zip(path, path[1:]):
+            assert GEO.manhattan_hops(a, b) == 1
+
+    @given(nodes, nodes)
+    def test_x_before_y(self, src, dst):
+        path = xy_route(GEO, src, dst)
+        ys = [GEO.coordinates(n)[1] for n in path]
+        # once y starts changing, x must be final
+        changed = [i for i in range(1, len(ys)) if ys[i] != ys[i - 1]]
+        if changed:
+            first = changed[0]
+            xs = [GEO.coordinates(n)[0] for n in path]
+            assert all(x == xs[-1] for x in xs[first:])
+
+
+class TestMeshRoutingTable:
+    def test_matches_xy(self):
+        table = build_mesh_routing(MESH)
+        assert table.path(0, 63) == tuple(xy_route(GEO, 0, 63))
+
+    def test_self_path(self):
+        table = build_mesh_routing(MESH)
+        assert table.path(5, 5) == (5,)
+
+    def test_hop_matrix_symmetric_in_count(self):
+        table = build_mesh_routing(MESH)
+        hops = table.hop_matrix()
+        assert (hops == hops.T).all()
+        assert hops.mean() == pytest.approx(5.25, abs=0.01)
+
+
+class TestDijkstraTable:
+    def test_mesh_dijkstra_matches_manhattan(self):
+        table = build_routing_table(MESH)
+        for src, dst in [(0, 63), (7, 56), (10, 53), (0, 1)]:
+            assert table.hop_count(src, dst) == GEO.manhattan_hops(src, dst)
+
+    def test_paths_walk_real_links(self):
+        table = build_routing_table(MESH)
+        path = table.path(0, 63)
+        for a, b in zip(path, path[1:]):
+            MESH.find_link(a, b)  # raises if absent
+
+    def test_deterministic_across_builds(self):
+        a = build_routing_table(MESH)
+        b = build_routing_table(MESH)
+        for src, dst in [(0, 63), (3, 42), (17, 20)]:
+            assert a.path(src, dst) == b.path(src, dst)
+
+    def test_disconnected_rejected(self):
+        from repro.noc.topology import Link, Topology
+
+        topo = Topology("broken", GridGeometry(2, 2), [Link(0, 1)])
+        with pytest.raises(ValueError):
+            build_routing_table(topo)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            build_routing_table(MESH, weight=lambda link: 0.0)
+
+
+class TestWeightedHops:
+    def test_uniform_traffic(self):
+        table = build_mesh_routing(MESH)
+        traffic = np.ones((64, 64))
+        np.fill_diagonal(traffic, 0.0)
+        # mean over off-diagonal pairs
+        expected = table.hop_matrix().sum() / (64 * 63)
+        assert average_weighted_hops(table, traffic) == pytest.approx(expected)
+
+    def test_empty_traffic(self):
+        table = build_mesh_routing(MESH)
+        assert average_weighted_hops(table, np.zeros((64, 64))) == 0.0
+
+    def test_shape_mismatch(self):
+        table = build_mesh_routing(MESH)
+        with pytest.raises(ValueError):
+            average_weighted_hops(table, np.ones((4, 4)))

@@ -1,0 +1,68 @@
+"""Protocol-level token-MAC simulation and validation of the analytic
+channel model."""
+
+import pytest
+
+from repro.noc.token_mac import measured_token_overhead, simulate_token_channel
+from repro.noc.wireless import WirelessSpec
+
+
+class TestProtocolInvariants:
+    def test_zero_load(self):
+        stats = simulate_token_channel([0.0, 0.0, 0.0, 0.0], 544.0, seed=1)
+        assert stats.throughput_bps == 0.0
+        assert stats.mean_wait_s == 0.0
+
+    def test_light_load_delivers_everything(self):
+        stats = simulate_token_channel(
+            [1e5] * 4, 544.0, duration_s=1e-3, seed=2
+        )
+        assert stats.utilization == pytest.approx(1.0, abs=0.05)
+
+    def test_saturation_caps_throughput(self):
+        spec = WirelessSpec()
+        # offer 3x the channel bandwidth
+        rate = 3 * spec.bandwidth_bps / 544.0 / 4
+        stats = simulate_token_channel([rate] * 4, 544.0, spec=spec, seed=3)
+        assert stats.throughput_bps < spec.bandwidth_bps
+        assert stats.throughput_bps > 0.5 * spec.bandwidth_bps
+        assert stats.utilization < 0.5
+
+    def test_round_robin_fairness_under_saturation(self):
+        spec = WirelessSpec()
+        rate = 2 * spec.bandwidth_bps / 544.0 / 4
+        stats = simulate_token_channel([rate] * 4, 544.0, spec=spec, seed=4)
+        delivered = stats.delivered_per_wi
+        assert max(delivered) <= 1.2 * min(delivered) + 2
+
+    def test_wait_grows_with_load(self):
+        light = measured_token_overhead(0.1, seed=5)
+        heavy = measured_token_overhead(0.8, seed=5)
+        assert heavy > light
+
+    def test_needs_two_wis(self):
+        with pytest.raises(ValueError):
+            simulate_token_channel([1e6], 544.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            simulate_token_channel([1e6, -1.0], 544.0)
+
+
+class TestAnalyticCalibration:
+    def test_token_overhead_constant_is_right_order_at_moderate_load(self):
+        """The flow model charges token_overhead_s (2 ns) plus an M/D/1
+        queue term; the protocol-measured wait at moderate load must sit
+        within the same order of magnitude."""
+        spec = WirelessSpec()
+        measured = measured_token_overhead(0.4, spec=spec, seed=7)
+        analytic_service = 544.0 / spec.bandwidth_bps
+        analytic = spec.token_overhead_s + analytic_service * 0.4 / (2 * 0.6)
+        assert measured < 30 * analytic
+        assert measured > analytic / 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measured_token_overhead(0.0)
+        with pytest.raises(ValueError):
+            measured_token_overhead(1.5)

@@ -1,0 +1,91 @@
+"""Grid geometry, links and the mesh builder."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.topology import GridGeometry, Link, LinkKind, Topology, build_mesh
+
+
+class TestGridGeometry:
+    def test_coordinates_roundtrip(self, geometry):
+        for node in range(geometry.num_nodes):
+            column, row = geometry.coordinates(node)
+            assert geometry.node_at(column, row) == node
+
+    def test_distance_symmetric(self, geometry):
+        assert geometry.distance_mm(0, 63) == geometry.distance_mm(63, 0)
+
+    def test_distance_diagonal(self, geometry):
+        assert geometry.distance_mm(0, 9) == pytest.approx(
+            math.sqrt(2) * geometry.pitch_mm
+        )
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_manhattan_triangle_inequality_via_zero(self, a, b):
+        geo = GridGeometry(8, 8)
+        assert geo.manhattan_hops(a, b) <= geo.manhattan_hops(a, 0) + geo.manhattan_hops(0, b)
+
+    def test_out_of_range_node(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.coordinates(64)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            GridGeometry(0, 8)
+
+
+class TestLink:
+    def test_rejects_self_link(self):
+        with pytest.raises(ValueError):
+            Link(3, 3)
+
+    def test_wireless_needs_channel(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, LinkKind.WIRELESS)
+
+    def test_wire_rejects_channel(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, LinkKind.WIRE, channel=0)
+
+    def test_other(self):
+        link = Link(2, 5)
+        assert link.other(2) == 5
+        assert link.other(5) == 2
+        with pytest.raises(ValueError):
+            link.other(7)
+
+
+class TestMesh:
+    def test_link_count(self, mesh):
+        # 8x8 mesh: 2 * 8 * 7 = 112 bidirectional links.
+        assert len(mesh.links) == 112
+
+    def test_average_degree(self, mesh):
+        assert mesh.average_degree() == pytest.approx(3.5)
+
+    def test_connected(self, mesh):
+        assert mesh.is_connected()
+
+    def test_degrees_bounded(self, mesh):
+        degrees = [mesh.degree(n) for n in range(mesh.num_nodes)]
+        assert min(degrees) == 2  # corners
+        assert max(degrees) == 4  # interior
+
+    def test_duplicate_link_rejected(self, geometry):
+        links = [Link(0, 1), Link(1, 0)]
+        with pytest.raises(ValueError):
+            Topology("dup", geometry, links)
+
+    def test_find_link(self, mesh):
+        link = mesh.find_link(0, 1)
+        assert link.key == frozenset((0, 1))
+        with pytest.raises(KeyError):
+            mesh.find_link(0, 63)
+
+    def test_with_links_appends(self, mesh):
+        bigger = mesh.with_links([Link(0, 63, LinkKind.WIRELESS, 10.0, channel=0)])
+        assert len(bigger.links) == 113
+        assert len(mesh.links) == 112  # original untouched

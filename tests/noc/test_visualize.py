@@ -1,0 +1,89 @@
+"""ASCII topology renderers."""
+
+import pytest
+
+from repro.noc.smallworld import build_small_world
+from repro.noc.topology import GridGeometry, build_mesh
+from repro.noc.visualize import (
+    describe_topology,
+    render_degree_map,
+    render_die_map,
+    render_link_histogram,
+    render_vf_map,
+)
+from repro.noc.wireless import assign_wireless_links
+from repro.noc.placement import center_wireless_placement
+from repro.vfi.islands import DVFS_LADDER, NOMINAL, quadrant_clusters
+
+GEO = GridGeometry(8, 8)
+LAYOUT = quadrant_clusters(GEO)
+CLUSTERS = list(LAYOUT.node_cluster)
+
+
+@pytest.fixture(scope="module")
+def winoc():
+    wireline = build_small_world(GEO, CLUSTERS, seed=3)
+    return assign_wireless_links(wireline, center_wireless_placement(GEO, CLUSTERS))
+
+
+class TestDieMap:
+    def test_marks_wis(self, winoc):
+        grid = render_die_map(winoc, CLUSTERS).splitlines()[:8]
+        assert "\n".join(grid).count("*") == 12
+
+    def test_grid_dimensions(self, winoc):
+        rows = render_die_map(winoc, CLUSTERS).splitlines()
+        assert len(rows) == 9  # 8 rows + legend
+        assert all(len(row.split()) == 8 for row in rows[:8])
+
+    def test_no_clusters(self):
+        mesh = build_mesh(GEO)
+        grid = render_die_map(mesh).splitlines()[:8]
+        text = "\n".join(grid)
+        assert "." in text and "*" not in text
+
+
+class TestVfMap:
+    def test_voltages_rendered(self):
+        points = [NOMINAL, NOMINAL, DVFS_LADDER[0], DVFS_LADDER[0]]
+        text = render_vf_map(LAYOUT, points)
+        assert "1.0" in text and "0.6" in text
+        assert "island 2: 0.6V/1.5GHz" in text
+
+    def test_wrong_point_count(self):
+        with pytest.raises(ValueError):
+            render_vf_map(LAYOUT, [NOMINAL])
+
+
+class TestDegreesAndHistogram:
+    def test_degree_map_mentions_average(self, winoc):
+        text = render_degree_map(winoc)
+        assert "average degree" in text
+
+    def test_histogram_counts_all_wires(self, winoc):
+        text = render_link_histogram(winoc)
+        total = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "mm |" in line
+        )
+        assert total == 128  # wireline links of the (3,1) build
+
+    def test_histogram_lists_channels(self, winoc):
+        text = render_link_histogram(winoc)
+        assert "channel 0" in text and "channel 2" in text
+
+    def test_mesh_has_no_wireless_section(self):
+        text = render_link_histogram(build_mesh(GEO))
+        assert "no wireless links" in text
+
+    def test_bad_bucket(self, winoc):
+        with pytest.raises(ValueError):
+            render_link_histogram(winoc, bucket_mm=0)
+
+
+def test_describe_combines_sections(winoc):
+    text = describe_topology(winoc, CLUSTERS)
+    assert "topology: winoc" in text
+    assert "switch degrees" in text
+    assert "wire length histogram" in text

@@ -1,0 +1,76 @@
+"""Wireless overlay invariants."""
+
+import pytest
+
+from repro.noc.smallworld import build_small_world
+from repro.noc.topology import GridGeometry
+from repro.noc.wireless import (
+    WirelessSpec,
+    assign_wireless_links,
+    channels_of,
+    total_wireless_interfaces,
+    validate_paper_overlay,
+)
+from repro.noc.placement import center_wireless_placement
+from repro.vfi.islands import quadrant_clusters
+
+GEO = GridGeometry(8, 8)
+CLUSTERS = list(quadrant_clusters(GEO).node_cluster)
+
+
+@pytest.fixture(scope="module")
+def wireline():
+    return build_small_world(GEO, CLUSTERS, seed=3)
+
+
+@pytest.fixture(scope="module")
+def winoc(wireline):
+    placement = center_wireless_placement(GEO, CLUSTERS)
+    return assign_wireless_links(wireline, placement)
+
+
+class TestOverlay:
+    def test_paper_invariants(self, winoc):
+        validate_paper_overlay(winoc, CLUSTERS, WirelessSpec())
+
+    def test_twelve_wis(self, winoc):
+        assert total_wireless_interfaces(winoc) == 12
+
+    def test_three_channels(self, winoc):
+        channels = channels_of(winoc)
+        assert sorted(channels) == [0, 1, 2]
+        for channel in channels.values():
+            assert len(channel.wi_nodes) == 4  # one per cluster
+            wi_clusters = [CLUSTERS[n] for n in channel.wi_nodes]
+            assert sorted(wi_clusters) == [0, 1, 2, 3]
+
+    def test_wireless_links_carry_channel(self, winoc):
+        for link in winoc.wireless_links():
+            assert link.channel in (0, 1, 2)
+
+    def test_no_duplicate_wire_wireless_pairs(self, winoc):
+        keys = [link.key for link in winoc.links]
+        assert len(keys) == len(set(keys))
+
+
+class TestValidation:
+    def test_rejects_two_wis_per_node(self, wireline):
+        placement = {0: [9, 13, 41, 45], 1: [9, 14, 42, 46], 2: [17, 21, 49, 53]}
+        with pytest.raises(ValueError, match="more than one"):
+            assign_wireless_links(wireline, placement)
+
+    def test_rejects_single_wi_channel(self, wireline):
+        placement = {0: [9], 1: [10, 14, 42, 46], 2: [17, 21, 49, 53]}
+        with pytest.raises(ValueError):
+            assign_wireless_links(wireline, placement)
+
+    def test_rejects_wrong_channel_count(self, wireline):
+        placement = {0: [9, 13], 1: [10, 14]}
+        with pytest.raises(ValueError, match="channels"):
+            assign_wireless_links(wireline, placement)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WirelessSpec(num_channels=0)
+        with pytest.raises(ValueError):
+            WirelessSpec(bandwidth_bps=-1)

@@ -1,0 +1,67 @@
+"""Platform wiring and accessors."""
+
+import pytest
+
+from repro.core.platforms import build_nvfi_mesh, build_vfi_mesh, build_vfi_winoc
+from repro.sim.platform import Platform
+from repro.vfi.islands import DVFS_LADDER, NOMINAL
+
+
+class TestNvfiMesh:
+    def test_basics(self, nvfi_platform):
+        assert nvfi_platform.num_cores == 64
+        assert nvfi_platform.fmax_hz == NOMINAL.frequency_hz
+        assert all(p == NOMINAL for p in nvfi_platform.vf_points)
+
+    def test_identity_mapping(self, nvfi_platform):
+        for worker in range(64):
+            assert nvfi_platform.node_of_worker(worker) == worker
+
+    def test_worker_frequencies(self, nvfi_platform):
+        freqs = nvfi_platform.worker_frequencies()
+        assert len(freqs) == 64
+        assert set(freqs) == {NOMINAL.frequency_hz}
+
+    def test_bulk_routing_defaults_to_latency_routing(self, nvfi_platform):
+        # mesh has no wireless: bulk == latency routing
+        assert nvfi_platform.network.bulk_routing is nvfi_platform.routing
+
+
+class TestValidation:
+    def test_vf_count_checked(self, nvfi_platform):
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                layout=nvfi_platform.layout,
+                vf_points=[NOMINAL] * 3,
+                topology=nvfi_platform.topology,
+                routing=nvfi_platform.routing,
+            )
+
+    def test_with_vf(self, nvfi_platform):
+        low = [DVFS_LADDER[0]] * 4
+        platform = nvfi_platform.with_vf(low, name="slow")
+        assert platform.name == "slow"
+        assert platform.fmax_hz == DVFS_LADDER[0].frequency_hz
+        # original untouched
+        assert nvfi_platform.fmax_hz == NOMINAL.frequency_hz
+
+
+class TestWinocPlatform:
+    def test_bulk_routing_avoids_wireless(self):
+        import numpy as np
+
+        from repro.core.design_flow import design_vfi
+
+        rng = np.random.default_rng(0)
+        traffic = rng.random((64, 64))
+        np.fill_diagonal(traffic, 0.0)
+        utilization = rng.uniform(0.3, 0.8, 64)
+        design = design_vfi(utilization, traffic, seed=1)
+        platform = build_vfi_winoc(design, seed=5)
+        from repro.noc.topology import LinkKind
+
+        network = platform.network
+        for src, dst in [(0, 63), (7, 56), (20, 44)]:
+            links, _ = network._path(src, dst, bulk=True)
+            assert all(link.kind is LinkKind.WIRE for link in links)

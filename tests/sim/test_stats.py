@@ -1,0 +1,83 @@
+"""SimulationResult derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.energy.metrics import EnergyBreakdown
+from repro.mapreduce.tasks import Phase
+from repro.sim.stats import NetworkStats, PhaseStats, SimulationResult
+
+
+def make_result(total=2.0):
+    busy = np.full(4, 1.0)
+    committed = np.full(4, 2.5e9)
+    freqs = np.full(4, 2.5e9)
+    return SimulationResult(
+        app_name="x",
+        platform_name="p",
+        total_time_s=total,
+        busy_s=busy,
+        committed_instructions=committed,
+        worker_frequencies_hz=freqs,
+        issue_width=2.0,
+        phases=[
+            PhaseStats(Phase.LIB_INIT, 0, 0.0, 0.2),
+            PhaseStats(Phase.MAP, 0, 0.2, 1.5),
+            PhaseStats(Phase.REDUCE, 0, 1.5, 1.8),
+            PhaseStats(Phase.MERGE, 0, 1.8, 2.0),
+        ],
+        energy=EnergyBreakdown(10.0, 2.0, 1.0, 0.5),
+        network=NetworkStats(1e9, 3.0, 0.1, 1.0, 0.5),
+    )
+
+
+class TestUtilization:
+    def test_ipc_based(self):
+        result = make_result()
+        # 2.5e9 instr over 2 s at 2.5 GHz, width 2 -> 0.25
+        assert result.utilization[0] == pytest.approx(0.25)
+
+    def test_busy_fraction_separate(self):
+        result = make_result()
+        assert result.busy_fraction[0] == pytest.approx(0.5)
+
+    def test_clipped_to_one(self):
+        result = make_result()
+        result.committed_instructions[:] = 1e12
+        assert (result.utilization <= 1.0).all()
+
+    def test_zero_duration_rejected(self):
+        result = make_result(total=0.0)
+        with pytest.raises(ValueError):
+            _ = result.utilization
+
+
+class TestPhases:
+    def test_phase_duration(self):
+        result = make_result()
+        assert result.phase_duration_s(Phase.MAP) == pytest.approx(1.3)
+
+    def test_breakdown_sums_to_total(self):
+        result = make_result()
+        assert sum(result.phase_breakdown().values()) == pytest.approx(2.0)
+
+
+class TestMetrics:
+    def test_edp(self):
+        result = make_result()
+        assert result.edp == pytest.approx(13.5 * 2.0)
+
+    def test_network_edp(self):
+        result = make_result()
+        assert result.network_edp == pytest.approx(1.5 * 2.0)
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        for key in ("total_time_s", "edp", "network_edp", "avg_utilization"):
+            assert key in summary
+
+
+class TestNetworkStats:
+    def test_energy_total(self):
+        stats = NetworkStats(1.0, 2.0, 0.5, 3.0, 4.0)
+        assert stats.energy_j == 7.0

@@ -1,0 +1,59 @@
+"""Deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, derive_rng, spawn_seed
+
+
+class TestDeriveRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(42).random(8)
+        b = derive_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(derive_rng(1).random(8), derive_rng(2).random(8))
+
+    def test_none_uses_library_default(self):
+        assert np.array_equal(derive_rng(None).random(4), derive_rng(None).random(4))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert derive_rng(gen) is gen
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(3, "a", "b") == spawn_seed(3, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert spawn_seed(3, "a") != spawn_seed(3, "b")
+
+    def test_seed_sensitivity(self):
+        assert spawn_seed(3, "a") != spawn_seed(4, "a")
+
+    def test_label_order_matters(self):
+        assert spawn_seed(3, "a", "b") != spawn_seed(3, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        assert spawn_seed(3, "ab", "c") != spawn_seed(3, "a", "bc")
+
+
+class TestRngMixin:
+    def test_lazy_generator(self):
+        class Thing(RngMixin):
+            def __init__(self):
+                self._seed = 5
+
+        t1, t2 = Thing(), Thing()
+        assert t1.rng.random() == t2.rng.random()
+
+    def test_reseed(self):
+        class Thing(RngMixin):
+            _seed = 5
+
+        t = Thing()
+        first = t.rng.random()
+        t.reseed(5)
+        assert t.rng.random() == first

@@ -1,0 +1,26 @@
+import pytest
+
+from repro.utils.units import GHZ, NS, cycles_to_seconds, joules, seconds_to_cycles
+
+
+def test_cycles_to_seconds():
+    assert cycles_to_seconds(2.5e9, 2.5 * GHZ) == pytest.approx(1.0)
+
+
+def test_seconds_to_cycles_roundtrip():
+    assert seconds_to_cycles(cycles_to_seconds(1234.0, 2 * GHZ), 2 * GHZ) == pytest.approx(1234.0)
+
+
+def test_cycles_to_seconds_rejects_bad_frequency():
+    with pytest.raises(ValueError):
+        cycles_to_seconds(100, 0)
+    with pytest.raises(ValueError):
+        seconds_to_cycles(1.0, -1)
+
+
+def test_joules():
+    assert joules(2.0, 3.0) == 6.0
+
+
+def test_ns_constant():
+    assert 5 * NS == pytest.approx(5e-9)

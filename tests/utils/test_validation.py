@@ -1,0 +1,60 @@
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0
+
+    def test_rejects_negative_even_with_allow_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_out_of_range_message_names_variable(self):
+        with pytest.raises(ValueError, match="frobnicator"):
+            check_in_range("frobnicator", 5.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_accepts_unit_interval(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="x"):
+            check_type("x", "3", int)
+
+    def test_tuple_of_types(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0

@@ -1,0 +1,74 @@
+"""Bottleneck detection heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.vfi.bottleneck import BottleneckReport, detect_bottlenecks, needs_reassignment
+
+
+def homogeneous_with_master(n=64, body=0.55, master=0.75):
+    u = np.full(n, body)
+    u += np.linspace(-0.005, 0.005, n)  # tiny measurement noise
+    u[0] = master
+    return u
+
+
+class TestDetect:
+    def test_single_master_detected(self):
+        report = detect_bottlenecks(homogeneous_with_master())
+        assert report.bottleneck_workers == [0]
+        assert report.ratio > 1.2
+        assert report.body_cv < 0.05
+
+    def test_flat_profile_has_no_bottleneck(self):
+        report = detect_bottlenecks(np.full(64, 0.6))
+        assert not report.has_bottleneck
+        assert report.ratio >= 1.0
+
+    def test_wide_hot_cohort_not_a_bottleneck(self):
+        # A third of the cores hot: heterogeneity, not isolated outliers.
+        u = np.full(64, 0.3)
+        u[:24] = 0.7
+        report = detect_bottlenecks(u)
+        assert not report.has_bottleneck
+
+    def test_candidates_sorted_by_utilization(self):
+        u = np.full(64, 0.5)
+        u[10] = 0.9
+        u[20] = 0.8
+        report = detect_bottlenecks(u)
+        assert report.bottleneck_workers[:2] == [10, 20]
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            detect_bottlenecks(np.array([0.5, 1.2]))
+        with pytest.raises(ValueError):
+            detect_bottlenecks(np.array([]))
+
+    def test_ratio_property_zero_mean(self):
+        report = BottleneckReport([], 0.0, 0.0, 0.0)
+        assert report.ratio == 0.0
+
+
+class TestNeedsReassignment:
+    def test_homogeneous_with_master_triggers(self):
+        report = detect_bottlenecks(homogeneous_with_master())
+        assert needs_reassignment(report)
+
+    def test_heterogeneous_body_blocks(self):
+        rng = np.random.default_rng(0)
+        u = np.clip(rng.uniform(0.1, 0.6, 64), 0, 1)
+        u[0] = 0.95
+        report = detect_bottlenecks(u)
+        if report.has_bottleneck:
+            assert not needs_reassignment(report)
+
+    def test_weak_bottleneck_blocks(self):
+        u = homogeneous_with_master(master=0.58)
+        report = detect_bottlenecks(u)
+        assert not needs_reassignment(report)
+
+    def test_threshold_validation(self):
+        report = detect_bottlenecks(homogeneous_with_master())
+        with pytest.raises(ValueError):
+            needs_reassignment(report, homogeneity_cv=0)

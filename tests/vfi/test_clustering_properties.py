@@ -1,0 +1,66 @@
+"""Property-based invariants of the Eq. (1) objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfi.clustering import ClusteringProblem, cluster_cost
+
+
+def make_problem(seed, n=8, m=2, comm=1.0, util=1.0):
+    rng = np.random.default_rng(seed)
+    traffic = rng.random((n, n))
+    np.fill_diagonal(traffic, 0.0)
+    return ClusteringProblem(traffic, rng.random(n), m, comm, util)
+
+
+def swap_islands(assignment, a, b):
+    return [b if c == a else a if c == b else c for c in assignment]
+
+
+class TestCommTermInvariance:
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_comm_cost_invariant_under_island_relabeling(self, seed):
+        """phi(j, q) only distinguishes intra vs inter, so the pure
+        communication term cannot depend on island labels."""
+        problem = make_problem(seed, util=0.0)
+        assignment = [0, 0, 0, 0, 1, 1, 1, 1]
+        relabeled = swap_islands(assignment, 0, 1)
+        assert cluster_cost(problem, assignment) == pytest.approx(
+            cluster_cost(problem, relabeled)
+        )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_util_term_depends_on_island_identity(self, seed):
+        """ubar[j] comes from the j-th utilization quantile, so island
+        labels matter for the utilization term (unless by coincidence)."""
+        problem = make_problem(seed, comm=0.0)
+        sorted_best = [0] * 4 + [1] * 4  # not utilization-sorted in general
+        cost_a = cluster_cost(problem, sorted_best)
+        cost_b = cluster_cost(problem, swap_islands(sorted_best, 0, 1))
+        # they differ whenever the two quantile targets differ
+        targets = problem.cluster_target_util
+        if abs(targets[0] - targets[1]) > 1e-9:
+            assert cost_a != pytest.approx(cost_b)
+
+
+class TestCostScaling:
+    @given(st.integers(0, 50), st.floats(0.1, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_scale_linearly(self, seed, factor):
+        base = make_problem(seed)
+        scaled = make_problem(seed, comm=factor, util=factor)
+        assignment = [0, 1] * 4
+        assert cluster_cost(scaled, assignment) == pytest.approx(
+            factor * cluster_cost(base, assignment)
+        )
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_nonnegative(self, seed):
+        problem = make_problem(seed)
+        assignment = [0, 0, 1, 1, 0, 1, 0, 1]
+        assert cluster_cost(problem, assignment) >= 0.0

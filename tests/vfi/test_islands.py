@@ -1,0 +1,86 @@
+"""DVFS ladder and physical island layout."""
+
+import pytest
+
+from repro.noc.topology import GridGeometry
+from repro.vfi.islands import (
+    DVFS_LADDER,
+    NOMINAL,
+    VfPoint,
+    cluster_frequency_vector,
+    ladder_step_up,
+    nearest_ladder_point,
+    quadrant_clusters,
+    uniform_vf,
+)
+
+
+class TestLadder:
+    def test_ladder_matches_paper_points(self):
+        labels = [p.label for p in DVFS_LADDER]
+        assert "0.6V/1.5GHz" in labels
+        assert "0.8V/2GHz" in labels
+        assert "0.9V/2.25GHz" in labels
+        assert "1.0V/2.5GHz" in labels
+
+    def test_sorted_ascending(self):
+        freqs = [p.frequency_hz for p in DVFS_LADDER]
+        assert freqs == sorted(freqs)
+
+    def test_nominal_is_top(self):
+        assert NOMINAL == DVFS_LADDER[-1]
+
+    def test_nearest(self):
+        assert nearest_ladder_point(2.4e9) == NOMINAL
+        assert nearest_ladder_point(2.1e9).label == "0.8V/2GHz"
+
+    def test_step_up_saturates(self):
+        assert ladder_step_up(NOMINAL) == NOMINAL
+        assert ladder_step_up(DVFS_LADDER[0]).label == "0.7V/1.75GHz"
+        assert ladder_step_up(DVFS_LADDER[0], steps=10) == NOMINAL
+
+    def test_step_up_rejects_off_ladder(self):
+        with pytest.raises(ValueError):
+            ladder_step_up(VfPoint(3.0e9, 1.1))
+
+    def test_vfpoint_validation(self):
+        with pytest.raises(ValueError):
+            VfPoint(-1.0, 1.0)
+
+
+class TestQuadrantLayout:
+    def test_four_equal_islands(self, layout):
+        members = layout.members()
+        assert sorted(members) == [0, 1, 2, 3]
+        assert all(len(nodes) == 16 for nodes in members.values())
+
+    def test_contiguous_blocks(self, layout):
+        geo = layout.geometry
+        for cid, nodes in layout.members().items():
+            cols = [geo.coordinates(n)[0] for n in nodes]
+            rows = [geo.coordinates(n)[1] for n in nodes]
+            assert max(cols) - min(cols) == 3
+            assert max(rows) - min(rows) == 3
+
+    def test_row_major_ids(self, layout):
+        assert layout.cluster_of(0) == 0
+        assert layout.cluster_of(7) == 1
+        assert layout.cluster_of(56) == 2
+        assert layout.cluster_of(63) == 3
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            quadrant_clusters(GridGeometry(7, 8))
+
+    def test_uniform_vf(self, layout):
+        points = uniform_vf(layout)
+        assert len(points) == 4
+        assert all(p == NOMINAL for p in points)
+
+    def test_cluster_frequency_vector(self, layout):
+        points = [DVFS_LADDER[4], DVFS_LADDER[3], DVFS_LADDER[2], DVFS_LADDER[0]]
+        freqs = cluster_frequency_vector(layout, points)
+        assert freqs[0] == 2.5e9
+        assert freqs[63] == 1.5e9
+        with pytest.raises(ValueError):
+            cluster_frequency_vector(layout, points[:2])

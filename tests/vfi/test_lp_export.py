@@ -1,0 +1,43 @@
+"""LP export of the Eq. (1) program."""
+
+import numpy as np
+import pytest
+
+from repro.vfi.clustering import ClusteringProblem, export_lp
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(1)
+    traffic = rng.random((4, 4))
+    np.fill_diagonal(traffic, 0.0)
+    return ClusteringProblem(traffic, rng.random(4), 2)
+
+
+class TestExportLp:
+    def test_sections_present(self, problem):
+        text = export_lp(problem)
+        for section in ("Minimize", "Subject To", "Binary", "End"):
+            assert section in text
+
+    def test_one_assignment_constraint_per_core(self, problem):
+        text = export_lp(problem)
+        assert sum(1 for line in text.splitlines() if line.startswith(" assign_")) == 4
+
+    def test_one_size_constraint_per_cluster(self, problem):
+        text = export_lp(problem)
+        size_lines = [line for line in text.splitlines() if line.startswith(" size_")]
+        assert len(size_lines) == 2
+        assert all(line.endswith("= 2") for line in size_lines)
+
+    def test_all_binaries_declared(self, problem):
+        text = export_lp(problem)
+        binary_block = text.split("Binary")[1]
+        for i in range(4):
+            for j in range(2):
+                assert f"x_{i}_{j}" in binary_block
+
+    def test_quadratic_terms_present(self, problem):
+        text = export_lp(problem)
+        assert "] / 2" in text
+        assert "*" in text
