@@ -1,25 +1,58 @@
 """Shared fixtures for the reproduction benchmarks.
 
 Each benchmark module regenerates one table or figure of the paper at
-full scale (scale=1.0, seed=7).  Studies are memoized process-wide, so
-the first benchmark pays the simulation cost and the rest reuse it.
-Rendered outputs land in ``benchmarks/results/``.
+full scale (scale=1.0, seed=7).  The session ``studies`` fixture
+resolves the six app studies through the experiment orchestrator
+(:mod:`repro.orchestrator`): they fan out across worker processes and
+persist to an on-disk cache, so the first benchmark session pays the
+simulation cost and later sessions (and sibling tools like
+``repro report``) reuse it.  Rendered outputs land in
+``benchmarks/results/``.
+
+Environment knobs:
+
+``REPRO_BENCH_JOBS``
+    Worker processes for the study campaign (default: one per app,
+    capped by the CPU count; ``1`` forces the serial in-process path).
+``REPRO_BENCH_CACHE``
+    Study cache directory (default ``benchmarks/.study_cache``; set
+    empty to disable persistence).
 """
 
+import os
 import pathlib
 
 import pytest
 
-from repro.analysis.figures import collect_studies
+from repro.analysis.figures import ALL_APPS, collect_studies
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SCALE = 1.0
 SEED = 7
 
 
+def _default_jobs() -> int:
+    return min(len(ALL_APPS), os.cpu_count() or 1)
+
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS") or _default_jobs())
+CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE", str(pathlib.Path(__file__).parent / ".study_cache")
+) or None
+
+
 @pytest.fixture(scope="session")
 def studies():
-    return collect_studies(scale=SCALE, seed=SEED)
+    return collect_studies(
+        scale=SCALE,
+        seed=SEED,
+        jobs=JOBS,
+        cache_dir=CACHE_DIR,
+        progress=lambda record: print(
+            f"[studies] {record.label}: {record.status} "
+            f"({record.wall_time_s:.1f}s)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -30,5 +63,6 @@ def results_dir():
 
 def write_result(results_dir, name: str, text: str) -> None:
     path = results_dir / name
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")

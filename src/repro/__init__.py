@@ -36,6 +36,12 @@ from repro.core.platforms import (
     build_vfi_winoc,
 )
 from repro.mapreduce import JobConfig, MapReduceJob, run_job
+from repro.orchestrator import (
+    StudyCache,
+    StudySpec,
+    expand_grid,
+    run_campaign,
+)
 from repro.sim import Platform, SystemSimulator, simulate
 
 __version__ = "1.0.0"
@@ -56,6 +62,10 @@ __all__ = [
     "simulate",
     "run_app_study",
     "AppStudy",
+    "StudySpec",
+    "StudyCache",
+    "expand_grid",
+    "run_campaign",
     "NVFI_MESH",
     "VFI1_MESH",
     "VFI2_MESH",

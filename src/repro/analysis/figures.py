@@ -166,9 +166,29 @@ def collect_studies(
     app_names: Iterable[str] = ALL_APPS,
     scale: float = 1.0,
     seed: int = 7,
+    jobs: int = 1,
+    cache_dir=None,
+    progress=None,
 ) -> Dict[str, AppStudy]:
-    """Run (or fetch memoized) studies for *app_names*."""
-    return {name: run_app_study(name, scale=scale, seed=seed) for name in app_names}
+    """Run (or fetch cached) studies for *app_names*.
+
+    With the defaults this is the historical serial, process-memoized
+    path.  ``jobs > 1`` fans the apps out across worker processes and
+    ``cache_dir`` persists each study to the orchestrator's on-disk
+    cache, so repeated report/benchmark runs resolve instantly; both go
+    through :func:`repro.orchestrator.run_campaign`.
+    """
+    from repro.orchestrator import StudySpec, run_campaign
+
+    specs = {
+        name: StudySpec(app=name, scale=scale, seed=seed)
+        for name in app_names
+    }
+    campaign = run_campaign(
+        specs.values(), jobs=jobs, cache=cache_dir, progress=progress
+    )
+    campaign.raise_failures()
+    return {name: campaign.study(spec) for name, spec in specs.items()}
 
 
 def average_edp_savings(studies: Mapping[str, AppStudy]) -> Tuple[float, float]:

@@ -44,17 +44,23 @@ _ALIASES: Dict[str, str] = {
 APP_NAMES: List[str] = list(_REGISTRY)
 
 
-def create_app(name: str, scale: float = 1.0, seed: int = 7) -> BenchmarkApp:
-    """Instantiate a benchmark app by canonical name or short alias."""
+def canonical_app_name(name: str) -> str:
+    """Resolve an app name or short alias to its canonical name."""
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
-    if key in _EXTRA:
-        return _EXTRA[key](scale=scale, seed=seed)
-    if key not in _REGISTRY:
+    if key not in _REGISTRY and key not in _EXTRA:
         raise KeyError(
             f"unknown app {name!r}; known: "
             f"{sorted(_REGISTRY) + sorted(_EXTRA) + sorted(_ALIASES)}"
         )
+    return key
+
+
+def create_app(name: str, scale: float = 1.0, seed: int = 7) -> BenchmarkApp:
+    """Instantiate a benchmark app by canonical name or short alias."""
+    key = canonical_app_name(name)
+    if key in _EXTRA:
+        return _EXTRA[key](scale=scale, seed=seed)
     return _REGISTRY[key](scale=scale, seed=seed)
 
 

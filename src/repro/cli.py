@@ -9,8 +9,13 @@ Commands
     normalized time/EDP of every configuration.
 ``design <app>``
     Run only the VFI design flow and print the clustering and V/F tables.
-``report [--output FILE]``
-    Run all six studies and emit the full markdown reproduction report.
+``report [--output FILE] [--jobs N] [--cache-dir PATH]``
+    Run all six studies -- fanned out over N worker processes and cached
+    on disk via the orchestrator -- and emit the full markdown
+    reproduction report.
+``sweep [app] --parameter {seed,size}``
+    Orchestrated robustness/scalability sweep: run the pipeline across
+    seeds or die sizes and print per-value plus aggregate tables.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
@@ -59,6 +64,37 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None, help="write to file")
     report.add_argument("--scale", type=float, default=1.0)
     report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the study campaign (default: serial)",
+    )
+    report.add_argument(
+        "--cache-dir", default=None,
+        help="persistent study cache directory (re-runs resolve instantly)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="orchestrated seed/size sweep of one app"
+    )
+    sweep.add_argument("app", nargs="?", default="histogram", choices=APP_NAMES)
+    sweep.add_argument(
+        "--parameter", choices=("seed", "size"), default="seed",
+        help="sweep random seeds (robustness) or die sizes (scalability)",
+    )
+    sweep.add_argument(
+        "--values", type=int, nargs="+", default=None,
+        help="swept values (default: seeds 7-11, or sizes 16 36 64)",
+    )
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument(
+        "--seed", type=int, default=7, help="base seed for size sweeps"
+    )
+    sweep.add_argument(
+        "--num-workers", type=int, default=64,
+        help="die size for seed sweeps",
+    )
+    sweep.add_argument("--jobs", type=int, default=1)
+    sweep.add_argument("--cache-dir", default=None)
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
     topology.add_argument("app", choices=APP_NAMES)
@@ -128,16 +164,87 @@ def _cmd_design(args) -> int:
     return 0
 
 
+def _print_progress(record) -> None:
+    """One line per resolved study unit (long campaigns stay observable)."""
+    note = f" after {record.retries} retries" if record.retries else ""
+    line = f"{record.label}: {record.status}{note} ({record.wall_time_s:.1f}s)"
+    if record.error:
+        line += f" -- {record.error}"
+    print(line, file=sys.stderr)
+
+
 def _cmd_report(args) -> int:
+    from repro.analysis.figures import collect_studies
     from repro.analysis.report import generate_report
 
-    text = generate_report(scale=args.scale, seed=args.seed)
+    studies = collect_studies(
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=_print_progress,
+    )
+    text = generate_report(studies=studies, scale=args.scale, seed=args.seed)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.sweep import CONFIGS, seed_sweep, size_sweep
+
+    if args.parameter == "seed":
+        values = args.values if args.values else list(range(7, 12))
+        sweep = seed_sweep(
+            args.app,
+            seeds=values,
+            scale=args.scale,
+            num_workers=args.num_workers,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=_print_progress,
+        )
+    else:
+        values = args.values if args.values else [16, 36, 64]
+        sweep = size_sweep(
+            args.app,
+            sizes=values,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=_print_progress,
+        )
+
+    print(f"{args.app}: sweep over {sweep.parameter} = {values}")
+    rows = []
+    for value, row in sweep.rows.items():
+        for config in CONFIGS:
+            rows.append(
+                {
+                    sweep.parameter: value,
+                    "config": config,
+                    "time vs NVFI": f"{row[config]['time']:.3f}",
+                    "EDP vs NVFI": f"{row[config]['edp']:.3f}",
+                }
+            )
+    print(format_table(rows))
+    print("\nAggregate over the sweep (mean +/- std):")
+    rows = []
+    for config, metrics in sweep.aggregate().items():
+        rows.append(
+            {
+                "config": config,
+                "time": f"{metrics['time'][0]:.3f} +/- {metrics['time'][1]:.3f}",
+                "EDP": f"{metrics['edp'][0]:.3f} +/- {metrics['edp'][1]:.3f}",
+                "EDP spread": f"{sweep.spread(config, 'edp'):.3f}",
+            }
+        )
+    print(format_table(rows))
     return 0
 
 
@@ -175,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_design(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "topology":
         return _cmd_topology(args)
     raise AssertionError(f"unhandled command {args.command!r}")

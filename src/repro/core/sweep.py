@@ -4,12 +4,18 @@ The paper reports single-configuration numbers; a reproduction should
 also show that its conclusions are not artifacts of one random seed or
 of the 64-core size.  These helpers run the full pipeline across seeds
 or die sizes and aggregate the normalized metrics.
+
+Sweeps are campaigns of independent units, so they route through
+:func:`repro.orchestrator.run_campaign`: pass ``jobs`` to fan the points
+out across processes and ``cache_dir`` to reuse results across
+invocations.  The defaults (``jobs=1``, no cache) reproduce the
+historical serial behaviour exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,8 +24,8 @@ from repro.core.experiment import (
     VFI1_MESH,
     VFI2_MESH,
     VFI2_WINOC,
-    run_app_study,
 )
+from repro.orchestrator import StudySpec, run_campaign
 
 CONFIGS = (VFI1_MESH, VFI2_MESH, VFI2_WINOC)
 
@@ -61,21 +67,22 @@ class SweepResult:
         return max(values) - min(values)
 
 
-def seed_sweep(
-    app_name: str,
-    seeds: Sequence[int],
-    scale: float = 1.0,
-    num_workers: int = 64,
+def _sweep_campaign(
+    parameter: str,
+    specs: "Dict[object, StudySpec]",
+    jobs: int,
+    cache_dir: Optional[str],
+    progress: Optional[Callable] = None,
 ) -> SweepResult:
-    """Run the pipeline for several seeds (dataset + SA randomness)."""
-    if not seeds:
-        raise ValueError("seeds must be non-empty")
-    result = SweepResult(parameter="seed")
-    for seed in seeds:
-        study = run_app_study(
-            app_name, scale=scale, seed=seed, num_workers=num_workers
-        )
-        result.rows[seed] = {
+    """Resolve one spec per swept value and tabulate normalized metrics."""
+    campaign = run_campaign(
+        specs.values(), jobs=jobs, cache=cache_dir, progress=progress
+    )
+    campaign.raise_failures()
+    result = SweepResult(parameter=parameter)
+    for value, spec in specs.items():
+        study = campaign.study(spec)
+        result.rows[value] = {
             config: {
                 "time": study.normalized_time(config),
                 "edp": study.normalized_edp(config),
@@ -83,6 +90,27 @@ def seed_sweep(
             for config in CONFIGS
         }
     return result
+
+
+def seed_sweep(
+    app_name: str,
+    seeds: Sequence[int],
+    scale: float = 1.0,
+    num_workers: int = 64,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable] = None,
+) -> SweepResult:
+    """Run the pipeline for several seeds (dataset + SA randomness)."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    specs = {
+        seed: StudySpec(
+            app=app_name, scale=scale, seed=seed, num_workers=num_workers
+        )
+        for seed in seeds
+    }
+    return _sweep_campaign("seed", specs, jobs, cache_dir, progress)
 
 
 def size_sweep(
@@ -90,18 +118,15 @@ def size_sweep(
     sizes: Iterable[int] = (16, 36, 64),
     scale: float = 1.0,
     seed: int = 7,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable] = None,
 ) -> SweepResult:
     """Run the pipeline at several (square) system sizes."""
-    result = SweepResult(parameter="num_workers")
-    for size in sizes:
-        study = run_app_study(
-            app_name, scale=scale, seed=seed, num_workers=size
+    specs = {
+        size: StudySpec(
+            app=app_name, scale=scale, seed=seed, num_workers=size
         )
-        result.rows[size] = {
-            config: {
-                "time": study.normalized_time(config),
-                "edp": study.normalized_edp(config),
-            }
-            for config in CONFIGS
-        }
-    return result
+        for size in sizes
+    }
+    return _sweep_campaign("num_workers", specs, jobs, cache_dir, progress)

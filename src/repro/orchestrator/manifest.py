@@ -1,0 +1,142 @@
+"""Run manifests: the auditable record of one campaign execution.
+
+A :class:`RunManifest` collects one :class:`UnitRecord` per study unit --
+how it resolved (cache hit, computed, or failed after retries), how long
+it took, and how many attempts it consumed -- plus campaign-level
+settings (jobs, cache directory, schema version).  Manifests are plain
+data, JSON-saveable, and render a terminal summary for long campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from pathlib import Path
+
+#: Unit statuses, in the order a unit can move through them.
+CACHED = "cached"
+COMPUTED = "computed"
+FAILED = "failed"
+
+
+@dataclass
+class UnitRecord:
+    """Outcome of one study unit within a campaign."""
+
+    key: str
+    label: str
+    spec: Dict
+    status: str
+    wall_time_s: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def cached(self) -> bool:
+        return self.status == CACHED
+
+    @property
+    def failed(self) -> bool:
+        return self.status == FAILED
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts beyond the first (0 for clean units and hits)."""
+        return max(0, self.attempts - 1)
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "spec": dict(self.spec),
+            "status": self.status,
+            "wall_time_s": float(self.wall_time_s),
+            "attempts": int(self.attempts),
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Everything a campaign run did, unit by unit."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    schema_version: int = 0
+    wall_time_s: float = 0.0
+    records: List[UnitRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, record: UnitRecord) -> UnitRecord:
+        self.records.append(record)
+        return record
+
+    @property
+    def num_units(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for r in self.records if r.status == CACHED)
+
+    @property
+    def num_computed(self) -> int:
+        return sum(1 for r in self.records if r.status == COMPUTED)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for r in self.records if r.status == FAILED)
+
+    @property
+    def num_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of all units (0.0 for an empty run)."""
+        if not self.records:
+            return 0.0
+        return self.num_cached / len(self.records)
+
+    def failures(self) -> List[UnitRecord]:
+        return [r for r in self.records if r.status == FAILED]
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        return {
+            "jobs": int(self.jobs),
+            "cache_dir": self.cache_dir,
+            "schema_version": int(self.schema_version),
+            "wall_time_s": float(self.wall_time_s),
+            "summary": {
+                "units": self.num_units,
+                "cached": self.num_cached,
+                "computed": self.num_computed,
+                "failed": self.num_failed,
+                "retries": self.num_retries,
+                "hit_rate": self.hit_rate,
+            },
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+
+    def format_summary(self) -> str:
+        """One-line terminal summary of the campaign."""
+        parts = [
+            f"{self.num_units} units",
+            f"{self.num_cached} cached",
+            f"{self.num_computed} computed",
+        ]
+        if self.num_failed:
+            parts.append(f"{self.num_failed} FAILED")
+        if self.num_retries:
+            parts.append(f"{self.num_retries} retries")
+        parts.append(f"{self.wall_time_s:.1f}s")
+        return ", ".join(parts)

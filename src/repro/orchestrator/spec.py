@@ -1,0 +1,141 @@
+"""Declarative experiment units and campaign grids.
+
+A :class:`StudySpec` names one run of the full paper pipeline --
+:func:`repro.core.experiment.run_app_study` with concrete arguments --
+in canonical form: app aliases are resolved, numeric fields are
+normalized to builtin types, and invalid combinations are rejected at
+construction time rather than minutes into a campaign.  Specs are
+frozen, hashable and order-insensitively comparable, so they can key
+dictionaries, de-duplicate grids and address the on-disk result cache.
+
+:func:`expand_grid` turns a campaign description (lists of apps, scales,
+seeds, ...) into the cross-product list of specs, in a deterministic
+app-major order with duplicates removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Sequence
+
+from repro.apps.registry import canonical_app_name
+
+#: Bump whenever the serialized study document or the pipeline semantics
+#: change: a new version invalidates every previously cached result.
+CACHE_SCHEMA_VERSION = 1
+
+WINOC_METHODOLOGIES = ("max_wireless", "min_hop")
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """One hashable, canonicalized unit of experiment work."""
+
+    app: str
+    scale: float = 1.0
+    seed: int = 7
+    num_workers: int = 64
+    winoc_methodology: str = "max_wireless"
+    include_vfi1: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "app", canonical_app_name(self.app))
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "num_workers", int(self.num_workers))
+        object.__setattr__(self, "include_vfi1", bool(self.include_vfi1))
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale!r}")
+        root = math.isqrt(self.num_workers) if self.num_workers > 0 else 0
+        if self.num_workers <= 0 or root * root != self.num_workers:
+            raise ValueError(
+                f"num_workers must be a positive square, got {self.num_workers!r}"
+            )
+        if self.winoc_methodology not in WINOC_METHODOLOGIES:
+            raise ValueError(
+                f"winoc_methodology must be one of {WINOC_METHODOLOGIES}, "
+                f"got {self.winoc_methodology!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        """Canonical field mapping, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StudySpec":
+        return cls(**data)
+
+    def run_kwargs(self) -> Dict:
+        """Keyword arguments for :func:`repro.core.experiment.run_app_study`."""
+        kwargs = self.to_dict()
+        kwargs["app_name"] = kwargs.pop("app")
+        return kwargs
+
+    def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+        """Stable content address of this spec.
+
+        The key is a SHA-256 over the canonical JSON encoding of the
+        fields plus the cache schema version.  ``json.dumps`` renders
+        floats via ``repr``, which round-trips exactly, so the same spec
+        hashes identically in every process and on every platform; any
+        field change or schema bump yields a different key.
+        """
+        payload = {"schema_version": int(schema_version), "spec": self.to_dict()}
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines/manifests."""
+        parts = [
+            self.app,
+            f"scale={self.scale:g}",
+            f"seed={self.seed}",
+            f"workers={self.num_workers}",
+        ]
+        if self.winoc_methodology != "max_wireless":
+            parts.append(self.winoc_methodology)
+        if not self.include_vfi1:
+            parts.append("no-vfi1")
+        return " ".join(parts)
+
+    def run(self):
+        """Execute this unit in-process (memoized per process)."""
+        from repro.core.experiment import run_app_study
+
+        return run_app_study(**self.run_kwargs())
+
+
+def expand_grid(
+    apps: Sequence[str],
+    scales: Iterable[float] = (1.0,),
+    seeds: Iterable[int] = (7,),
+    num_workers: Iterable[int] = (64,),
+    winoc_methodologies: Iterable[str] = ("max_wireless",),
+    include_vfi1: Iterable[bool] = (True,),
+) -> List[StudySpec]:
+    """Cross-product a campaign grid into de-duplicated specs.
+
+    The expansion order is deterministic and app-major (all variations of
+    the first app, then the second, ...), matching how the paper's
+    figures group their series.  Canonicalization happens inside
+    :class:`StudySpec`, so ``("hist", "histogram")`` collapses to one unit.
+    """
+    if not apps:
+        raise ValueError("apps must be non-empty")
+    specs: List[StudySpec] = []
+    seen = set()
+    for combo in itertools.product(
+        apps, scales, seeds, num_workers, winoc_methodologies, include_vfi1
+    ):
+        spec = StudySpec(*combo)
+        if spec not in seen:
+            seen.add(spec)
+            specs.append(spec)
+    return specs

@@ -45,6 +45,44 @@ def test_requires_command():
         main([])
 
 
+def test_sweep_seed_parameter(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "sweep", "histogram", "--parameter", "seed",
+        "--values", "9", "10", "--scale", "0.3", "--num-workers", "16",
+        "--jobs", "2", "--cache-dir", str(cache_dir),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "sweep over seed" in out
+    assert "Aggregate over the sweep" in out
+    assert "vfi2_winoc" in out
+    # Warm re-run resolves from the on-disk cache.
+    assert main(argv) == 0
+    err = capsys.readouterr().err
+    assert "cached" in err
+
+
+def test_sweep_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["sweep", "sorting"])
+
+
+def test_report_parallel_with_cache(tmp_path, capsys):
+    # Runs after test_report_to_file, so the forked workers inherit the
+    # warm in-process memo and only exercise the orchestration plumbing.
+    target = tmp_path / "report.md"
+    assert (
+        main([
+            "report", "--scale", "0.3", "--seed", "9",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(target),
+        ])
+        == 0
+    )
+    assert "# Reproduction report" in target.read_text()
+
+
 def test_topology(capsys):
     assert main(["topology", "histogram", "--scale", "0.3", "--seed", "9"]) == 0
     out = capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Design / study JSON round trips."""
+"""Design / trace / result / study JSON round trips."""
 
 import json
 
@@ -10,10 +10,34 @@ from repro.core.serialization import (
     design_from_dict,
     design_to_dict,
     load_design,
+    load_study,
+    result_from_dict,
+    result_to_dict,
     save_design,
+    save_study,
     save_study_summary,
+    study_from_dict,
     study_summary_dict,
+    study_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
+
+
+def _assert_builtin_types(node, path="$"):
+    """Recursively reject numpy scalars/arrays leaking into a document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            assert isinstance(key, str), f"non-str key {key!r} at {path}"
+            _assert_builtin_types(value, f"{path}.{key}")
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            _assert_builtin_types(value, f"{path}[{index}]")
+    else:
+        assert node is None or isinstance(
+            node, (str, bool, int, float)
+        ), f"non-builtin leaf {type(node).__name__} at {path}"
+        assert not isinstance(node, np.generic), f"numpy scalar at {path}"
 
 
 @pytest.fixture(scope="module")
@@ -66,3 +90,95 @@ class TestStudySummary:
         save_study_summary(study, str(path))
         loaded = json.loads(path.read_text())
         assert loaded["label"] == "HIST"
+
+    def test_summary_has_no_numpy_leakage(self, study):
+        _assert_builtin_types(study_summary_dict(study))
+
+
+class TestNumpyLeakage:
+    """np.float64/np.int64 must never reach the JSON documents."""
+
+    def test_design_document_is_pure_builtin(self, study):
+        _assert_builtin_types(design_to_dict(study.design))
+
+    def test_study_document_is_pure_builtin(self, study):
+        _assert_builtin_types(study_to_dict(study))
+
+    def test_documents_dump_without_custom_encoder(self, study):
+        json.dumps(design_to_dict(study.design))
+        json.dumps(study_to_dict(study))
+        json.dumps(study_summary_dict(study))
+
+
+class TestTraceRoundTrip:
+    def test_preserves_structure_and_costs(self, study):
+        rebuilt = trace_from_dict(trace_to_dict(study.trace))
+        assert rebuilt.app_name == study.trace.app_name
+        assert rebuilt.num_workers == study.trace.num_workers
+        assert rebuilt.num_iterations == study.trace.num_iterations
+        assert rebuilt.total_instructions() == study.trace.total_instructions()
+        assert rebuilt.map_task_count() == study.trace.map_task_count()
+        assert np.array_equal(
+            rebuilt.worker_flow_matrix(), study.trace.worker_flow_matrix()
+        )
+
+    def test_flow_matrix_worker_keys_are_ints(self, study):
+        rebuilt = trace_from_dict(
+            json.loads(json.dumps(trace_to_dict(study.trace)))
+        )
+        for record in rebuilt.all_tasks():
+            for worker in record.input_bytes_by_worker:
+                assert isinstance(worker, int)
+
+
+class TestResultRoundTrip:
+    def test_preserves_metrics_exactly(self, study):
+        for config, result in study.results.items():
+            rebuilt = result_from_dict(
+                json.loads(json.dumps(result_to_dict(result)))
+            )
+            assert rebuilt.total_time_s == result.total_time_s
+            assert rebuilt.edp == result.edp
+            assert rebuilt.network_edp == result.network_edp
+            assert np.array_equal(rebuilt.utilization, result.utilization)
+            assert rebuilt.phase_breakdown() == result.phase_breakdown()
+
+
+class TestStudyRoundTrip:
+    def test_full_study_round_trip(self, study):
+        rebuilt = study_from_dict(
+            json.loads(json.dumps(study_to_dict(study)))
+        )
+        assert rebuilt.label == study.label
+        assert set(rebuilt.results) == set(study.results)
+        for config in study.results:
+            assert rebuilt.normalized_time(config) == study.normalized_time(config)
+            assert rebuilt.normalized_edp(config) == study.normalized_edp(config)
+        assert rebuilt.design.vfi2.labels() == study.design.vfi2.labels()
+        assert rebuilt.app.scale == study.app.scale
+        assert rebuilt.app.seed == study.app.seed
+
+    def test_summary_identical_after_round_trip(self, study):
+        rebuilt = study_from_dict(
+            json.loads(json.dumps(study_to_dict(study)))
+        )
+        assert json.dumps(study_summary_dict(rebuilt), sort_keys=True) == (
+            json.dumps(study_summary_dict(study), sort_keys=True)
+        )
+
+    def test_file_round_trip(self, study, tmp_path):
+        path = tmp_path / "study.json"
+        save_study(study, str(path))
+        rebuilt = load_study(str(path))
+        assert rebuilt.label == study.label
+
+    def test_rebuilt_trace_drives_simulation(self, study):
+        from repro.core.platforms import build_nvfi_mesh, geometry_for
+        from repro.sim.system import simulate
+
+        rebuilt = study_from_dict(study_to_dict(study))
+        platform = build_nvfi_mesh(geometry_for(rebuilt.trace.num_workers))
+        result = simulate(
+            platform, rebuilt.trace, locality=rebuilt.app.profile.l2_locality
+        )
+        assert result.total_time_s == study.result("nvfi_mesh").total_time_s

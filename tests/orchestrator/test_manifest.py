@@ -1,0 +1,82 @@
+"""Run manifest bookkeeping."""
+
+import json
+
+from repro.orchestrator import RunManifest, UnitRecord
+from repro.orchestrator.manifest import CACHED, COMPUTED, FAILED
+
+
+def _record(status, attempts=1, error=None):
+    return UnitRecord(
+        key="ab" * 32,
+        label="histogram scale=0.3 seed=9 workers=16",
+        spec={"app": "histogram"},
+        status=status,
+        wall_time_s=0.5,
+        attempts=attempts,
+        error=error,
+    )
+
+
+def _manifest():
+    manifest = RunManifest(jobs=4, cache_dir="/tmp/cache", schema_version=1)
+    manifest.add(_record(CACHED))
+    manifest.add(_record(COMPUTED))
+    manifest.add(_record(COMPUTED, attempts=3))
+    manifest.add(_record(FAILED, attempts=2, error="RuntimeError('boom')"))
+    manifest.wall_time_s = 2.5
+    return manifest
+
+
+class TestCounts:
+    def test_tallies(self):
+        manifest = _manifest()
+        assert manifest.num_units == 4
+        assert manifest.num_cached == 1
+        assert manifest.num_computed == 2
+        assert manifest.num_failed == 1
+        assert manifest.num_retries == 3  # 2 from the flaky unit, 1 failed
+        assert manifest.hit_rate == 0.25
+
+    def test_empty_hit_rate(self):
+        assert RunManifest().hit_rate == 0.0
+
+    def test_failures_listed(self):
+        failures = _manifest().failures()
+        assert len(failures) == 1
+        assert "boom" in failures[0].error
+
+    def test_record_retries(self):
+        assert _record(CACHED).retries == 0
+        assert _record(COMPUTED, attempts=3).retries == 2
+
+
+class TestSerialization:
+    def test_to_dict_is_json_serializable(self):
+        text = json.dumps(_manifest().to_dict())
+        assert "boom" in text
+
+    def test_summary_block(self):
+        summary = _manifest().to_dict()["summary"]
+        assert summary == {
+            "units": 4,
+            "cached": 1,
+            "computed": 2,
+            "failed": 1,
+            "retries": 3,
+            "hit_rate": 0.25,
+        }
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        _manifest().save(path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["records"]) == 4
+        assert loaded["jobs"] == 4
+
+    def test_format_summary(self):
+        text = _manifest().format_summary()
+        assert "4 units" in text
+        assert "1 cached" in text
+        assert "1 FAILED" in text
+        assert "retries" in text
