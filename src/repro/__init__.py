@@ -43,8 +43,15 @@ from repro.orchestrator import (
     run_campaign,
 )
 from repro.sim import Platform, SystemSimulator, simulate
+from repro.telemetry import (
+    NullTracer,
+    RecordingTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APP_NAMES",
@@ -70,5 +77,10 @@ __all__ = [
     "VFI1_MESH",
     "VFI2_MESH",
     "VFI2_WINOC",
+    "NullTracer",
+    "RecordingTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
     "__version__",
 ]

@@ -16,9 +16,16 @@ Commands
 ``sweep [app] --parameter {seed,size}``
     Orchestrated robustness/scalability sweep: run the pipeline across
     seeds or die sizes and print per-value plus aggregate tables.
+``trace --app <app> [--system CONFIG]``
+    Run one study with telemetry recording, write the Chrome trace-event
+    JSON (open it at https://ui.perfetto.dev) and print the per-phase and
+    per-island summary tables.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
+
+Every subcommand exits nonzero with a one-line message on stderr when
+given bad arguments; tracebacks are reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis.tables import ascii_bars, format_table, table1_datasets
 from repro.apps.registry import APP_NAMES
 from repro.core.experiment import (
@@ -37,6 +45,9 @@ from repro.core.experiment import (
     run_app_study,
 )
 
+#: Simulated configurations addressable from the command line.
+CONFIG_CHOICES = (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -45,6 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Energy-efficient MapReduce on VFI-enabled wireless-NoC "
             "multicore platforms (DAC 2015 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -95,6 +109,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--jobs", type=int, default=1)
     sweep.add_argument("--cache-dir", default=None)
+    sweep.add_argument(
+        "--manifest", default=None,
+        help="save the campaign's run manifest (JSON) to this path; a "
+        "sibling .trace.json with the per-unit timeline is written too",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="record a telemetry trace of one app study"
+    )
+    trace.add_argument("--app", required=True, choices=APP_NAMES)
+    trace.add_argument(
+        "--system", choices=CONFIG_CHOICES, default=VFI2_WINOC,
+        help="configuration the summary tables focus on",
+    )
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--num-workers", type=int, default=64)
+    trace.add_argument(
+        "--output", default=None,
+        help="Chrome trace-event JSON path (default <app>_<system>.trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None,
+        help="also dump every telemetry record as JSONL to this path",
+    )
+    trace.add_argument(
+        "--wall", action="store_true",
+        help="include wall-clock spans (design flow, pipeline stages); "
+        "makes the export non-deterministic",
+    )
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
     topology.add_argument("app", choices=APP_NAMES)
@@ -245,6 +289,65 @@ def _cmd_sweep(args) -> int:
             }
         )
     print(format_table(rows))
+    if args.manifest and sweep.manifest is not None:
+        import pathlib
+
+        manifest_path = pathlib.Path(args.manifest)
+        sweep.manifest.save(manifest_path)
+        trace_path = manifest_path.with_suffix(".trace.json")
+        sweep.manifest.save_trace(trace_path)
+        print(f"\nrun manifest saved to {manifest_path} (+ {trace_path})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import RecordingTracer, use_tracer
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+    from repro.telemetry.summary import (
+        format_island_table,
+        format_phase_table,
+    )
+
+    tracer = RecordingTracer()
+    # use_cache=False: a memoized study would skip the simulations and
+    # record nothing; tracing demands the run actually happen.
+    with use_tracer(tracer):
+        study = run_app_study(
+            args.app,
+            scale=args.scale,
+            seed=args.seed,
+            num_workers=args.num_workers,
+            use_cache=False,
+        )
+    result = study.result(args.system)
+
+    output = args.output or f"{args.app}_{args.system}.trace.json"
+    write_chrome_trace(tracer, output, include_wall=args.wall)
+    print(f"trace written to {output} (open at https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl, include_wall=args.wall)
+        print(f"telemetry records written to {args.jsonl}")
+
+    print(f"\nPer-phase timeline (simulated, {study.label}):")
+    print(format_phase_table(tracer))
+    print(f"\nPer-island activity ({result.platform_name}):")
+    print(
+        format_island_table(
+            tracer, result.platform_name, study.design.worker_clusters
+        )
+    )
+    steals = tracer.counter_total("sched.steals", key=result.platform_name)
+    attempts = tracer.counter_total(
+        "sched.steal_attempts", key=result.platform_name
+    )
+    rejections = tracer.counter_total(
+        "sched.cap_rejections", key=result.platform_name
+    )
+    print(
+        f"\nMap-phase stealing on {result.platform_name}: "
+        f"{steals:.0f} steals / {attempts:.0f} attempts, "
+        f"{rejections:.0f} Eq. (3) cap rejections"
+    )
     return 0
 
 
@@ -272,21 +375,34 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+_COMMANDS = {
+    "list-apps": lambda args: _cmd_list_apps(),
+    "run-study": _cmd_run_study,
+    "design": _cmd_design,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "topology": _cmd_topology,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list-apps":
-        return _cmd_list_apps()
-    if args.command == "run-study":
-        return _cmd_run_study(args)
-    if args.command == "design":
-        return _cmd_design(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "topology":
-        return _cmd_topology(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        return handler(args)
+    except (ValueError, KeyError, OSError, RuntimeError) as exc:
+        # Bad arguments that argparse cannot vet (out-of-range scales,
+        # non-square die sizes, unwritable output paths, failed campaign
+        # units): one line on stderr, nonzero exit, no traceback.
+        if isinstance(exc, OSError):
+            message = str(exc)  # args[0] alone would be the bare errno
+        else:
+            message = exc.args[0] if exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.mapreduce.scheduler import CappedStealingPolicy
 from repro.mapreduce.trace import JobTrace
+from repro.telemetry import get_tracer
 from repro.utils.rng import SeedLike
 from repro.vfi.bottleneck import BottleneckReport, detect_bottlenecks
 from repro.vfi.clustering import (
@@ -126,14 +127,21 @@ def design_vfi(
         fast islands (Kmeans/WC).
     """
     utilization = np.asarray(utilization, dtype=float)
+    tracer = get_tracer()
     problem = ClusteringProblem(
         traffic=traffic, utilization=utilization, num_clusters=num_islands
     )
-    clustering = solve_simulated_annealing(
-        problem, iterations=clustering_iterations, seed=seed
-    )
-    vfi1 = assign_vf(utilization, clustering.assignment, num_islands)
-    report = detect_bottlenecks(utilization)
+    with tracer.wall_span(
+        "vfi.clustering", cat="vfi", pid="design-flow",
+        iterations=clustering_iterations,
+    ):
+        clustering = solve_simulated_annealing(
+            problem, iterations=clustering_iterations, seed=seed
+        )
+    with tracer.wall_span("vfi.vf_assign", cat="vfi", pid="design-flow"):
+        vfi1 = assign_vf(utilization, clustering.assignment, num_islands)
+    with tracer.wall_span("vfi.bottleneck", cat="vfi", pid="design-flow"):
+        report = detect_bottlenecks(utilization)
     # Candidates are sorted by descending utilization; the decisive test
     # is whether the *hottest* core is a structural bottleneck (master /
     # funnel root) rather than a data-hot map worker.
@@ -142,9 +150,10 @@ def design_vfi(
         and report.bottleneck_workers[0] in structural_workers
     )
     if structurally_confirmed:
-        vfi2 = reassign_for_bottlenecks(
-            vfi1, utilization, clustering.assignment, report
-        )
+        with tracer.wall_span("vfi.reassign", cat="vfi", pid="design-flow"):
+            vfi2 = reassign_for_bottlenecks(
+                vfi1, utilization, clustering.assignment, report
+            )
     else:
         vfi2 = vfi1
     return VfiDesign(

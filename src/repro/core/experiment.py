@@ -33,6 +33,7 @@ from repro.core.traffic import total_node_traffic
 from repro.mapreduce.trace import JobTrace
 from repro.sim.stats import SimulationResult
 from repro.sim.system import simulate
+from repro.telemetry import get_tracer
 from repro.utils.rng import spawn_seed
 
 #: Canonical configuration keys, in presentation order.
@@ -99,23 +100,33 @@ def run_app_study(
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
 
+    tracer = get_tracer()
     app = create_app(app_name, scale=scale, seed=seed)
     locality = app.profile.l2_locality
-    trace = app.run(num_workers=num_workers)
+    with tracer.wall_span(
+        "study.app_run", cat="study", pid="pipeline", app=app_name, seed=seed,
+    ):
+        trace = app.run(num_workers=num_workers)
     geometry = geometry_for(num_workers)
 
     # 1. NVFI-mesh characterization.
     nvfi = build_nvfi_mesh(geometry)
-    nvfi_result = simulate(nvfi, trace, locality=locality)
+    with tracer.wall_span(
+        "study.sim_nvfi", cat="study", pid="pipeline", app=app_name,
+    ):
+        nvfi_result = simulate(nvfi, trace, locality=locality)
 
     # 2. Design flow (Fig. 3) from the measured profile.
     traffic = total_node_traffic(trace, locality)
-    design = design_vfi(
-        utilization=nvfi_result.utilization,
-        traffic=traffic,
-        seed=spawn_seed(seed, app_name, "clustering"),
-        structural_workers=structural_bottleneck_workers(trace),
-    )
+    with tracer.wall_span(
+        "study.design", cat="study", pid="pipeline", app=app_name,
+    ):
+        design = design_vfi(
+            utilization=nvfi_result.utilization,
+            traffic=traffic,
+            seed=spawn_seed(seed, app_name, "clustering"),
+            structural_workers=structural_bottleneck_workers(trace),
+        )
 
     results: Dict[str, SimulationResult] = {NVFI_MESH: nvfi_result}
 
@@ -123,19 +134,25 @@ def run_app_study(
     map_seed = spawn_seed(seed, app_name, "mapping")
     if include_vfi1:
         vfi1_platform = build_vfi_mesh(design, "vfi1", geometry=geometry, seed=map_seed)
-        results[VFI1_MESH] = simulate(
-            vfi1_platform,
+        with tracer.wall_span(
+            "study.sim_vfi1_mesh", cat="study", pid="pipeline", app=app_name,
+        ):
+            results[VFI1_MESH] = simulate(
+                vfi1_platform,
+                trace,
+                locality=locality,
+                stealing_policy=design.stealing_policy("vfi1"),
+            )
+    vfi2_platform = build_vfi_mesh(design, "vfi2", geometry=geometry, seed=map_seed)
+    with tracer.wall_span(
+        "study.sim_vfi2_mesh", cat="study", pid="pipeline", app=app_name,
+    ):
+        results[VFI2_MESH] = simulate(
+            vfi2_platform,
             trace,
             locality=locality,
-            stealing_policy=design.stealing_policy("vfi1"),
+            stealing_policy=design.stealing_policy("vfi2"),
         )
-    vfi2_platform = build_vfi_mesh(design, "vfi2", geometry=geometry, seed=map_seed)
-    results[VFI2_MESH] = simulate(
-        vfi2_platform,
-        trace,
-        locality=locality,
-        stealing_policy=design.stealing_policy("vfi2"),
-    )
 
     # 4. VFI WiNoC (wireless routing calibrated to the offered load).
     rate_bps = traffic * 8.0 / nvfi_result.total_time_s
@@ -147,12 +164,15 @@ def run_app_study(
         seed=spawn_seed(seed, app_name, "winoc"),
         traffic_rate_bps=rate_bps,
     )
-    results[VFI2_WINOC] = simulate(
-        winoc_platform,
-        trace,
-        locality=locality,
-        stealing_policy=design.stealing_policy("vfi2"),
-    )
+    with tracer.wall_span(
+        "study.sim_vfi2_winoc", cat="study", pid="pipeline", app=app_name,
+    ):
+        results[VFI2_WINOC] = simulate(
+            winoc_platform,
+            trace,
+            locality=locality,
+            stealing_policy=design.stealing_policy("vfi2"),
+        )
 
     study = AppStudy(app=app, trace=trace, design=design, results=results)
     if use_cache:

@@ -37,6 +37,8 @@ class SweepResult:
     parameter: str
     #: rows[value][config] = {"time": t, "edp": e}
     rows: Dict[object, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: The campaign's :class:`repro.orchestrator.manifest.RunManifest`.
+    manifest: Optional[object] = None
 
     def aggregate(self) -> Dict[str, Dict[str, Tuple[float, float]]]:
         """Per-config (mean, std) over the swept values, per metric."""
@@ -79,7 +81,7 @@ def _sweep_campaign(
         specs.values(), jobs=jobs, cache=cache_dir, progress=progress
     )
     campaign.raise_failures()
-    result = SweepResult(parameter=parameter)
+    result = SweepResult(parameter=parameter, manifest=campaign.manifest)
     for value, spec in specs.items():
         study = campaign.study(spec)
         result.rows[value] = {

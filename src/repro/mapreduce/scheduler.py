@@ -161,6 +161,12 @@ class TaskQueueSet:
         self._queues: List[Deque[Task]] = [deque() for _ in range(self.num_workers)]
         self._executed: Dict[int, int] = {w: 0 for w in range(self.num_workers)}
         self._total = 0
+        # Stealing statistics for the current load() generation.  Plain int
+        # increments (cheap enough to keep always-on); the simulator folds
+        # them into telemetry counters when tracing is enabled.
+        self.steal_attempts = 0
+        self.steals = 0
+        self.cap_rejections = 0
 
     def load(self, tasks: Sequence[Task]) -> None:
         """Distribute *tasks* to their home workers and arm the policy."""
@@ -168,6 +174,9 @@ class TaskQueueSet:
             queue.clear()
         self._executed = {w: 0 for w in range(self.num_workers)}
         self._total = len(tasks)
+        self.steal_attempts = 0
+        self.steals = 0
+        self.cap_rejections = 0
         initial_counts = [0] * self.num_workers
         for task in tasks:
             if not 0 <= task.home_worker < self.num_workers:
@@ -203,7 +212,11 @@ class TaskQueueSet:
             task = own.popleft()
             self._executed[worker] += 1
             return task
+        if self.remaining == 0:
+            return None
+        self.steal_attempts += 1
         if not self.policy.may_steal(worker, self._executed[worker]):
+            self.cap_rejections += 1
             return None
         lengths = [len(queue) for queue in self._queues]
         victim = self.policy.choose_victim(worker, lengths)
@@ -211,6 +224,7 @@ class TaskQueueSet:
             return None
         task = self._queues[victim].pop()
         self._executed[worker] += 1
+        self.steals += 1
         return task
 
     def drain_serial(self) -> List[tuple]:

@@ -147,6 +147,16 @@ class DenseLatencyModel:
             self._service * rho / (2.0 * (1.0 - rho)),
             np.maximum(self._buffer_flits - 1, 0) * self._service,
         )
+        model = self.model
+        if model._tracer.enabled and model._wireless_channels:
+            # Channel-access wait (token acquisition + queueing) per shared
+            # channel, one observation per load refresh.
+            token = model.wireless.token_overhead_s
+            for channel in model._wireless_channels:
+                model._tracer.histogram_record(
+                    f"noc.token_wait_s/{model.trace_label}",
+                    token + queue_per_resource[2 * self._num_links + channel],
+                )
         queue = np.asarray(
             self._usage @ queue_per_resource
         ).reshape(n, n)
@@ -224,6 +234,11 @@ class PairwiseEnergy:
         counters.bits_moved += bits
         counters.bit_hops += bits * self.hops[src, dst]
         counters.wireless_bits += bits * self.wireless_links[src, dst]
+        if self.model._tracer.enabled:
+            # Path lists are cached, so this is a lookup + O(hops) loop;
+            # with the default NullTracer it costs one attribute check.
+            links, _ = self.model._path(src, dst, bulk=self.bulk)
+            self.model._count_flits(links, bits)
         return energy
 
     def record_aggregate(
@@ -240,4 +255,17 @@ class PairwiseEnergy:
         counters.bits_moved += bits
         counters.bit_hops += bit_hops
         counters.wireless_bits += wireless_bits
+        tracer = self.model._tracer
+        if tracer.enabled:
+            # Aggregates have no single path; attribute expected (possibly
+            # fractional) flit-hops to the medium-level counters only.
+            flit_bits = self.model.params.flit_bits
+            label = self.model.trace_label
+            tracer.counter_add(
+                "noc.flits.wireless", wireless_bits / flit_bits, key=label
+            )
+            tracer.counter_add(
+                "noc.flits.wired", (bit_hops - wireless_bits) / flit_bits,
+                key=label,
+            )
         return energy_j

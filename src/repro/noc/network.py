@@ -40,6 +40,7 @@ from repro.noc.energy import NocEnergyModel, NocEnergyParams
 from repro.noc.routing import RoutingTable
 from repro.noc.topology import Link, LinkKind, Topology
 from repro.noc.wireless import WirelessSpec
+from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive
 
 
@@ -133,6 +134,13 @@ class FlowNetworkModel:
         self._link_index: Dict[frozenset, int] = {
             link.key: index for index, link in enumerate(topology.links)
         }
+        self._wireless_channels = sorted(
+            {
+                link.channel
+                for link in topology.links
+                if link.kind is LinkKind.WIRELESS
+            }
+        )
         self.load = NetworkLoad(len(topology.links), wireless.num_channels)
         self._node_freq = np.array(
             [self.cluster_frequencies_hz[cid] for cid in self.clusters]
@@ -147,6 +155,11 @@ class FlowNetworkModel:
         # Path caches: (src, dst) -> (links, directions)
         self._path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
         self._bulk_path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
+        # Telemetry: captured at construction (install the tracer first).
+        # ``trace_label`` names this interconnect instance in counters and
+        # samples; the simulator overwrites it with the platform name.
+        self._tracer = get_tracer()
+        self.trace_label = "noc"
 
     # ------------------------------------------------------------------ #
     # flow registration
@@ -213,8 +226,17 @@ class FlowNetworkModel:
                 buffer_flits = params.wire_buffer_flits
             # M/D/1 waiting time, bounded by the port's finite buffer
             # (at most depth-1 flits can be queued in front).
-            wait = service * rho / (2.0 * (1.0 - rho))
-            head += min(wait, (buffer_flits - 1) * service)
+            wait = min(
+                service * rho / (2.0 * (1.0 - rho)),
+                (buffer_flits - 1) * service,
+            )
+            head += wait
+            if link.kind is LinkKind.WIRELESS and self._tracer.enabled:
+                # Channel-access wait: token acquisition + queueing.
+                self._tracer.histogram_record(
+                    f"noc.token_wait_s/{self.trace_label}",
+                    self.wireless.token_overhead_s + wait,
+                )
             if self.clusters[node] != self.clusters[peer]:
                 head += params.domain_sync_cycles / min(
                     f_node, self._node_freq[peer]
@@ -273,7 +295,23 @@ class FlowNetworkModel:
         if src == dst:
             return 0.0
         links, _ = self._path(src, dst, bulk=bulk)
+        if self._tracer.enabled:
+            self._count_flits(links, bits)
         return self.energy.transfer_energy(links, bits)
+
+    def _count_flits(self, links: Sequence[Link], bits: float) -> None:
+        """Telemetry: per-link and per-kind flit counters for a transfer."""
+        tracer = self._tracer
+        label = self.trace_label
+        flits = -(-bits // self.params.flit_bits)  # ceil on floats
+        for link in links:
+            tracer.counter_add(
+                "noc.link_flits", flits, key=f"{label}:{link.a}-{link.b}"
+            )
+            if link.kind is LinkKind.WIRELESS:
+                tracer.counter_add("noc.flits.wireless", flits, key=label)
+            else:
+                tracer.counter_add("noc.flits.wired", flits, key=label)
 
     def static_energy(self, elapsed_s: float) -> float:
         """Switch leakage over *elapsed_s*, per-cluster voltage scaled."""
@@ -286,6 +324,28 @@ class FlowNetworkModel:
 
     def hop_count(self, src: int, dst: int) -> int:
         return self.routing.hop_count(src, dst)
+
+    def sample_channel_occupancy(self, ts_s: float) -> None:
+        """Telemetry: one offered-load sample per wireless channel.
+
+        The simulator calls this after registering a phase's flows, so a
+        recorded trace carries a counter track per shared mm-wave channel
+        showing its offered load as a fraction of the channel bandwidth
+        (paper Fig. 6's wireless-utilization comparison, over time).
+        """
+        tracer = self._tracer
+        if not tracer.enabled or not self._wireless_channels:
+            return
+        bandwidth = self.wireless.bandwidth_bps
+        for channel in self._wireless_channels:
+            tracer.sample(
+                f"channel {channel} occupancy",
+                ts_s,
+                float(self.load.channel_load[channel]) / bandwidth,
+                pid=self.trace_label,
+                tid=int(channel),
+                series="fraction",
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -38,6 +38,7 @@ from repro.orchestrator.manifest import (
     UnitRecord,
 )
 from repro.orchestrator.spec import CACHE_SCHEMA_VERSION, StudySpec
+from repro.telemetry import get_tracer
 
 #: Callback invoked with a UnitRecord as each unit resolves.
 ProgressFn = Callable[[UnitRecord], None]
@@ -168,9 +169,26 @@ def run_campaign(
     )
     result = CampaignResult(manifest=manifest)
     campaign_start = time.perf_counter()
+    tracer = get_tracer()
 
     def resolve(record: UnitRecord) -> None:
         manifest.add(record)
+        if tracer.enabled:
+            # One wall-clock span per unit, on a per-status track; the
+            # span ends when the unit resolves and covers its wall time.
+            resolved_at = time.perf_counter() - campaign_start
+            tracer.span(
+                record.label,
+                resolved_at - record.wall_time_s,
+                record.wall_time_s,
+                cat="orchestrator",
+                pid="campaign",
+                tid=record.status,
+                wall=True,
+                status=record.status,
+                attempts=record.attempts,
+                error=record.error,
+            )
         if progress is not None:
             progress(record)
 

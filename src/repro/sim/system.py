@@ -37,6 +37,7 @@ from repro.sim.config import SimulationParams
 from repro.sim.memory import MemorySystem
 from repro.sim.platform import Platform
 from repro.sim.stats import NetworkStats, PhaseStats, SimulationResult
+from repro.telemetry import get_tracer
 
 
 @dataclass
@@ -78,6 +79,10 @@ class SystemSimulator:
         self.platform = platform
         # Fresh network per simulation so runs never share load/energy state.
         platform.network = platform.build_network()
+        # Telemetry: captured once (install a tracer before construction).
+        # Simulated-time spans are grouped under the platform name.
+        self.tracer = get_tracer()
+        platform.network.trace_label = platform.name
         self.memory = MemorySystem(platform, locality)
         self.policy = stealing_policy
         self.params = params
@@ -137,6 +142,11 @@ class SystemSimulator:
         phases.append(
             PhaseStats(Phase.LIB_INIT, iteration, start, start + duration)
         )
+        if self.tracer.enabled:
+            self._trace_phase(phases[-1])
+            self._trace_tasks(
+                [_ScheduledTask(record, worker, start, duration)], Phase.LIB_INIT
+            )
         return start + duration
 
     def _run_map(
@@ -154,17 +164,26 @@ class SystemSimulator:
             self._register_phase_flows(schedule, max(end - start, 1e-12))
             self.memory.refresh_latencies()
         # Final schedule under converged latencies.
-        schedule, end = self._schedule_map(records, start)
+        schedule, end = self._schedule_map(records, start, trace=True)
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker)
         phases.append(PhaseStats(Phase.MAP, iteration, start, end))
+        if self.tracer.enabled:
+            self._trace_phase(phases[-1])
+            self._trace_tasks(schedule, Phase.MAP)
+            self.platform.network.sample_channel_occupancy(start)
         return end
 
     def _schedule_map(
-        self, records: Sequence[TaskRecord], start: float
+        self, records: Sequence[TaskRecord], start: float, trace: bool = False
     ) -> Tuple[List[_ScheduledTask], float]:
-        """Event-driven map scheduling with stealing."""
+        """Event-driven map scheduling with stealing.
+
+        ``trace`` marks the final (post-relaxation) pass: only that one
+        folds the queue set's stealing statistics into telemetry, so the
+        counters reflect the schedule that actually gets committed.
+        """
         num_workers = self.platform.num_cores
         tasks = [
             Task(
@@ -206,6 +225,16 @@ class SystemSimulator:
                 schedule.append(_ScheduledTask(record, worker, now, duration))
                 now += duration
             end = now
+        if trace and self.tracer.enabled:
+            tracer = self.tracer
+            pid = self.platform.name
+            tracer.counter_add(
+                "sched.steal_attempts", queues.steal_attempts, key=pid
+            )
+            tracer.counter_add("sched.steals", queues.steals, key=pid)
+            tracer.counter_add(
+                "sched.cap_rejections", queues.cap_rejections, key=pid
+            )
         return schedule, end
 
     def _run_reduce(
@@ -228,6 +257,10 @@ class SystemSimulator:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
         phases.append(PhaseStats(Phase.REDUCE, iteration, start, end))
+        if self.tracer.enabled:
+            self._trace_phase(phases[-1])
+            self._trace_tasks(schedule, Phase.REDUCE)
+            self.platform.network.sample_channel_occupancy(start)
         return end
 
     def _run_merge_stage(
@@ -249,6 +282,10 @@ class SystemSimulator:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
         phases.append(PhaseStats(Phase.MERGE, iteration, start, end))
+        if self.tracer.enabled:
+            self._trace_phase(phases[-1])
+            self._trace_tasks(schedule, Phase.MERGE)
+            self.platform.network.sample_channel_occupancy(start)
         return end
 
     def _schedule_parallel(
@@ -272,6 +309,13 @@ class SystemSimulator:
 
     def _task_time(self, record: TaskRecord, worker: int) -> float:
         """Compute + memory-stall time of one task on *worker*'s core."""
+        compute, stall = self._task_time_parts(record, worker)
+        return compute + stall
+
+    def _task_time_parts(
+        self, record: TaskRecord, worker: int
+    ) -> Tuple[float, float]:
+        """(compute, memory stall) seconds of one task on *worker*'s core."""
         platform = self.platform
         node = platform.node_of_worker(worker)
         frequency = platform.frequency_of_worker(worker)
@@ -283,7 +327,7 @@ class SystemSimulator:
             cost.memory_accesses,
             platform.core_params.mlp_overlap,
         )
-        return compute + stall
+        return compute, stall
 
     def _kv_sources(self, record: TaskRecord) -> List[Tuple[int, float]]:
         """(source worker, bytes) pairs this task pulls over the NoC."""
@@ -315,6 +359,52 @@ class SystemSimulator:
             streaming = bits / capacity if np.isfinite(capacity) else 0.0
             total += head + streaming
         return total
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def _trace_phase(self, stats: PhaseStats) -> None:
+        """One span per phase instance on the platform's ``phases`` track."""
+        self.tracer.span(
+            stats.phase.value,
+            stats.start_s,
+            stats.duration_s,
+            cat="sim.phase",
+            pid=self.platform.name,
+            tid="phases",
+            iteration=stats.iteration,
+        )
+
+    def _trace_tasks(
+        self, schedule: Sequence[_ScheduledTask], phase: Phase
+    ) -> None:
+        """Per-task execution spans, one track per worker.
+
+        A task's span covers its busy interval on the core; args split it
+        into compute, memory stall and (for kv phases) remote pull time,
+        so per-core busy/stall timelines fall out of the trace directly.
+        """
+        tracer = self.tracer
+        pid = self.platform.name
+        for item in schedule:
+            compute, stall = self._task_time_parts(item.record, item.worker)
+            kv_pull = max(item.duration_s - compute - stall, 0.0)
+            tracer.span(
+                f"{phase.value}:{item.record.task_id}",
+                item.start_s,
+                item.duration_s,
+                cat="sim.task",
+                pid=pid,
+                tid=item.worker,
+                phase=phase.value,
+                task_id=item.record.task_id,
+                compute_s=compute,
+                stall_s=stall,
+                kv_pull_s=kv_pull,
+            )
+            tracer.counter_add("sim.busy_s", item.duration_s, key=f"{pid}/w{item.worker}")
+            tracer.counter_add("sim.stall_s", stall, key=f"{pid}/w{item.worker}")
 
     # ------------------------------------------------------------------ #
     # flows and energy

@@ -1,0 +1,53 @@
+"""Structured event tracing, metrics and profiling hooks.
+
+The simulator, NoC model, scheduler, VFI design flow and experiment
+orchestrator are instrumented against one process-wide :class:`Tracer`.
+The default tracer is a :class:`NullTracer` whose every operation is a
+no-op behind an ``enabled`` flag, so instrumentation costs nothing
+unless a recording tracer is installed::
+
+    from repro.telemetry import RecordingTracer, use_tracer
+    from repro.telemetry.export import write_chrome_trace
+
+    tracer = RecordingTracer()
+    with use_tracer(tracer):
+        study = run_app_study("wordcount", use_cache=False)
+    write_chrome_trace(tracer, "wordcount.trace.json")  # open in Perfetto
+
+Two time domains coexist:
+
+* **simulated time** -- spans and counter samples stamped with the
+  discrete-event clock (phases, tasks, channel occupancy).  These are
+  deterministic: the same seed produces byte-identical exports.
+* **wall time** -- spans measured with ``time.perf_counter`` (design-flow
+  stages, orchestrator units).  Excluded from exports by default so the
+  deterministic property survives; pass ``include_wall=True`` to keep
+  them (on their own trace-process track).
+
+``repro trace`` on the command line records a full study, writes the
+Chrome trace-event JSON and prints per-phase / per-island summaries.
+"""
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    Histogram,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "Histogram",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

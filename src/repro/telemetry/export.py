@@ -1,0 +1,195 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome trace-event format (the ``chrome://tracing`` / Perfetto
+interchange format) wants integer ``pid``/``tid`` fields, microsecond
+timestamps and strict JSON.  Track names -- platform names, worker ids --
+are mapped to stable small integers and attached via ``process_name`` /
+``thread_name`` metadata events so the UI shows the real names.
+
+Wall-clock spans are excluded by default: simulated-time events are
+deterministic for a given seed (byte-identical exports, safe to cache or
+diff), wall-clock ones are not.  Pass ``include_wall=True`` to keep them.
+
+The JSONL exporter writes everything -- spans, counter samples, counter
+totals and histograms -- one self-describing JSON object per line, for
+ad-hoc analysis with ``jq`` / pandas.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.telemetry.tracer import RecordingTracer, TrackId
+
+
+def _track_sort_key(track: TrackId) -> Tuple[int, object]:
+    # Integers first (workers, channels, in numeric order), then strings.
+    if isinstance(track, bool) or not isinstance(track, (int, float)):
+        return (1, str(track))
+    return (0, track)
+
+
+def _micro(seconds: float) -> float:
+    return round(float(seconds) * 1e6, 3)
+
+
+def chrome_trace_dict(
+    tracer: RecordingTracer, include_wall: bool = False
+) -> Dict:
+    """Render a tracer as a Chrome trace-event JSON object.
+
+    Every span becomes a complete (``ph="X"``) event and every counter
+    sample a ``ph="C"`` event; metadata (``ph="M"``) events name the
+    process and thread tracks.  The result is loadable in Perfetto and
+    ``chrome://tracing`` as-is.
+    """
+    spans = [s for s in tracer.spans if include_wall or not s.wall]
+    samples = tracer.samples
+
+    # Stable integer ids for the (pid, tid) name tracks.
+    pid_names = sorted(
+        {s.pid for s in spans} | {s.pid for s in samples}, key=_track_sort_key
+    )
+    pid_ids = {name: index + 1 for index, name in enumerate(pid_names)}
+    tid_names: Dict[TrackId, List[TrackId]] = {}
+    for event in [*spans, *samples]:
+        tids = tid_names.setdefault(event.pid, [])
+        if event.tid not in tids:
+            tids.append(event.tid)
+    tid_ids = {
+        pid: {
+            name: index + 1
+            for index, name in enumerate(sorted(tids, key=_track_sort_key))
+        }
+        for pid, tids in tid_names.items()
+    }
+
+    events: List[Dict] = []
+    for pid in pid_names:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid_ids[pid],
+                "tid": 0,
+                "args": {"name": str(pid)},
+            }
+        )
+        for tid in sorted(tid_ids[pid], key=_track_sort_key):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_ids[pid],
+                    "tid": tid_ids[pid][tid],
+                    "args": {"name": str(tid)},
+                }
+            )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat or "default",
+                "pid": pid_ids[span.pid],
+                "tid": tid_ids[span.pid][span.tid],
+                "ts": _micro(span.start_s),
+                "dur": _micro(span.duration_s),
+                "args": {str(k): v for k, v in span.args.items()},
+            }
+        )
+    for sample in samples:
+        events.append(
+            {
+                "ph": "C",
+                "name": sample.name,
+                "pid": pid_ids[sample.pid],
+                "tid": tid_ids[sample.pid][sample.tid],
+                "ts": _micro(sample.ts_s),
+                "args": {sample.series: sample.value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: RecordingTracer,
+    path: Union[str, Path],
+    include_wall: bool = False,
+) -> None:
+    """Write :func:`chrome_trace_dict` to *path* as strict JSON."""
+    document = chrome_trace_dict(tracer, include_wall=include_wall)
+    with open(path, "w") as handle:
+        json.dump(
+            document, handle, sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+def jsonl_records(
+    tracer: RecordingTracer, include_wall: bool = False
+) -> List[Dict]:
+    """All recorded telemetry as a flat list of typed records."""
+    records: List[Dict] = []
+    for span in tracer.spans:
+        if span.wall and not include_wall:
+            continue
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "pid": str(span.pid),
+                "tid": str(span.tid),
+                "start_s": float(span.start_s),
+                "duration_s": float(span.duration_s),
+                "wall": bool(span.wall),
+                "args": {str(k): v for k, v in span.args.items()},
+            }
+        )
+    for sample in tracer.samples:
+        records.append(
+            {
+                "type": "sample",
+                "name": sample.name,
+                "pid": str(sample.pid),
+                "tid": str(sample.tid),
+                "ts_s": float(sample.ts_s),
+                "series": sample.series,
+                "value": float(sample.value),
+            }
+        )
+    for (name, key), value in sorted(
+        tracer.counters.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        records.append(
+            {"type": "counter", "name": name, "key": str(key), "total": float(value)}
+        )
+    for name in sorted(tracer.histograms):
+        records.append(
+            {
+                "type": "histogram",
+                "name": name,
+                **tracer.histograms[name].to_dict(),
+            }
+        )
+    return records
+
+
+def write_jsonl(
+    tracer: RecordingTracer,
+    path: Union[str, Path],
+    include_wall: bool = False,
+) -> None:
+    """Write every telemetry record to *path*, one JSON object per line."""
+    with open(path, "w") as handle:
+        for record in jsonl_records(tracer, include_wall=include_wall):
+            handle.write(
+                json.dumps(
+                    record, sort_keys=True, separators=(",", ":"),
+                    allow_nan=False,
+                )
+            )
+            handle.write("\n")

@@ -1,0 +1,143 @@
+"""Summaries computed from recorded telemetry.
+
+These roll a :class:`repro.telemetry.RecordingTracer` up into the tables
+the paper's figures are built from -- per-phase wall time (Fig. 7) and
+per-island busy time / task counts (Figs. 2, 5) -- directly from the
+recorded spans, so a figure can cite the measured timeline instead of
+recomputing it from aggregate statistics.
+
+Span categories consumed here (as emitted by the instrumentation):
+
+* ``sim.phase`` -- one span per phase instance; ``pid`` is the platform
+  name, the span name is the :class:`repro.mapreduce.tasks.Phase` value.
+* ``sim.task`` -- one span per executed task; ``tid`` is the worker id,
+  args carry ``compute_s`` / ``stall_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.tracer import RecordingTracer, TrackId
+
+#: Presentation order for phase rows (Fig. 7's grouping).
+PHASE_ORDER = ("map", "reduce", "merge", "lib_init")
+
+
+def trace_platforms(tracer: RecordingTracer) -> List[TrackId]:
+    """Platform names (span pids) that recorded simulated phases."""
+    seen: List[TrackId] = []
+    for span in tracer.spans_by(cat="sim.phase"):
+        if span.pid not in seen:
+            seen.append(span.pid)
+    return seen
+
+
+def phase_summary(
+    tracer: RecordingTracer, pid: Optional[TrackId] = None
+) -> Dict[TrackId, Dict[str, float]]:
+    """Total duration per phase name, per platform.
+
+    Sums the recorded ``sim.phase`` spans across iterations, exactly as
+    :meth:`repro.sim.stats.SimulationResult.phase_duration_s` sums its
+    :class:`PhaseStats` -- the two agree to the float because the spans
+    are emitted from the same start/end pairs.
+    """
+    out: Dict[TrackId, Dict[str, float]] = {}
+    for span in tracer.spans_by(cat="sim.phase", pid=pid):
+        phases = out.setdefault(span.pid, {})
+        phases[span.name] = phases.get(span.name, 0.0) + span.duration_s
+    return out
+
+
+def island_summary(
+    tracer: RecordingTracer,
+    pid: TrackId,
+    worker_clusters: Sequence[int],
+) -> List[Dict[str, object]]:
+    """Per-island busy time, stall time and task counts for one platform."""
+    num_islands = max(worker_clusters) + 1 if len(worker_clusters) else 0
+    busy = [0.0] * num_islands
+    stall = [0.0] * num_islands
+    tasks = [0] * num_islands
+    workers = [0] * num_islands
+    for cluster in worker_clusters:
+        workers[cluster] += 1
+    for span in tracer.spans_by(cat="sim.task", pid=pid):
+        island = worker_clusters[int(span.tid)]
+        busy[island] += span.duration_s
+        stall[island] += float(span.args.get("stall_s", 0.0))
+        tasks[island] += 1
+    return [
+        {
+            "island": island,
+            "workers": workers[island],
+            "tasks": tasks[island],
+            "busy_s": busy[island],
+            "stall_s": stall[island],
+        }
+        for island in range(num_islands)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# plain-text rendering (kept dependency-free: telemetry is imported by
+# the low-level layers and must not pull in the analysis package)
+# ---------------------------------------------------------------------- #
+
+
+def _render(rows: List[Dict[str, object]]) -> str:
+    if not rows:
+        return "(no data)"
+    columns = list(rows[0])
+    cells = [[str(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(row[i]) for row in cells))
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(widths[i]) for i, c in enumerate(row)) for row in cells]
+    return "\n".join(lines)
+
+
+def format_phase_table(
+    tracer: RecordingTracer, pid: Optional[TrackId] = None
+) -> str:
+    """Per-phase duration table (ms), one row per recorded platform."""
+    summary = phase_summary(tracer, pid=pid)
+    rows = []
+    for platform, phases in summary.items():
+        row: Dict[str, object] = {"platform": platform}
+        for phase in PHASE_ORDER:
+            row[phase] = f"{phases.get(phase, 0.0) * 1e3:.3f} ms"
+        row["total"] = f"{sum(phases.values()) * 1e3:.3f} ms"
+        rows.append(row)
+    return _render(rows)
+
+
+def format_island_table(
+    tracer: RecordingTracer,
+    pid: TrackId,
+    worker_clusters: Sequence[int],
+) -> str:
+    """Per-island busy/stall/task table for one platform."""
+    rows = []
+    for entry in island_summary(tracer, pid, worker_clusters):
+        rows.append(
+            {
+                "island": entry["island"],
+                "workers": entry["workers"],
+                "tasks": entry["tasks"],
+                "busy": f"{float(entry['busy_s']) * 1e3:.3f} ms",
+                "stall": f"{float(entry['stall_s']) * 1e3:.3f} ms",
+                "stall %": (
+                    f"{100.0 * float(entry['stall_s']) / float(entry['busy_s']):.1f}"
+                    if float(entry["busy_s"]) > 0
+                    else "0.0"
+                ),
+            }
+        )
+    return _render(rows)

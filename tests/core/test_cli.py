@@ -47,16 +47,24 @@ def test_requires_command():
 
 def test_sweep_seed_parameter(tmp_path, capsys):
     cache_dir = tmp_path / "cache"
+    manifest = tmp_path / "manifest.json"
     argv = [
         "sweep", "histogram", "--parameter", "seed",
         "--values", "9", "10", "--scale", "0.3", "--num-workers", "16",
         "--jobs", "2", "--cache-dir", str(cache_dir),
+        "--manifest", str(manifest),
     ]
     assert main(argv) == 0
     out = capsys.readouterr().out
     assert "sweep over seed" in out
     assert "Aggregate over the sweep" in out
     assert "vfi2_winoc" in out
+
+    import json
+
+    assert json.load(manifest.open())["summary"]["units"] == 2
+    trace = json.load((tmp_path / "manifest.trace.json").open())
+    assert len(trace["traceEvents"]) >= 2
     # Warm re-run resolves from the on-disk cache.
     assert main(argv) == 0
     err = capsys.readouterr().err
@@ -88,3 +96,64 @@ def test_topology(capsys):
     out = capsys.readouterr().out
     assert "wire length histogram" in out
     assert "V/F floorplan" in out
+
+
+def test_version(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestErrorExits:
+    """Bad arguments exit nonzero with one stderr line, not a traceback."""
+
+    def test_bad_scale(self, capsys):
+        assert main(["run-study", "histogram", "--scale", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_non_square_die(self, capsys):
+        assert main([
+            "trace", "--app", "histogram", "--scale", "0.1",
+            "--num-workers", "17",
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unwritable_output(self, tmp_path, capsys):
+        assert main([
+            "trace", "--app", "histogram", "--scale", "0.1",
+            "--num-workers", "16",
+            "--output", str(tmp_path / "missing" / "out.trace.json"),
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unknown_system_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--app", "histogram", "--system", "toroidal"])
+        assert excinfo.value.code != 0
+
+
+def test_trace_command(tmp_path, capsys):
+    output = tmp_path / "histogram.trace.json"
+    jsonl = tmp_path / "histogram.jsonl"
+    assert main([
+        "trace", "--app", "histogram", "--scale", "0.1", "--seed", "9",
+        "--num-workers", "16",
+        "--output", str(output), "--jsonl", str(jsonl),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Per-phase timeline" in out
+    assert "Per-island activity" in out
+    assert "Eq. (3) cap rejections" in out
+
+    import json
+
+    document = json.loads(output.read_text())
+    assert document["traceEvents"]
+    for event in document["traceEvents"]:
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+    assert all(json.loads(line) for line in jsonl.read_text().splitlines())

@@ -1,8 +1,11 @@
 """SimulationResult derived metrics."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.core.serialization import result_from_dict, result_to_dict
 from repro.energy.metrics import EnergyBreakdown
 from repro.mapreduce.tasks import Phase
 from repro.sim.stats import NetworkStats, PhaseStats, SimulationResult
@@ -81,3 +84,75 @@ class TestNetworkStats:
     def test_energy_total(self):
         stats = NetworkStats(1.0, 2.0, 0.5, 3.0, 4.0)
         assert stats.energy_j == 7.0
+
+    def test_defaults_empty(self):
+        stats = NetworkStats()
+        assert stats.bits_moved == 0.0
+        assert stats.energy_j == 0.0
+
+
+class TestSerializationRoundTrip:
+    def test_result_round_trip(self):
+        result = make_result()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.app_name == result.app_name
+        assert rebuilt.platform_name == result.platform_name
+        assert rebuilt.total_time_s == result.total_time_s
+        np.testing.assert_array_equal(rebuilt.busy_s, result.busy_s)
+        np.testing.assert_array_equal(
+            rebuilt.committed_instructions, result.committed_instructions
+        )
+        np.testing.assert_array_equal(
+            rebuilt.worker_frequencies_hz, result.worker_frequencies_hz
+        )
+        assert rebuilt.edp == pytest.approx(result.edp)
+
+    def test_phase_stats_survive(self):
+        rebuilt = result_from_dict(result_to_dict(make_result()))
+        original = make_result()
+        assert len(rebuilt.phases) == len(original.phases)
+        for a, b in zip(rebuilt.phases, original.phases):
+            assert a.phase is b.phase
+            assert a.iteration == b.iteration
+            assert a.start_s == b.start_s
+            assert a.end_s == b.end_s
+            assert a.duration_s == pytest.approx(b.duration_s)
+        for phase in Phase:
+            assert rebuilt.phase_duration_s(phase) == pytest.approx(
+                original.phase_duration_s(phase)
+            )
+
+    def test_network_stats_survive(self):
+        rebuilt = result_from_dict(result_to_dict(make_result()))
+        network = make_result().network
+        assert rebuilt.network.bits_moved == network.bits_moved
+        assert rebuilt.network.average_hops == network.average_hops
+        assert rebuilt.network.wireless_fraction == network.wireless_fraction
+        assert rebuilt.network.energy_j == pytest.approx(network.energy_j)
+
+    def test_dict_is_json_compatible(self):
+        data = result_to_dict(make_result())
+        rebuilt = result_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.total_time_s == 2.0
+
+    def test_zero_duration_round_trip(self):
+        """A zero-length run serializes; only utilization refuses it."""
+        result = make_result(total=0.0)
+        result.phases = [PhaseStats(Phase.MAP, 0, 0.5, 0.5)]
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.total_time_s == 0.0
+        assert rebuilt.phases[0].duration_s == 0.0
+        assert rebuilt.phase_duration_s(Phase.MAP) == 0.0
+        assert rebuilt.edp == 0.0
+        with pytest.raises(ValueError):
+            _ = rebuilt.utilization
+
+    def test_empty_network_round_trip(self):
+        result = make_result()
+        result.network = NetworkStats()
+        result.phases = []
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.network == NetworkStats()
+        assert rebuilt.phases == []
+        assert rebuilt.network_edp == 0.0
+        assert rebuilt.phase_breakdown() == {}

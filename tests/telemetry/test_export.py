@@ -1,0 +1,123 @@
+"""Exporters: Chrome trace-event structure, JSONL records, wall filtering."""
+
+import json
+
+import pytest
+
+from repro.telemetry import RecordingTracer
+from repro.telemetry.export import (
+    chrome_trace_dict,
+    jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _populated_tracer() -> RecordingTracer:
+    tracer = RecordingTracer()
+    tracer.span("map", 0.0, 2e-3, cat="sim.phase", pid="vfi2-mesh", tid="phases")
+    tracer.span("map:0", 0.0, 1e-3, cat="sim.task", pid="vfi2-mesh", tid=3,
+                stall_s=1e-4)
+    tracer.sample("channel 0 occupancy", 1e-3, 0.25, pid="vfi2-mesh", tid=0,
+                  series="fraction")
+    tracer.counter_add("noc.link_flits", 64.0, key="vfi2-mesh:0-1")
+    tracer.histogram_record("noc.token_wait_s/vfi2-mesh", 2e-6)
+    with tracer.wall_span("vfi.clustering", cat="vfi", pid="design-flow"):
+        pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_structure(self):
+        document = chrome_trace_dict(_populated_tracer())
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "C"}
+        for event in events:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] != "M":
+                assert "ts" in event
+            if event["ph"] == "X":
+                assert "dur" in event and "cat" in event
+
+    def test_metadata_names_tracks(self):
+        events = chrome_trace_dict(_populated_tracer())["traceEvents"]
+        names = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert names == {"vfi2-mesh"}
+        thread_names = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {"phases", "3", "0"}
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace_dict(_populated_tracer())["traceEvents"]
+        (phase_event,) = [
+            e for e in events if e["ph"] == "X" and e["name"] == "map"
+        ]
+        assert phase_event["ts"] == 0.0
+        assert phase_event["dur"] == pytest.approx(2000.0)
+
+    def test_wall_spans_excluded_by_default(self):
+        tracer = _populated_tracer()
+        names = {
+            event["name"]
+            for event in chrome_trace_dict(tracer)["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert "vfi.clustering" not in names
+        names_with_wall = {
+            event["name"]
+            for event in chrome_trace_dict(tracer, include_wall=True)["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert "vfi.clustering" in names_with_wall
+
+    def test_written_file_is_strict_json(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(_populated_tracer(), path)
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
+
+    def test_empty_tracer_exports_empty_event_list(self):
+        assert chrome_trace_dict(RecordingTracer())["traceEvents"] == []
+
+
+class TestJsonl:
+    def test_record_types(self):
+        records = jsonl_records(_populated_tracer())
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert set(by_type) == {"span", "sample", "counter", "histogram"}
+        (counter,) = by_type["counter"]
+        assert counter["name"] == "noc.link_flits"
+        assert counter["total"] == pytest.approx(64.0)
+        (histogram,) = by_type["histogram"]
+        assert histogram["count"] == 1
+
+    def test_written_file_one_object_per_line(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_jsonl(_populated_tracer(), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(jsonl_records(_populated_tracer()))
+        for line in lines:
+            json.loads(line)
+
+    def test_wall_filtering(self):
+        tracer = _populated_tracer()
+        spans = [r for r in jsonl_records(tracer) if r["type"] == "span"]
+        assert all(not record["wall"] for record in spans)
+        spans_with_wall = [
+            r
+            for r in jsonl_records(tracer, include_wall=True)
+            if r["type"] == "span"
+        ]
+        assert any(record["wall"] for record in spans_with_wall)
