@@ -1,0 +1,165 @@
+"""Performance guard: end-to-end ``simulate()`` on the 64-core WiNoC.
+
+Times one full-system simulation of WordCount on the VFI-2 WiNoC
+platform (the paper's headline configuration) in a fresh interpreter,
+next to a fixed pure-Python/NumPy *calibration workload* that tracks the
+host's speed.  The guard compares the **ratio** of simulate time to
+calibration time against the committed baseline ratio, so it measures
+the simulator's own efficiency rather than the machine it happens to
+run on.
+
+The committed ``results/perf_simulator.json`` carries:
+
+* ``baseline`` -- the post-vectorization ratio this guard defends
+  (refreshed only deliberately, by deleting the file and re-running);
+* ``reference_prechange`` -- the same protocol measured on the
+  pre-vectorization simulator, documenting the speedup;
+* ``latest`` -- the most recent measurement (updated every run).
+
+The guard fails when the measured ratio regresses more than
+``BUDGET`` (25%) beyond the baseline ratio.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from conftest import write_result
+
+#: Allowed relative regression of the simulate/calibration ratio.
+BUDGET = 0.25
+
+RESULT_NAME = "perf_simulator.json"
+
+_CHILD = textwrap.dedent(
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    # ------------------------------------------------------------------
+    # Calibration workload: fixed mixed Python/NumPy work whose runtime
+    # scales with host speed the same way the simulator's does.
+    # ------------------------------------------------------------------
+    def calibration():
+        start = time.perf_counter()
+        total = 0
+        for i in range(400_000):
+            total += i * i
+        a = np.arange(262_144, dtype=float).reshape(512, 512)
+        for _ in range(12):
+            a = a @ np.eye(512) * 0.5 + 1.0
+        return time.perf_counter() - start
+
+    from repro.apps.registry import create_app
+    from repro.core.design_flow import (
+        design_vfi, structural_bottleneck_workers,
+    )
+    from repro.core.platforms import (
+        build_nvfi_mesh, build_vfi_winoc, geometry_for,
+    )
+    from repro.core.traffic import total_node_traffic
+    from repro.sim.system import simulate
+    from repro.utils.rng import spawn_seed
+
+    app = create_app("wordcount", scale=0.3, seed=7)
+    locality = app.profile.l2_locality
+    trace = app.run(num_workers=64)
+    geometry = geometry_for(64)
+    nvfi_result = simulate(build_nvfi_mesh(geometry), trace, locality=locality)
+    traffic = total_node_traffic(trace, locality)
+    design = design_vfi(
+        utilization=nvfi_result.utilization,
+        traffic=traffic,
+        seed=spawn_seed(7, "wordcount", "clustering"),
+        structural_workers=structural_bottleneck_workers(trace),
+    )
+    platform = build_vfi_winoc(
+        design, "vfi2", geometry=geometry,
+        seed=spawn_seed(7, "wordcount", "winoc"),
+        traffic_rate_bps=traffic * 8.0 / nvfi_result.total_time_s,
+    )
+
+    def simulate_once():
+        start = time.perf_counter()
+        simulate(
+            platform, trace, locality=locality,
+            stealing_policy=design.stealing_policy("vfi2"),
+        )
+        return time.perf_counter() - start
+
+    simulate_once()  # warm caches (imports, path tables, numpy dispatch)
+    calibration()
+    print(json.dumps({
+        "simulate_s": min(simulate_once() for _ in range(5)),
+        "calibration_s": min(calibration() for _ in range(5)),
+    }))
+    """
+)
+
+
+def _time_child() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def test_simulator_performance(results_dir):
+    committed = pathlib.Path(results_dir) / RESULT_NAME
+    previous = json.loads(committed.read_text()) if committed.exists() else {}
+    baseline = previous.get("baseline")
+    reference = previous.get("reference_prechange")
+
+    simulate_s = calibration_s = None
+    ratio = float("inf")
+    for _ in range(3):  # repeat until the floors stabilize
+        sample = _time_child()
+        simulate_s = (
+            sample["simulate_s"] if simulate_s is None
+            else min(simulate_s, sample["simulate_s"])
+        )
+        calibration_s = (
+            sample["calibration_s"] if calibration_s is None
+            else min(calibration_s, sample["calibration_s"])
+        )
+        ratio = simulate_s / calibration_s
+        if baseline and ratio <= baseline["ratio"] * (1.0 + BUDGET):
+            break
+
+    if baseline is None:
+        # First run on a fresh checkout: establish the baseline.
+        baseline = {
+            "simulate_s": simulate_s,
+            "calibration_s": calibration_s,
+            "ratio": ratio,
+        }
+
+    payload = {
+        "baseline": baseline,
+        "latest": {
+            "simulate_s": simulate_s,
+            "calibration_s": calibration_s,
+            "ratio": ratio,
+        },
+        "budget": BUDGET,
+    }
+    if reference is not None:
+        payload["reference_prechange"] = reference
+        if reference.get("ratio"):
+            payload["speedup_vs_prechange"] = reference["ratio"] / ratio
+    write_result(results_dir, RESULT_NAME, json.dumps(payload, indent=2))
+
+    assert ratio <= baseline["ratio"] * (1.0 + BUDGET), (
+        f"simulate()/calibration ratio {ratio:.3f} regressed beyond "
+        f"baseline {baseline['ratio']:.3f} (+{BUDGET * 100:.0f}% budget); "
+        f"simulate {simulate_s:.3f}s, calibration {calibration_s:.3f}s"
+    )

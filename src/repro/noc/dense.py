@@ -34,17 +34,40 @@ class DenseLatencyModel:
     def __init__(self, model: FlowNetworkModel, bulk: bool = False):
         self.model = model
         self.bulk = bulk
-        n = model.topology.num_nodes
-        self.num_nodes = n
+        self.num_nodes = model.topology.num_nodes
+        self._num_links = len(model.topology.links)
+        # Everything below is load-independent; share it across rebuilt
+        # networks of the same platform (same fabric and clocks) through
+        # the network's static cache.  The frequency fingerprint guards
+        # against a stale cache being handed to a re-clocked network.
+        key = ("dense_static", bulk)
+        static = model.static_cache.get(key)
+        if static is None or not np.array_equal(
+            static["node_freq"], model._node_freq
+        ):
+            static = self._build_static(model, bulk)
+            model.static_cache[key] = static
+        self.num_resources = static["num_resources"]
+        self._service = static["service"]
+        self._capacity = static["capacity"]
+        self._buffer_flits = static["buffer_flits"]
+        self._head = static["head"]
+        self._usage = static["usage"]
+        self._binary_usage = static["binary_usage"]
+        self._resources_per_pair = static["resources_per_pair"]
+        self._raw_bottleneck = static["raw_bottleneck"]
+
+    def _build_static(self, model: FlowNetworkModel, bulk: bool) -> Dict:
+        n = self.num_nodes
         links = model.topology.links
         num_links = len(links)
         num_channels = max(model.wireless.num_channels, 1)
-        self.num_resources = 2 * num_links + num_channels
+        num_resources = 2 * num_links + num_channels
 
         # Per-resource service time, raw capacity and buffer bound.
-        service = np.zeros(self.num_resources)
-        capacity = np.zeros(self.num_resources)
-        buffer_flits = np.zeros(self.num_resources)
+        service = np.zeros(num_resources)
+        capacity = np.zeros(num_resources)
+        buffer_flits = np.zeros(num_resources)
         node_freq = model._node_freq
         params = model.params
         for index, link in enumerate(links):
@@ -62,10 +85,6 @@ class DenseLatencyModel:
             service[resource] = params.flit_bits / model.wireless.bandwidth_bps
             capacity[resource] = model.wireless.bandwidth_bps
             buffer_flits[resource] = params.wi_buffer_flits
-        self._service = service
-        self._capacity = capacity
-        self._buffer_flits = buffer_flits
-        self._num_links = num_links
 
         # Static head latency and path resource membership per pair.
         head = np.zeros((n, n))
@@ -109,12 +128,39 @@ class DenseLatencyModel:
                 resources_per_pair.append(unique)
                 rows.extend([pair] * len(pair_resources))
                 cols.extend(pair_resources)
-        self._head = head
-        self._usage = csr_matrix(
+        usage = csr_matrix(
             (np.ones(len(rows)), (rows, cols)),
-            shape=(n * n, self.num_resources),
+            shape=(n * n, num_resources),
         )
-        self._resources_per_pair = resources_per_pair
+        # Deduplicated membership (a pair that crosses one channel twice
+        # still meets it once for min/max reductions).
+        binary_rows = np.concatenate(
+            [np.full(len(r), pair, dtype=np.int64)
+             for pair, r in enumerate(resources_per_pair)]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        binary_cols = np.concatenate(resources_per_pair or [np.empty(0, dtype=np.int64)])
+        binary_usage = csr_matrix(
+            (np.ones(len(binary_rows)), (binary_rows, binary_cols)),
+            shape=(n * n, num_resources),
+        )
+        # Raw per-pair line rate (load independent): min capacity on path.
+        raw_bottleneck = np.full(n * n, np.inf)
+        for pair, resources in enumerate(resources_per_pair):
+            if len(resources):
+                raw_bottleneck[pair] = capacity[resources].min()
+        return {
+            "node_freq": node_freq.copy(),
+            "num_resources": num_resources,
+            "service": service,
+            "capacity": capacity,
+            "buffer_flits": buffer_flits,
+            "head": head,
+            "usage": usage,
+            "binary_usage": binary_usage,
+            "resources_per_pair": resources_per_pair,
+            "raw_bottleneck": raw_bottleneck.reshape(n, n),
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -162,26 +208,37 @@ class DenseLatencyModel:
         ).reshape(n, n)
         # Raw line rate for per-packet serialization (contention is already
         # in the queueing term; see repro.noc.network module docs).
-        bottleneck = np.full(n * n, np.inf)
-        for pair, resources in enumerate(self._resources_per_pair):
-            if len(resources):
-                bottleneck[pair] = self._capacity[resources].min()
-        bottleneck = bottleneck.reshape(n, n)
+        bottleneck = self._raw_bottleneck
         head = self._head + queue
         return {
             bits: head + np.where(np.isinf(bottleneck), 0.0, bits / bottleneck)
             for bits in payload_bits
         }
 
+    def raw_bottleneck_matrix(self) -> np.ndarray:
+        """Load-independent per-pair bottleneck line rate (bits/s)."""
+        return self._raw_bottleneck
+
     def bottleneck_matrix(self) -> np.ndarray:
-        """Effective per-pair path capacity (bits/s) under current load."""
+        """Effective per-pair path capacity (bits/s) under current load.
+
+        The per-pair min over path resources is evaluated as a sparse
+        row-max of inverse capacities (all effective capacities are
+        positive because utilization is capped below 1), so a refresh
+        costs one sparse reduction instead of an O(n^2) Python loop.
+        """
         rho = self.utilization()
         effective = self._capacity * (1.0 - rho)
+        inverse = np.zeros(self.num_resources)
+        used = effective > 0
+        inverse[used] = 1.0 / effective[used]
+        worst = np.asarray(
+            self._binary_usage.multiply(inverse).tocsr().max(axis=1).todense()
+        ).ravel()
         n = self.num_nodes
         bottleneck = np.full(n * n, np.inf)
-        for pair, resources in enumerate(self._resources_per_pair):
-            if len(resources):
-                bottleneck[pair] = effective[resources].min()
+        nonzero = worst > 0
+        bottleneck[nonzero] = 1.0 / worst[nonzero]
         return bottleneck.reshape(n, n)
 
 
@@ -197,11 +254,22 @@ class PairwiseEnergy:
     def __init__(self, model: FlowNetworkModel, bulk: bool = False):
         self.model = model
         self.bulk = bulk
+        # Path energies depend only on the fabric, never on clocks or
+        # load; share the tables across rebuilt networks of one platform.
+        key = ("pairwise_static", bulk, len(model.topology.links))
+        static = model.static_cache.get(key)
+        if static is None:
+            static = self._build_static(model, bulk)
+            model.static_cache[key] = static
+        self.energy_per_bit, self.hops, self.wireless_links = static
+
+    @staticmethod
+    def _build_static(model: FlowNetworkModel, bulk: bool):
         n = model.topology.num_nodes
         params = model.energy.params
-        self.energy_per_bit = np.zeros((n, n))  # joules per bit
-        self.hops = np.zeros((n, n))
-        self.wireless_links = np.zeros((n, n))  # wireless hops on path
+        energy_per_bit = np.zeros((n, n))  # joules per bit
+        hops = np.zeros((n, n))
+        wireless_links = np.zeros((n, n))  # wireless hops on path
         for src in range(n):
             for dst in range(n):
                 if src == dst:
@@ -218,9 +286,10 @@ class PairwiseEnergy:
                         pj_per_bit += (
                             params.wire_pj_per_bit_per_mm * link.length_mm
                         )
-                self.energy_per_bit[src, dst] = pj_per_bit * 1e-12
-                self.hops[src, dst] = len(links)
-                self.wireless_links[src, dst] = wireless
+                energy_per_bit[src, dst] = pj_per_bit * 1e-12
+                hops[src, dst] = len(links)
+                wireless_links[src, dst] = wireless
+        return energy_per_bit, hops, wireless_links
 
     def record(self, src: int, dst: int, bits: float) -> float:
         """O(1) equivalent of ``model.record_transfer(src, dst, bits)``."""

@@ -134,6 +134,21 @@ class FlowNetworkModel:
         self._link_index: Dict[frozenset, int] = {
             link.key: index for index, link in enumerate(topology.links)
         }
+        # Wireless channel ids index directly into the shared channel-load
+        # table, so an out-of-range id would either IndexError deep inside
+        # add_flow mid-simulation or (with num_channels == 0, where the
+        # table keeps a single placeholder row) silently alias every
+        # channel onto row 0.  Fail at construction instead.
+        for link in topology.links:
+            if link.kind is not LinkKind.WIRELESS:
+                continue
+            if not 0 <= link.channel < wireless.num_channels:
+                raise ValueError(
+                    f"wireless link {link.a}-{link.b} uses channel "
+                    f"{link.channel}, but the wireless spec provides "
+                    f"{wireless.num_channels} channel(s) "
+                    f"(valid ids: 0..{wireless.num_channels - 1})"
+                )
         self._wireless_channels = sorted(
             {
                 link.channel
@@ -155,6 +170,14 @@ class FlowNetworkModel:
         # Path caches: (src, dst) -> (links, directions)
         self._path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
         self._bulk_path_cache: Dict[Tuple[int, int], Tuple[List[Link], List[int]]] = {}
+        #: Cross-instance cache for load-independent precomputes (batch
+        #: flow-usage matrices, dense latency tables, pairwise energy).
+        #: :meth:`repro.sim.platform.Platform.build_network` hands every
+        #: rebuilt network of one platform the same dict, so the O(n^2)
+        #: path walks behind those tables run once per platform instead of
+        #: once per simulation.  Only valid across networks with identical
+        #: fabric and clocks; a standalone network keeps a private dict.
+        self.static_cache: Dict[object, object] = {}
         # Telemetry: captured at construction (install the tracer first).
         # ``trace_label`` names this interconnect instance in counters and
         # samples; the simulator overwrites it with the platform name.
@@ -181,6 +204,103 @@ class FlowNetworkModel:
             self.load.link_load[index, direction] += bits_per_s
             if link.kind is LinkKind.WIRELESS:
                 self.load.channel_load[link.channel] += bits_per_s
+
+    def add_flows(
+        self,
+        src: Sequence[int],
+        dst: Sequence[int],
+        bits_per_s: Sequence[float],
+        bulk: bool = False,
+    ) -> None:
+        """Batch :meth:`add_flow`: register many flows in one mat-vec.
+
+        The per-pair rates are accumulated into a dense (src, dst) rate
+        vector and scattered onto directed links and wireless channels
+        through a precomputed sparse pair -> resource usage matrix, so the
+        cost is independent of path lengths and flow count beyond the
+        initial accumulation.  Produces the same loads as the equivalent
+        sequence of ``add_flow`` calls.
+        """
+        src = np.asarray(src, dtype=np.intp)
+        dst = np.asarray(dst, dtype=np.intp)
+        rate = np.asarray(bits_per_s, dtype=float)
+        if not (src.shape == dst.shape == rate.shape):
+            raise ValueError(
+                f"src/dst/bits_per_s shapes differ: "
+                f"{src.shape}, {dst.shape}, {rate.shape}"
+            )
+        if rate.size == 0:
+            return
+        if (rate < 0).any():
+            raise ValueError("bits_per_s must be >= 0")
+        n = self.topology.num_nodes
+        if src.size and not (
+            (0 <= src).all() and (src < n).all() and (0 <= dst).all() and (dst < n).all()
+        ):
+            raise ValueError(f"src/dst node ids must be in [0, {n})")
+        active = (src != dst) & (rate > 0)
+        if not active.any():
+            return
+        rate_by_pair = np.zeros(n * n)
+        np.add.at(rate_by_pair, src[active] * n + dst[active], rate[active])
+        self.apply_resource_load(self._flow_usage(bulk).T @ rate_by_pair)
+
+    def apply_resource_load(self, load_per_resource: np.ndarray) -> None:
+        """Add a per-resource load vector (bits/s) onto the current loads.
+
+        The resource layout matches :meth:`_flow_usage` columns: directed
+        link ``i`` occupies columns ``2*i`` / ``2*i + 1``, wireless channel
+        ``c`` occupies column ``2 * num_links + c``.
+        """
+        num_links = len(self.topology.links)
+        num_channels = self.load.channel_load.shape[0]
+        expected = 2 * num_links + num_channels
+        if load_per_resource.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} resources, got {load_per_resource.shape}"
+            )
+        self.load.link_load += load_per_resource[: 2 * num_links].reshape(
+            num_links, 2
+        )
+        self.load.channel_load += load_per_resource[2 * num_links :]
+
+    def _flow_usage(self, bulk: bool = False):
+        """Sparse (n*n, resources) pair -> resource usage counts.
+
+        Row ``src * n + dst`` counts how often that pair's path crosses
+        each directed link (wire *and* wireless, mirroring ``add_flow``'s
+        per-link bookkeeping) and each shared wireless channel.  Built
+        once per message class and shared through :attr:`static_cache`.
+        """
+        from scipy.sparse import csr_matrix
+
+        key = ("flow_usage", bulk, len(self.topology.links))
+        usage = self.static_cache.get(key)
+        if usage is not None:
+            return usage
+        n = self.topology.num_nodes
+        num_links = len(self.topology.links)
+        num_channels = self.load.channel_load.shape[0]
+        rows: List[int] = []
+        cols: List[int] = []
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                pair = src * n + dst
+                for link, direction in zip(*self._path(src, dst, bulk=bulk)):
+                    index = self._link_index[link.key]
+                    rows.append(pair)
+                    cols.append(2 * index + direction)
+                    if link.kind is LinkKind.WIRELESS:
+                        rows.append(pair)
+                        cols.append(2 * num_links + link.channel)
+        usage = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(n * n, 2 * num_links + num_channels),
+        )
+        self.static_cache[key] = usage
+        return usage
 
     # ------------------------------------------------------------------ #
     # latency

@@ -9,7 +9,7 @@ corners.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.utils.validation import check_in_range, check_positive
 
@@ -63,13 +63,36 @@ class MemoryParams:
 
 @dataclass(frozen=True)
 class SimulationParams:
-    """Solver knobs."""
+    """Solver knobs.
 
-    #: Phase-level fixed-point relaxations (durations -> flows -> latencies).
+    Phase relaxation (durations -> flows -> latencies) runs in one of two
+    modes:
+
+    * **adaptive** (default): iterate until the phase end time changes by
+      less than ``relaxation_rtol`` relative to the phase duration,
+      bounded by ``max_relaxation_iterations`` rounds.  The converged
+      schedule is committed directly -- no extra scheduling pass.
+    * **legacy** (``relaxation_rtol=None``): exactly
+      ``relaxation_iterations`` rounds followed by one final scheduling
+      pass, reproducing the historical fixed-round behaviour bit-for-bit
+      (used by the equivalence tests).
+    """
+
+    #: Legacy fixed-round count (only used when ``relaxation_rtol`` is
+    #: ``None``).
     relaxation_iterations: int = 2
     #: KV stream chunking granularity (bytes per packet payload).
     kv_chunk_bytes: float = 256.0
+    #: Relative tolerance on the phase end time for adaptive relaxation;
+    #: ``None`` selects the legacy fixed-round mode.
+    relaxation_rtol: Optional[float] = 1e-5
+    #: Upper bound on adaptive relaxation rounds (safety net for
+    #: oscillating fixed points).
+    max_relaxation_iterations: int = 10
 
     def __post_init__(self) -> None:
         check_positive("relaxation_iterations", self.relaxation_iterations)
         check_positive("kv_chunk_bytes", self.kv_chunk_bytes)
+        if self.relaxation_rtol is not None:
+            check_positive("relaxation_rtol", self.relaxation_rtol)
+        check_positive("max_relaxation_iterations", self.max_relaxation_iterations)

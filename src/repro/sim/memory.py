@@ -52,10 +52,13 @@ class MemorySystem:
         # locally cached/forwarded data, largest for LR ("exchanges large
         # data units with nearer cores").
         geometry = platform.layout.geometry
-        hops = np.empty((n, n))
-        for src in range(n):
-            for bank in range(n):
-                hops[src, bank] = geometry.manhattan_hops(src, bank)
+        nodes = np.arange(n)
+        cols = nodes % geometry.columns
+        rows = nodes // geometry.columns
+        hops = (
+            np.abs(cols[:, None] - cols[None, :])
+            + np.abs(rows[:, None] - rows[None, :])
+        ).astype(float)
         kernel = np.where(hops <= 3, np.exp(-hops / 0.9), 0.0)
         kernel /= kernel.sum(axis=1, keepdims=True)
         self.bank_prob = locality * kernel + (1.0 - locality) / n
@@ -88,7 +91,13 @@ class MemorySystem:
         self._bank_service_s = mem.l2_bank_cycles / freqs
         self._l2_round_trip: np.ndarray = np.zeros(n)
         self._mem_extra: np.ndarray = np.zeros(n)
+        #: Bulk-class all-pairs matrices for key-value streaming, refreshed
+        #: with the miss latencies (see :meth:`refresh_latencies`).
+        self.bulk_base_latency_s: np.ndarray = np.zeros((n, n))
+        self.bulk_raw_bottleneck_bps: np.ndarray = self.dense_bulk.raw_bottleneck_matrix()
+        self.bulk_capacity_bps: np.ndarray = np.full((n, n), np.inf)
         self._precompute_energy_expectations()
+        self._precompute_miss_usage()
         self.refresh_latencies()
 
     # ------------------------------------------------------------------ #
@@ -96,11 +105,17 @@ class MemorySystem:
     # ------------------------------------------------------------------ #
 
     def refresh_latencies(self) -> None:
-        """Recompute expected miss latencies under the current NoC load."""
+        """Recompute expected miss latencies under the current NoC load.
+
+        Also refreshes the bulk-class matrices the simulator uses for
+        key-value pulls: the zero-payload latency matrix (head + queueing,
+        i.e. everything but serialization) and the effective per-pair
+        path capacity under the current load."""
         l_ctrl = self.dense.latency_matrices([self._ctrl_bits])[self._ctrl_bits]
-        l_data = self.dense_bulk.latency_matrices([self._data_bits])[
-            self._data_bits
-        ]
+        bulk = self.dense_bulk.latency_matrices([self._data_bits, 0.0])
+        l_data = bulk[self._data_bits]
+        self.bulk_base_latency_s = bulk[0.0]
+        self.bulk_capacity_bps = self.dense_bulk.bottleneck_matrix()
         # Expected L2 round trip per requesting node: request to bank,
         # bank service, response back.
         round_trip = l_ctrl + self._bank_service_s[None, :] + l_data.T
@@ -121,6 +136,14 @@ class MemorySystem:
         """Expected additional time when the access also misses in L2."""
         return float(self._mem_extra[node])
 
+    def l2_round_trip_all_s(self) -> np.ndarray:
+        """Per-node expected L1-miss service times (view, do not mutate)."""
+        return self._l2_round_trip
+
+    def memory_extra_all_s(self) -> np.ndarray:
+        """Per-node expected extra L2-miss times (view, do not mutate)."""
+        return self._mem_extra
+
     def task_stall_s(
         self, node: int, l2_accesses: float, memory_accesses: float, mlp: float
     ) -> float:
@@ -137,19 +160,68 @@ class MemorySystem:
     # flows and energy
     # ------------------------------------------------------------------ #
 
+    def _precompute_miss_usage(self) -> None:
+        """Per-node resource rows for miss traffic registration.
+
+        Row ``node`` of the resulting (nodes, resources) matrix is the NoC
+        resource load (bits/s per directed link / wireless channel)
+        produced by one miss access per second issued at ``node``: control
+        packets to every home bank over the latency class, data responses
+        back over the bulk class, weighted by the home-bank distribution.
+        ``add_miss_flows`` is then a single scaled row add instead of
+        2 * banks ``add_flow`` path walks."""
+        from scipy.sparse import csr_matrix
+
+        network = self.platform.network
+        n = self.num_nodes
+        nodes = np.repeat(np.arange(n), n)
+        banks = np.tile(np.arange(n), n)
+        prob = self.bank_prob.ravel()
+        # (node, node*n + bank) -> ctrl bits/s; (node, bank*n + node) ->
+        # data bits/s.  Pair columns follow the flow-usage convention.
+        ctrl_rates = csr_matrix(
+            (prob * self._ctrl_bits, (nodes, nodes * n + banks)),
+            shape=(n, n * n),
+        )
+        data_rates = csr_matrix(
+            (prob * self._data_bits, (nodes, banks * n + nodes)),
+            shape=(n, n * n),
+        )
+        self._miss_usage = np.asarray(
+            (
+                ctrl_rates @ network._flow_usage(bulk=False)
+                + data_rates @ network._flow_usage(bulk=True)
+            ).todense()
+        )
+
     def add_miss_flows(self, node: int, accesses_per_s: float) -> None:
         """Register a core's sustained miss traffic with the flow model."""
         if accesses_per_s < 0:
             raise ValueError(f"accesses_per_s must be >= 0, got {accesses_per_s}")
         if accesses_per_s == 0:
             return
-        network = self.platform.network
-        for bank in range(self.num_nodes):
-            share = accesses_per_s * self.bank_prob[node, bank]
-            if share <= 0:
-                continue
-            network.add_flow(node, bank, share * self._ctrl_bits)
-            network.add_flow(bank, node, share * self._data_bits, bulk=True)
+        self.platform.network.apply_resource_load(
+            accesses_per_s * self._miss_usage[node]
+        )
+
+    def add_miss_flows_batch(self, accesses_per_s: np.ndarray) -> None:
+        """Register every core's miss traffic in one mat-vec.
+
+        ``accesses_per_s`` holds one rate per node (zeros allowed);
+        equivalent to calling :meth:`add_miss_flows` per node."""
+        accesses_per_s = np.asarray(accesses_per_s, dtype=float)
+        if accesses_per_s.shape != (self.num_nodes,):
+            raise ValueError(
+                f"expected {self.num_nodes} per-node rates, "
+                f"got shape {accesses_per_s.shape}"
+            )
+        if (accesses_per_s < 0).any():
+            raise ValueError("accesses_per_s must be >= 0")
+        if not accesses_per_s.any():
+            return
+        self.platform.network.apply_resource_load(
+            accesses_per_s @ self._miss_usage
+        )
 
     def record_miss_energy(
         self, node: int, l2_accesses: float, memory_accesses: float

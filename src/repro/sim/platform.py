@@ -69,7 +69,12 @@ class Platform:
         """Fresh flow model over this platform's fabric and clocks."""
         if not hasattr(self, "_bulk_routing"):
             self._bulk_routing = self._make_bulk_routing()
-        return FlowNetworkModel(
+        if not hasattr(self, "_noc_static_cache"):
+            # Shared across every network rebuilt for this platform: the
+            # fabric (and hence paths, usage matrices, path energies)
+            # never changes between simulations.
+            self._noc_static_cache: dict = {}
+        network = FlowNetworkModel(
             topology=self.topology,
             routing=self.routing,
             clusters=list(self.layout.node_cluster),
@@ -80,6 +85,8 @@ class Platform:
             energy_params=self.noc_energy_params,
             bulk_routing=self._bulk_routing,
         )
+        network.static_cache = self._noc_static_cache
+        return network
 
     def _make_bulk_routing(self) -> RoutingTable:
         """Wire-preferring routing for bulk key-value streams.

@@ -15,16 +15,28 @@ Replays a :class:`repro.mapreduce.trace.JobTrace` on a
 
 Each phase is relaxed to a latency/traffic fixed point: durations are
 computed with the current NoC load estimate, the implied flows are
-re-registered, latencies refreshed, and the phase re-scheduled
-(``SimulationParams.relaxation_iterations`` rounds).  Energy is recorded
-once, after the final relaxation.
+re-registered, latencies refreshed, and the phase re-scheduled.  By
+default the loop runs until the phase end time converges
+(``SimulationParams.relaxation_rtol`` relative change, bounded by
+``max_relaxation_iterations``); setting ``relaxation_rtol=None``
+reproduces the legacy fixed-round schedule
+(``relaxation_iterations`` rounds plus a final pass) bit-for-bit.
+Energy is recorded once, for the committed schedule.
+
+Flow registration is vectorized: per-phase miss traffic enters the NoC
+through one mat-vec over precomputed per-node resource rows
+(:meth:`repro.sim.memory.MemorySystem.add_miss_flows_batch`) and
+key-value streams through one batched
+:meth:`repro.noc.network.FlowNetworkModel.add_flows` call; map-task
+durations are evaluated as one broadcasted (records x workers) matrix
+per relaxation round.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,10 +99,15 @@ class SystemSimulator:
         self.policy = stealing_policy
         self.params = params
         self._kv_chunk_bits = kv_stream_bits(params.kv_chunk_bytes)
-        # Bulk key-value streams use the wire-preferring message class.
-        from repro.noc.dense import PairwiseEnergy
-
-        self._bulk_energy = PairwiseEnergy(platform.network, bulk=True)
+        # Bulk key-value streams use the wire-preferring message class;
+        # the memory system already holds the pairwise-energy tables for
+        # that class, so share them instead of rebuilding.
+        self._bulk_energy = self.memory.pairwise_bulk
+        n = platform.num_cores
+        self._worker_nodes = np.array(
+            [platform.node_of_worker(w) for w in range(n)]
+        )
+        self._worker_freqs = np.array(platform.worker_frequencies())
 
     # ------------------------------------------------------------------ #
     # public API
@@ -149,6 +166,43 @@ class SystemSimulator:
             )
         return start + duration
 
+    def _relax_phase(self, schedule_fn, start: float, kv: bool, legacy_rounds: int):
+        """Drive one phase to its latency/traffic fixed point.
+
+        ``schedule_fn`` reschedules the phase under the current latency
+        estimate and returns a tuple whose first two entries are
+        ``(schedule, end)``; the committed result tuple is returned.
+
+        Adaptive mode (``relaxation_rtol`` set) iterates until the phase
+        end time moves by less than ``rtol`` relative to the phase
+        duration and commits the converged schedule directly.  Legacy mode
+        (``relaxation_rtol=None``) runs exactly ``legacy_rounds``
+        register/refresh rounds followed by one final scheduling pass,
+        reproducing the historical fixed-round behaviour.
+        """
+        params = self.params
+        rtol = params.relaxation_rtol
+        if rtol is None:
+            for _ in range(legacy_rounds):
+                result = schedule_fn()
+                schedule, end = result[0], result[1]
+                self._register_phase_flows(
+                    schedule, max(end - start, 1e-12), kv=kv
+                )
+                self.memory.refresh_latencies()
+            # Final schedule under converged latencies.
+            return schedule_fn()
+        result = schedule_fn()
+        for _ in range(params.max_relaxation_iterations):
+            schedule, end = result[0], result[1]
+            self._register_phase_flows(schedule, max(end - start, 1e-12), kv=kv)
+            self.memory.refresh_latencies()
+            result = schedule_fn()
+            new_end = result[1]
+            if abs(new_end - end) <= rtol * max(new_end - start, 1e-12):
+                break
+        return result
+
     def _run_map(
         self,
         records: Sequence[TaskRecord],
@@ -157,32 +211,68 @@ class SystemSimulator:
         phases: List[PhaseStats],
         iteration: int,
     ) -> float:
-        schedule: List[_ScheduledTask] = []
-        end = start
-        for relaxation in range(self.params.relaxation_iterations):
-            schedule, end = self._schedule_map(records, start)
-            self._register_phase_flows(schedule, max(end - start, 1e-12))
-            self.memory.refresh_latencies()
-        # Final schedule under converged latencies.
-        schedule, end = self._schedule_map(records, start, trace=True)
+        instructions = np.array([r.cost.instructions for r in records])
+        l2 = np.array([r.cost.l2_accesses for r in records])
+        mem = np.array([r.cost.memory_accesses for r in records])
+
+        def schedule_fn():
+            durations = self._map_durations(instructions, l2, mem)
+            return self._schedule_map(records, start, durations)
+
+        schedule, end, queues = self._relax_phase(
+            schedule_fn, start, kv=False,
+            legacy_rounds=self.params.relaxation_iterations,
+        )
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker)
         phases.append(PhaseStats(Phase.MAP, iteration, start, end))
         if self.tracer.enabled:
+            # Stealing statistics come from the committed schedule's queue
+            # set only, so the counters reflect what actually ran.
+            tracer = self.tracer
+            pid = self.platform.name
+            tracer.counter_add(
+                "sched.steal_attempts", queues.steal_attempts, key=pid
+            )
+            tracer.counter_add("sched.steals", queues.steals, key=pid)
+            tracer.counter_add(
+                "sched.cap_rejections", queues.cap_rejections, key=pid
+            )
             self._trace_phase(phases[-1])
             self._trace_tasks(schedule, Phase.MAP)
             self.platform.network.sample_channel_occupancy(start)
         return end
 
+    def _map_durations(
+        self, instructions: np.ndarray, l2: np.ndarray, mem: np.ndarray
+    ) -> np.ndarray:
+        """(records, workers) task durations under current latencies.
+
+        Broadcasts the exact per-element operation order of
+        :meth:`_task_time_parts`, so entries are bit-identical to the
+        per-call scalar path."""
+        core = self.platform.core_params
+        compute = (instructions[:, None] / core.ipc) / self._worker_freqs[None, :]
+        round_trip = self.memory.l2_round_trip_all_s()[self._worker_nodes]
+        extra = self.memory.memory_extra_all_s()[self._worker_nodes]
+        stall = (
+            l2[:, None] * round_trip[None, :] + mem[:, None] * extra[None, :]
+        ) / core.mlp_overlap
+        return compute + stall
+
     def _schedule_map(
-        self, records: Sequence[TaskRecord], start: float, trace: bool = False
-    ) -> Tuple[List[_ScheduledTask], float]:
+        self,
+        records: Sequence[TaskRecord],
+        start: float,
+        durations: np.ndarray,
+    ) -> Tuple[List[_ScheduledTask], float, TaskQueueSet]:
         """Event-driven map scheduling with stealing.
 
-        ``trace`` marks the final (post-relaxation) pass: only that one
-        folds the queue set's stealing statistics into telemetry, so the
-        counters reflect the schedule that actually gets committed.
+        ``durations[i, w]`` is the precomputed runtime of ``records[i]``
+        on worker ``w`` under the current latency estimate.  Returns the
+        queue set as well so the caller can fold its stealing statistics
+        for the committed schedule only.
         """
         num_workers = self.platform.num_cores
         tasks = [
@@ -194,6 +284,7 @@ class SystemSimulator:
             )
             for record in records
         ]
+        row_of = {id(record): index for index, record in enumerate(records)}
         policy = self.policy or _fresh_default_policy()
         queues = TaskQueueSet(num_workers, policy)
         queues.load(tasks)
@@ -208,34 +299,22 @@ class SystemSimulator:
                 # Capped out or nothing to steal: this core is done.
                 continue
             record: TaskRecord = task.payload
-            duration = self._task_time(record, worker)
+            duration = float(durations[row_of[id(record)], worker])
             schedule.append(_ScheduledTask(record, worker, now, duration))
             end = max(end, now + duration)
             heapq.heappush(heap, (now + duration, worker))
         if queues.remaining > 0:
             # Every worker is capped (possible only with a user-supplied
             # fmax above all cores): run leftovers on the fastest core.
-            fastest = int(
-                np.argmax([self.platform.frequency_of_worker(w) for w in range(num_workers)])
-            )
+            fastest = int(np.argmax(self._worker_freqs))
             now = end
             for worker, task in queues.force_drain(fastest):
                 record = task.payload
-                duration = self._task_time(record, worker)
+                duration = float(durations[row_of[id(record)], worker])
                 schedule.append(_ScheduledTask(record, worker, now, duration))
                 now += duration
             end = now
-        if trace and self.tracer.enabled:
-            tracer = self.tracer
-            pid = self.platform.name
-            tracer.counter_add(
-                "sched.steal_attempts", queues.steal_attempts, key=pid
-            )
-            tracer.counter_add("sched.steals", queues.steals, key=pid)
-            tracer.counter_add(
-                "sched.cap_rejections", queues.cap_rejections, key=pid
-            )
-        return schedule, end
+        return schedule, end, queues
 
     def _run_reduce(
         self,
@@ -245,14 +324,11 @@ class SystemSimulator:
         phases: List[PhaseStats],
         iteration: int,
     ) -> float:
-        schedule: List[_ScheduledTask] = []
-        end = start
-        for relaxation in range(self.params.relaxation_iterations):
-            schedule, end = self._schedule_parallel(records, start)
-            duration = max(end - start, 1e-12)
-            self._register_phase_flows(schedule, duration, kv=True)
-            self.memory.refresh_latencies()
-        schedule, end = self._schedule_parallel(records, start)
+        schedule, end = self._relax_phase(
+            lambda: self._schedule_parallel(records, start),
+            start, kv=True,
+            legacy_rounds=self.params.relaxation_iterations,
+        )
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
@@ -273,11 +349,10 @@ class SystemSimulator:
     ) -> float:
         if not records:
             return start
-        schedule, end = self._schedule_parallel(records, start)
-        duration = max(end - start, 1e-12)
-        self._register_phase_flows(schedule, duration, kv=True)
-        self.memory.refresh_latencies()
-        schedule, end = self._schedule_parallel(records, start)
+        schedule, end = self._relax_phase(
+            lambda: self._schedule_parallel(records, start),
+            start, kv=True, legacy_rounds=1,
+        )
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
@@ -341,24 +416,36 @@ class SystemSimulator:
         return sources
 
     def _kv_pull_time(self, record: TaskRecord, worker: int) -> float:
-        """Time to stream the task's remote key-value inputs."""
+        """Time to stream the task's remote key-value inputs.
+
+        Evaluated from the memory system's refreshed bulk-class matrices
+        (zero-payload head latency, raw serialization rate and effective
+        path capacity), so each source costs a few table lookups instead
+        of two path walks."""
         sources = self._kv_sources(record)
         if not sources:
             return 0.0
-        platform = self.platform
-        dst = platform.node_of_worker(worker)
-        network = platform.network
+        memory = self.memory
+        base = memory.bulk_base_latency_s
+        raw = memory.bulk_raw_bottleneck_bps
+        effective = memory.bulk_capacity_bps
+        dst = self._worker_nodes[worker]
         total = 0.0
         for src_worker, nbytes in sources:
-            src = platform.node_of_worker(src_worker)
+            src = self._worker_nodes[src_worker]
             bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
-            head = network.latency(
-                src, dst, min(bits, self._kv_chunk_bits), bulk=True
+            line_rate = raw[src, dst]
+            head = base[src, dst] + (
+                min(bits, self._kv_chunk_bits) / line_rate
+                if np.isfinite(line_rate)
+                else 0.0
             )
-            capacity = network.path_capacity(src, dst, bulk=True)
+            capacity = effective[src, dst]
             streaming = bits / capacity if np.isfinite(capacity) else 0.0
             total += head + streaming
-        return total
+        # Plain float: this feeds schedule timestamps that end up in JSON
+        # telemetry exports.
+        return float(total)
 
     # ------------------------------------------------------------------ #
     # telemetry
@@ -416,25 +503,30 @@ class SystemSimulator:
         phase_duration: float,
         kv: bool = False,
     ) -> None:
-        """Convert a phase schedule into sustained flows on the NoC."""
-        platform = self.platform
-        network = platform.network
+        """Convert a phase schedule into sustained flows on the NoC.
+
+        Miss traffic is registered with one batched mat-vec over every
+        node's accumulated access rate; key-value streams are registered
+        with one batched ``add_flows`` call."""
+        network = self.platform.network
         network.reset_flows()
-        accesses_per_node: Dict[int, float] = {}
+        accesses_per_node = np.zeros(self.platform.num_cores)
         for item in schedule:
-            node = platform.node_of_worker(item.worker)
-            accesses_per_node[node] = (
-                accesses_per_node.get(node, 0.0) + item.record.cost.l2_accesses
-            )
-        for node, accesses in accesses_per_node.items():
-            self.memory.add_miss_flows(node, accesses / phase_duration)
+            node = self._worker_nodes[item.worker]
+            accesses_per_node[node] += item.record.cost.l2_accesses
+        self.memory.add_miss_flows_batch(accesses_per_node / phase_duration)
         if kv:
+            srcs: List[int] = []
+            dsts: List[int] = []
+            rates: List[float] = []
             for item in schedule:
-                dst = platform.node_of_worker(item.worker)
+                dst = self._worker_nodes[item.worker]
                 for src_worker, nbytes in self._kv_sources(item.record):
-                    src = platform.node_of_worker(src_worker)
                     bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
-                    network.add_flow(src, dst, bits / phase_duration, bulk=True)
+                    srcs.append(self._worker_nodes[src_worker])
+                    dsts.append(dst)
+                    rates.append(bits / phase_duration)
+            network.add_flows(srcs, dsts, rates, bulk=True)
 
     def _record_task_energy(
         self, record: TaskRecord, worker: int, kv: bool = False

@@ -1,0 +1,109 @@
+"""Property-based invariants of the task-stealing queues.
+
+Whatever the policy and drain order, tasks are conserved: every loaded
+task is executed exactly once, across own-queue pops, steals, and the
+force-drain fallback.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.scheduler import (
+    CappedStealingPolicy,
+    DefaultStealingPolicy,
+    TaskQueueSet,
+)
+from repro.mapreduce.tasks import Phase, Task
+
+
+def make_tasks(home_workers):
+    return [
+        Task(task_id=i, phase=Phase.MAP, payload=None, home_worker=home)
+        for i, home in enumerate(home_workers)
+    ]
+
+
+def executed_total(queues):
+    return sum(
+        queues.executed_count(w) for w in range(queues.num_workers)
+    )
+
+
+@st.composite
+def workload(draw):
+    num_workers = draw(st.integers(min_value=1, max_value=8))
+    homes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_workers - 1),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    return num_workers, homes
+
+
+@st.composite
+def capped_workload(draw):
+    num_workers, homes = draw(workload())
+    # Frequencies below fmax produce real caps; include ties with fmax.
+    freqs = draw(
+        st.lists(
+            st.sampled_from([1.0e9, 1.5e9, 2.0e9, 2.5e9]),
+            min_size=num_workers,
+            max_size=num_workers,
+        )
+    )
+    fmax = draw(st.sampled_from([None, 2.5e9, 3.0e9]))
+    return num_workers, homes, freqs, fmax
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_default_policy_conserves_tasks(case):
+    num_workers, homes = case
+    queues = TaskQueueSet(num_workers, DefaultStealingPolicy())
+    tasks = make_tasks(homes)
+    queues.load(tasks)
+    order = queues.drain_serial()
+    assert len(order) == len(tasks)
+    assert queues.remaining == 0
+    assert executed_total(queues) == len(tasks)
+    assert sorted(task.task_id for _, task in order) == sorted(
+        task.task_id for task in tasks
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(capped_workload())
+def test_capped_policy_conserves_tasks(case):
+    num_workers, homes, freqs, fmax = case
+    policy = CappedStealingPolicy(freqs, fmax_hz=fmax)
+    queues = TaskQueueSet(num_workers, policy)
+    tasks = make_tasks(homes)
+    queues.load(tasks)
+    order = queues.drain_serial()
+    assert len(order) == len(tasks)
+    assert queues.remaining == 0
+    assert executed_total(queues) == len(tasks)
+    assert sorted(task.task_id for _, task in order) == sorted(
+        task.task_id for task in tasks
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_force_drain_conserves_tasks(case):
+    """Force-draining straight after load attributes everything to the
+    chosen worker and leaves no task behind or duplicated."""
+    num_workers, homes = case
+    queues = TaskQueueSet(num_workers, DefaultStealingPolicy())
+    tasks = make_tasks(homes)
+    queues.load(tasks)
+    order = queues.force_drain(0)
+    assert len(order) == len(tasks)
+    assert queues.remaining == 0
+    assert queues.executed_count(0) == len(tasks)
+    assert all(worker == 0 for worker, _ in order)
+    assert sorted(task.task_id for _, task in order) == sorted(
+        task.task_id for task in tasks
+    )

@@ -92,6 +92,57 @@ class TestDijkstraTable:
             build_routing_table(MESH, weight=lambda link: 0.0)
 
 
+class TestHopMatrixConsistency:
+    """The cached/vectorized hop matrix must equal per-pair path walks."""
+
+    def test_mesh_matches_path_walks(self):
+        table = build_mesh_routing(MESH)
+        hops = table.hop_matrix()
+        for src in range(0, 64, 7):
+            for dst in range(64):
+                assert hops[src, dst] == table.hop_count(src, dst)
+
+    def test_dijkstra_matches_path_walks(self):
+        from repro.noc.smallworld import build_small_world
+        from repro.vfi.islands import quadrant_clusters
+
+        topo = build_small_world(
+            GEO, list(quadrant_clusters(GEO).node_cluster), seed=3
+        )
+        table = build_routing_table(topo)
+        hops = table.hop_matrix()
+        for src in range(0, 64, 7):
+            for dst in range(64):
+                assert hops[src, dst] == table.hop_count(src, dst)
+
+    def test_cached_instance_reused(self):
+        table = build_mesh_routing(MESH)
+        assert table.hop_matrix() is table.hop_matrix()
+
+    def test_weighted_hops_matches_reference_loop(self):
+        from repro.noc.smallworld import build_small_world
+        from repro.vfi.islands import quadrant_clusters
+
+        topo = build_small_world(
+            GEO, list(quadrant_clusters(GEO).node_cluster), seed=3
+        )
+        table = build_routing_table(topo)
+        rng = np.random.default_rng(9)
+        traffic = rng.random((64, 64))
+        np.fill_diagonal(traffic, 0.0)
+        total_hops = 0.0
+        total_traffic = 0.0
+        for src in range(64):
+            for dst in range(64):
+                if src == dst or traffic[src, dst] <= 0:
+                    continue
+                total_hops += traffic[src, dst] * table.hop_count(src, dst)
+                total_traffic += traffic[src, dst]
+        assert average_weighted_hops(table, traffic) == pytest.approx(
+            total_hops / total_traffic, rel=1e-12
+        )
+
+
 class TestWeightedHops:
     def test_uniform_traffic(self):
         table = build_mesh_routing(MESH)

@@ -1,0 +1,225 @@
+"""Phase-relaxation modes: legacy fixed-round equivalence and adaptive
+convergence.
+
+The legacy goldens below were captured from the pre-vectorization
+simulator (fixed ``relaxation_iterations=2`` rounds plus a final pass,
+per-call flow registration); pinning ``relaxation_rtol=None`` must keep
+reproducing them to float tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.core.design_flow import design_vfi, structural_bottleneck_workers
+from repro.core.platforms import build_nvfi_mesh, build_vfi_winoc, geometry_for
+from repro.core.traffic import total_node_traffic
+from repro.sim.config import SimulationParams
+from repro.sim.system import simulate
+from repro.utils.rng import spawn_seed
+
+LEGACY = SimulationParams(relaxation_rtol=None)
+
+#: Captured from the pre-change simulator (histogram, scale 0.25, seed 13,
+#: 64 workers, NVFI mesh).
+GOLDEN_MESH = {
+    "total_time_s": 11.170587333172145,
+    "total_energy_j": 1482.3986895602088,
+    "core_dynamic_j": 1194.0842594548753,
+    "core_static_j": 178.7293973307545,
+    "noc_dynamic_j": 106.72536241728706,
+    "noc_static_j": 2.859670357292068,
+    "bits_moved": 7259845639627.693,
+    "average_hops": 4.291762369675085,
+    "busy_sum_s": 623.9152844704645,
+    "phase_ends": [
+        0.8881801303019502,
+        10.128596113437734,
+        10.935189553684662,
+        10.939737636800094,
+        10.947797475666876,
+        10.963914444888406,
+        10.995207575310195,
+        11.054543236746142,
+        11.170587333172145,
+    ],
+}
+
+#: Captured from the pre-change simulator (wordcount, scale 0.2, seed 7,
+#: full VFI-2 WiNoC design flow).
+GOLDEN_WINOC = {
+    "total_time_s": 1.9604288234959255,
+    "total_energy_j": 102.90119862385218,
+    "core_dynamic_j": 66.86960551022793,
+    "core_static_j": 15.407352261682549,
+    "noc_dynamic_j": 20.181183937831626,
+    "noc_static_j": 0.4430569141100787,
+    "bits_moved": 1138765886760.4597,
+    "average_hops": 3.048311009870378,
+    "wireless_fraction": 0.0013308502707764108,
+    "busy_sum_s": 78.16290590188679,
+    "phase_ends": [
+        0.061733014657768745,
+        1.597232506599525,
+        1.8344081259896514,
+        1.8369458651235755,
+        1.8411805062161042,
+        1.8491563883891284,
+        1.8651381774152642,
+        1.8972856883065203,
+        1.9604288234959255,
+    ],
+}
+
+REL = 1e-6  # cross-platform / cross-numpy float headroom
+
+
+def _check_golden(result, golden):
+    assert result.total_time_s == pytest.approx(golden["total_time_s"], rel=REL)
+    assert result.total_energy_j == pytest.approx(
+        golden["total_energy_j"], rel=REL
+    )
+    assert result.energy.core_dynamic_j == pytest.approx(
+        golden["core_dynamic_j"], rel=REL
+    )
+    assert result.energy.core_static_j == pytest.approx(
+        golden["core_static_j"], rel=REL
+    )
+    assert result.energy.noc_dynamic_j == pytest.approx(
+        golden["noc_dynamic_j"], rel=REL
+    )
+    assert result.energy.noc_static_j == pytest.approx(
+        golden["noc_static_j"], rel=REL
+    )
+    assert result.network.bits_moved == pytest.approx(
+        golden["bits_moved"], rel=REL
+    )
+    assert result.network.average_hops == pytest.approx(
+        golden["average_hops"], rel=REL
+    )
+    if "wireless_fraction" in golden:
+        assert result.network.wireless_fraction == pytest.approx(
+            golden["wireless_fraction"], rel=REL
+        )
+    assert float(result.busy_s.sum()) == pytest.approx(
+        golden["busy_sum_s"], rel=REL
+    )
+    assert [p.end_s for p in result.phases] == pytest.approx(
+        golden["phase_ends"], rel=REL
+    )
+
+
+@pytest.fixture(scope="module")
+def mesh_case():
+    app = create_app("histogram", scale=0.25, seed=13)
+    return app, app.run(num_workers=64)
+
+
+@pytest.fixture(scope="module")
+def winoc_case():
+    app = create_app("wordcount", scale=0.2, seed=7)
+    locality = app.profile.l2_locality
+    trace = app.run(num_workers=64)
+    geometry = geometry_for(64)
+    nvfi = simulate(
+        build_nvfi_mesh(geometry), trace, locality=locality, params=LEGACY
+    )
+    traffic = total_node_traffic(trace, locality)
+    design = design_vfi(
+        utilization=nvfi.utilization,
+        traffic=traffic,
+        seed=spawn_seed(7, "wordcount", "clustering"),
+        structural_workers=structural_bottleneck_workers(trace),
+    )
+    platform = build_vfi_winoc(
+        design,
+        "vfi2",
+        geometry=geometry,
+        seed=spawn_seed(7, "wordcount", "winoc"),
+        traffic_rate_bps=traffic * 8.0 / nvfi.total_time_s,
+    )
+    return trace, locality, design, platform
+
+
+class TestLegacyEquivalence:
+    def test_mesh_golden(self, mesh_case):
+        app, trace = mesh_case
+        result = simulate(
+            build_nvfi_mesh(),
+            trace,
+            locality=app.profile.l2_locality,
+            params=LEGACY,
+        )
+        _check_golden(result, GOLDEN_MESH)
+
+    def test_winoc_golden(self, winoc_case):
+        trace, locality, design, platform = winoc_case
+        result = simulate(
+            platform,
+            trace,
+            locality=locality,
+            stealing_policy=design.stealing_policy("vfi2"),
+            params=LEGACY,
+        )
+        _check_golden(result, GOLDEN_WINOC)
+
+
+class TestAdaptiveConvergence:
+    def test_matches_legacy_closely(self, mesh_case):
+        """The converged fixed point agrees with the legacy rounds."""
+        app, trace = mesh_case
+        adaptive = simulate(
+            build_nvfi_mesh(), trace, locality=app.profile.l2_locality
+        )
+        assert adaptive.total_time_s == pytest.approx(
+            GOLDEN_MESH["total_time_s"], rel=1e-3
+        )
+        assert adaptive.total_energy_j == pytest.approx(
+            GOLDEN_MESH["total_energy_j"], rel=1e-3
+        )
+
+    def test_tighter_tolerance_converges_further(self, mesh_case):
+        """Shrinking rtol moves the result toward the true fixed point,
+        and two tight tolerances agree with each other."""
+        app, trace = mesh_case
+        locality = app.profile.l2_locality
+        loose = simulate(
+            build_nvfi_mesh(), trace, locality=locality,
+            params=SimulationParams(relaxation_rtol=1e-3),
+        )
+        tight = simulate(
+            build_nvfi_mesh(), trace, locality=locality,
+            params=SimulationParams(relaxation_rtol=1e-8),
+        )
+        tighter = simulate(
+            build_nvfi_mesh(), trace, locality=locality,
+            params=SimulationParams(relaxation_rtol=1e-10),
+        )
+        assert tight.total_time_s == pytest.approx(
+            tighter.total_time_s, rel=1e-6
+        )
+        gap_loose = abs(loose.total_time_s - tighter.total_time_s)
+        gap_tight = abs(tight.total_time_s - tighter.total_time_s)
+        assert gap_tight <= gap_loose
+
+    def test_iteration_cap_bounds_work(self, mesh_case):
+        """An rtol far below float precision still terminates (the
+        max_relaxation_iterations bound)."""
+        app, trace = mesh_case
+        result = simulate(
+            build_nvfi_mesh(), trace, locality=app.profile.l2_locality,
+            params=SimulationParams(
+                relaxation_rtol=1e-300, max_relaxation_iterations=3
+            ),
+        )
+        assert result.total_time_s > 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SimulationParams(relaxation_rtol=0.0)
+        with pytest.raises(ValueError):
+            SimulationParams(relaxation_rtol=-1e-6)
+        with pytest.raises(ValueError):
+            SimulationParams(max_relaxation_iterations=0)
+        # None is the legacy switch, not an error.
+        SimulationParams(relaxation_rtol=None)
