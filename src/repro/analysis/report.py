@@ -35,6 +35,103 @@ def _md_table(rows, columns) -> str:
     return f"{header}\n{rule}\n{body}"
 
 
+#: Column order of the degradation table (shared by report and CLI).
+DEGRADATION_COLUMNS = (
+    "config",
+    "makespan x",
+    "energy %",
+    "EDP x",
+    "re-executed",
+    "substituted",
+    "lost busy (ms)",
+    "events",
+)
+
+
+def degradation_rows(clean: AppStudy, faulted: AppStudy) -> list:
+    """Per-configuration degradation of *faulted* relative to *clean*.
+
+    Both studies must come from the same (app, scale, seed, workers)
+    pipeline -- only the fault plan may differ.  Configurations present
+    in both are compared; each row quantifies makespan inflation, energy
+    delta, EDP inflation and the resilience work the run performed.
+    """
+    rows = []
+    for config in (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC):
+        if config not in clean.results or config not in faulted.results:
+            continue
+        base = clean.result(config)
+        hurt = faulted.result(config)
+        impact = hurt.faults
+        row = {
+            "config": config,
+            "makespan x": f"{hurt.total_time_s / base.total_time_s:.3f}",
+            "energy %": f"{(hurt.total_energy_j / base.total_energy_j - 1) * 100:+.1f}",
+            "EDP x": f"{hurt.edp / base.edp:.3f}",
+            "re-executed": 0,
+            "substituted": 0,
+            "lost busy (ms)": "0.0",
+            "events": "0/0 skipped",
+        }
+        if impact is not None:
+            row["re-executed"] = impact.reexecuted_tasks
+            row["substituted"] = impact.substituted_tasks
+            row["lost busy (ms)"] = f"{impact.lost_busy_s * 1e3:.1f}"
+            row["events"] = (
+                f"{len(impact.events_applied)}/{impact.events_skipped} skipped"
+            )
+        rows.append(row)
+    return rows
+
+
+def degradation_section(
+    clean_studies: Mapping[str, AppStudy],
+    faulted_studies: Mapping[str, AppStudy],
+) -> str:
+    """Markdown "fault degradation" section comparing two study sets.
+
+    *clean_studies* and *faulted_studies* map app names to studies run
+    without and with a fault plan (the orchestrator's ``fault_plans``
+    axis produces exactly this pairing).  Apps present in both are
+    reported; the section states what broke (from the first faulted
+    result's impact record) and tabulates the damage per configuration.
+    """
+    out = io.StringIO()
+    write = out.write
+    write("## Fault degradation\n\n")
+    wrote_any = False
+    for name, faulted in faulted_studies.items():
+        if name not in clean_studies:
+            continue
+        clean = clean_studies[name]
+        rows = degradation_rows(clean, faulted)
+        if not rows:
+            continue
+        wrote_any = True
+        impact = next(
+            (r.faults for r in faulted.results.values() if r.faults is not None),
+            None,
+        )
+        write(f"### {faulted.label}\n\n")
+        if impact is not None:
+            notes = []
+            if impact.failed_workers:
+                notes.append(f"failed cores {impact.failed_workers}")
+            if impact.throttled_islands:
+                notes.append(f"throttled islands {impact.throttled_islands}")
+            if impact.bottleneck_reassignments:
+                notes.append(
+                    f"{impact.bottleneck_reassignments} bottleneck "
+                    "reassignment(s)"
+                )
+            if notes:
+                write("Injected: " + ", ".join(notes) + ".\n\n")
+        write(_md_table(rows, list(DEGRADATION_COLUMNS)) + "\n\n")
+    if not wrote_any:
+        write("No app present in both the clean and the faulted study set.\n\n")
+    return out.getvalue()
+
+
 def generate_report(
     studies: Optional[Mapping[str, AppStudy]] = None,
     scale: float = 1.0,
@@ -43,6 +140,7 @@ def generate_report(
     cache_dir=None,
     progress=None,
     tracer=None,
+    faulted_studies: Optional[Mapping[str, AppStudy]] = None,
 ) -> str:
     """Render the full reproduction report as markdown.
 
@@ -52,7 +150,9 @@ def generate_report(
     :class:`repro.telemetry.RecordingTracer` that observed the runs is
     passed as *tracer*, the report closes with the measured per-phase
     timelines from its spans instead of leaving phase timing to be
-    recomputed from aggregate statistics.
+    recomputed from aggregate statistics.  *faulted_studies* (apps run
+    under a fault plan, keyed like *studies*) appends the fault
+    degradation section.
     """
     if studies is None:
         studies = collect_studies(
@@ -201,4 +301,8 @@ def generate_report(
             write(
                 _md_table(rows, ["platform", *PHASE_ORDER, "total (ms)"]) + "\n"
             )
+
+    if faulted_studies:
+        write("\n")
+        write(degradation_section(studies, faulted_studies))
     return out.getvalue()

@@ -20,6 +20,10 @@ Commands
     Run one study with telemetry recording, write the Chrome trace-event
     JSON (open it at https://ui.perfetto.dev) and print the per-phase and
     per-island summary tables.
+``faults <app> [--scenario NAME | --plan FILE]``
+    Run the app clean and under a deterministic fault plan (preset
+    scenario placed against the measured fault-free makespan, or a plan
+    file) and print the per-configuration degradation table.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
@@ -44,6 +48,7 @@ from repro.core.experiment import (
     VFI2_WINOC,
     run_app_study,
 )
+from repro.faults.scenarios import SCENARIOS as FAULT_SCENARIOS
 
 #: Simulated configurations addressable from the command line.
 CONFIG_CHOICES = (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC)
@@ -138,6 +143,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wall", action="store_true",
         help="include wall-clock spans (design flow, pipeline stages); "
         "makes the export non-deterministic",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault-injection study of one app"
+    )
+    faults.add_argument("app", choices=APP_NAMES)
+    faults.add_argument(
+        "--scenario", choices=FAULT_SCENARIOS, default="mixed",
+        help="preset fault scenario, placed against the fault-free makespan",
+    )
+    faults.add_argument(
+        "--plan", default=None,
+        help="JSON fault-plan file to inject instead of a preset scenario",
+    )
+    faults.add_argument("--scale", type=float, default=1.0)
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--num-workers", type=int, default=64)
+    faults.add_argument("--jobs", type=int, default=1)
+    faults.add_argument(
+        "--cache-dir", default=None,
+        help="persistent study cache shared by the clean and faulted runs",
+    )
+    faults.add_argument(
+        "--manifest", default=None,
+        help="save the campaign's run manifest (JSON) to this path",
+    )
+    faults.add_argument(
+        "--trace", default=None,
+        help="re-run the faulted study with telemetry and write the "
+        "Chrome trace-event JSON here",
+    )
+    faults.add_argument(
+        "--export-plan", default=None,
+        help="write the injected plan's canonical JSON to this path",
     )
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
@@ -351,6 +390,88 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.analysis.report import DEGRADATION_COLUMNS, degradation_rows
+    from repro.faults import FaultPlan, preset_plan
+    from repro.orchestrator.executor import run_campaign
+    from repro.orchestrator.spec import StudySpec
+
+    clean_spec = StudySpec(
+        args.app, scale=args.scale, seed=args.seed, num_workers=args.num_workers
+    )
+    baseline = run_campaign(
+        [clean_spec], jobs=args.jobs, cache=args.cache_dir,
+        progress=_print_progress,
+    )
+    baseline.raise_failures()
+    clean = baseline.study(clean_spec)
+    horizon = clean.result(NVFI_MESH).total_time_s
+
+    if args.plan is not None:
+        with open(args.plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = preset_plan(args.scenario, horizon, args.num_workers)
+    if len(plan) == 0:
+        raise ValueError("fault plan is empty; nothing to inject")
+    if args.export_plan:
+        with open(args.export_plan, "w") as handle:
+            handle.write(plan.to_json() + "\n")
+        print(f"fault plan written to {args.export_plan}", file=sys.stderr)
+
+    faulted_spec = StudySpec(
+        args.app, scale=args.scale, seed=args.seed,
+        num_workers=args.num_workers, fault_plan=plan,
+    )
+    campaign = run_campaign(
+        [faulted_spec], jobs=args.jobs, cache=args.cache_dir,
+        progress=_print_progress,
+    )
+    campaign.raise_failures()
+    faulted = campaign.study(faulted_spec)
+
+    impact = next(
+        (r.faults for r in faulted.results.values() if r.faults is not None),
+        None,
+    )
+    print(
+        f"{clean.label}: plan '{plan.name or 'plan'}' "
+        f"({len(plan)} events) against a {horizon * 1e3:.1f} ms baseline"
+    )
+    if impact is not None and impact.failed_workers:
+        print(f"failed cores: {impact.failed_workers}")
+    if impact is not None and impact.throttled_islands:
+        print(f"throttled islands: {impact.throttled_islands}")
+    print(format_table(degradation_rows(clean, faulted)))
+
+    if args.manifest:
+        import pathlib
+
+        manifest_path = pathlib.Path(args.manifest)
+        campaign.manifest.save(manifest_path)
+        trace_path = manifest_path.with_suffix(".trace.json")
+        campaign.manifest.save_trace(trace_path)
+        print(f"run manifest saved to {manifest_path} (+ {trace_path})")
+
+    if args.trace:
+        from repro.telemetry import RecordingTracer, use_tracer
+        from repro.telemetry.export import write_chrome_trace
+
+        tracer = RecordingTracer()
+        # use_cache=False: the faulted study above is memoized, and a
+        # memo hit would record nothing.
+        with use_tracer(tracer):
+            run_app_study(
+                args.app, scale=args.scale, seed=args.seed,
+                num_workers=args.num_workers, use_cache=False,
+                fault_plan=plan,
+            )
+        write_chrome_trace(tracer, args.trace)
+        print(f"fault trace written to {args.trace} "
+              "(open at https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_topology(args) -> int:
     from repro.core.experiment import NVFI_MESH
     from repro.core.platforms import build_vfi_winoc
@@ -382,6 +503,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
     "topology": _cmd_topology,
 }
 

@@ -30,11 +30,21 @@ from repro.core.platforms import (
     geometry_for,
 )
 from repro.core.traffic import total_node_traffic
+from repro.faults import FaultPlan, ResiliencePolicy
 from repro.mapreduce.trace import JobTrace
+from repro.sim.config import SimulationParams
 from repro.sim.stats import SimulationResult
 from repro.sim.system import simulate
 from repro.telemetry import get_tracer
 from repro.utils.rng import spawn_seed
+
+
+def _normalize_fault_plan(fault_plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Empty plans are indistinguishable from no plan anywhere: results,
+    memo keys and cache keys all collapse to the fault-free study."""
+    if fault_plan is not None and len(fault_plan) == 0:
+        return None
+    return fault_plan
 
 #: Canonical configuration keys, in presentation order.
 NVFI_MESH = "nvfi_mesh"
@@ -94,12 +104,26 @@ def run_app_study(
     winoc_methodology: str = "max_wireless",
     include_vfi1: bool = True,
     use_cache: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> AppStudy:
-    """Run the full paper pipeline for one application (memoized)."""
-    key = (app_name, scale, seed, num_workers, winoc_methodology, include_vfi1)
+    """Run the full paper pipeline for one application (memoized).
+
+    When a *fault_plan* is given, every stored configuration is simulated
+    under it (the same plan stresses all four systems), while the design
+    flow still consumes a clean NVFI characterization: V/F islands are a
+    design-time decision, faults are a runtime condition.
+    """
+    fault_plan = _normalize_fault_plan(fault_plan)
+    plan_key = fault_plan.to_json() if fault_plan is not None else None
+    key = (
+        app_name, scale, seed, num_workers, winoc_methodology, include_vfi1,
+        plan_key,
+    )
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
 
+    sim_params = SimulationParams(fault_plan=fault_plan, resilience=resilience)
     tracer = get_tracer()
     app = create_app(app_name, scale=scale, seed=seed)
     locality = app.profile.l2_locality
@@ -109,7 +133,9 @@ def run_app_study(
         trace = app.run(num_workers=num_workers)
     geometry = geometry_for(num_workers)
 
-    # 1. NVFI-mesh characterization.
+    # 1. NVFI-mesh characterization (always fault-free: it feeds the
+    #    design flow).  With a fault plan, a second, degraded NVFI run is
+    #    what gets stored and compared.
     nvfi = build_nvfi_mesh(geometry)
     with tracer.wall_span(
         "study.sim_nvfi", cat="study", pid="pipeline", app=app_name,
@@ -128,7 +154,16 @@ def run_app_study(
             structural_workers=structural_bottleneck_workers(trace),
         )
 
-    results: Dict[str, SimulationResult] = {NVFI_MESH: nvfi_result}
+    results: Dict[str, SimulationResult] = {}
+    if fault_plan is None:
+        results[NVFI_MESH] = nvfi_result
+    else:
+        with tracer.wall_span(
+            "study.sim_nvfi_faulted", cat="study", pid="pipeline", app=app_name,
+        ):
+            results[NVFI_MESH] = simulate(
+                nvfi, trace, locality=locality, params=sim_params
+            )
 
     # 3. VFI mesh systems (Eq. 3 stealing active).
     map_seed = spawn_seed(seed, app_name, "mapping")
@@ -142,6 +177,7 @@ def run_app_study(
                 trace,
                 locality=locality,
                 stealing_policy=design.stealing_policy("vfi1"),
+                params=sim_params,
             )
     vfi2_platform = build_vfi_mesh(design, "vfi2", geometry=geometry, seed=map_seed)
     with tracer.wall_span(
@@ -152,6 +188,7 @@ def run_app_study(
             trace,
             locality=locality,
             stealing_policy=design.stealing_policy("vfi2"),
+            params=sim_params,
         )
 
     # 4. VFI WiNoC (wireless routing calibrated to the offered load).
@@ -172,6 +209,7 @@ def run_app_study(
             trace,
             locality=locality,
             stealing_policy=design.stealing_policy("vfi2"),
+            params=sim_params,
         )
 
     study = AppStudy(app=app, trace=trace, design=design, results=results)
@@ -192,6 +230,7 @@ def store_study(
     num_workers: int = 64,
     winoc_methodology: str = "max_wireless",
     include_vfi1: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Pre-populate the in-process memo with an externally obtained study.
 
@@ -200,8 +239,13 @@ def store_study(
     direct :func:`run_app_study` calls with the same arguments (e.g. the
     Fig. 6 placement comparison) reuse them instead of re-simulating.
     """
+    fault_plan = _normalize_fault_plan(fault_plan)
+    plan_key = fault_plan.to_json() if fault_plan is not None else None
     _STUDY_CACHE[
-        (app_name, scale, seed, num_workers, winoc_methodology, include_vfi1)
+        (
+            app_name, scale, seed, num_workers, winoc_methodology,
+            include_vfi1, plan_key,
+        )
     ] = study
 
 

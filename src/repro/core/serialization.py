@@ -24,6 +24,7 @@ from repro.apps.registry import create_app
 from repro.core.design_flow import VfiDesign
 from repro.core.experiment import AppStudy
 from repro.energy.metrics import EnergyBreakdown
+from repro.faults.impact import FaultImpact
 from repro.mapreduce.tasks import Phase, TaskCost
 from repro.mapreduce.trace import (
     IterationTrace,
@@ -233,8 +234,13 @@ def trace_from_dict(data: Dict) -> JobTrace:
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
-    """Serialize a :class:`SimulationResult` to JSON-compatible data."""
-    return {
+    """Serialize a :class:`SimulationResult` to JSON-compatible data.
+
+    Fault-free results omit the ``faults`` key entirely, keeping their
+    serialized form byte-identical to documents written before the fault
+    subsystem existed (and to cache entries of no-fault runs).
+    """
+    out = {
         "app_name": result.app_name,
         "platform_name": result.platform_name,
         "total_time_s": float(result.total_time_s),
@@ -269,6 +275,9 @@ def result_to_dict(result: SimulationResult) -> Dict:
             "static_energy_j": float(result.network.static_energy_j),
         },
     }
+    if result.faults is not None:
+        out["faults"] = result.faults.to_dict()
+    return out
 
 
 def result_from_dict(data: Dict) -> SimulationResult:
@@ -296,6 +305,11 @@ def result_from_dict(data: Dict) -> SimulationResult:
         ],
         energy=EnergyBreakdown(**data["energy"]),
         network=NetworkStats(**data["network"]),
+        faults=(
+            FaultImpact.from_dict(data["faults"])
+            if "faults" in data
+            else None
+        ),
     )
 
 

@@ -1,0 +1,70 @@
+"""Resilience reactions to injected faults.
+
+A :class:`ResiliencePolicy` is the declarative knob set that decides
+*how* the system reacts to a :class:`repro.faults.spec.FaultPlan` -- the
+plan says what breaks, the policy says what the surviving system does
+about it:
+
+* ``rebalance_steal_caps`` -- recompute the Eq. (3) stealing caps of a
+  :class:`repro.mapreduce.scheduler.CappedStealingPolicy` against the
+  degraded (slowed/throttled) frequency map instead of keeping the
+  design-time caps.
+* ``rerun_bottleneck_reassignment`` -- when a throttled island contains
+  master cores, shield it by moving the throttle steps onto the fastest
+  non-master island (the fault-time analogue of the paper's Sec. 4.2
+  bottleneck reassignment).
+* ``reroute_failed_links`` -- rebuild shortest-path routes around failed
+  wireline links / lost wireless channels.  When ``False``, link and
+  channel faults raise :class:`repro.faults.spec.FaultInjectionError`
+  instead of degrading silently (strict mode for platforms that must not
+  lose fabric).
+* ``substitute_order`` -- how barrier-phase tasks pick a stand-in for a
+  dead home worker: ``"ring"`` walks the worker ring from the victim
+  (deterministic, load-spreading), ``"fastest"`` always picks the
+  fastest surviving core (greedy, may hot-spot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+_SUBSTITUTE_ORDERS = ("ring", "fastest")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Declarative reaction knobs for fault-injected runs."""
+
+    rebalance_steal_caps: bool = True
+    rerun_bottleneck_reassignment: bool = True
+    reroute_failed_links: bool = True
+    substitute_order: str = "ring"
+
+    def __post_init__(self) -> None:
+        if self.substitute_order not in _SUBSTITUTE_ORDERS:
+            raise ValueError(
+                f"substitute_order must be one of {_SUBSTITUTE_ORDERS}, "
+                f"got {self.substitute_order!r}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "rebalance_steal_caps": bool(self.rebalance_steal_caps),
+            "rerun_bottleneck_reassignment": bool(
+                self.rerun_bottleneck_reassignment
+            ),
+            "reroute_failed_links": bool(self.reroute_failed_links),
+            "substitute_order": self.substitute_order,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ResiliencePolicy":
+        return cls(
+            rebalance_steal_caps=bool(data.get("rebalance_steal_caps", True)),
+            rerun_bottleneck_reassignment=bool(
+                data.get("rerun_bottleneck_reassignment", True)
+            ),
+            reroute_failed_links=bool(data.get("reroute_failed_links", True)),
+            substitute_order=str(data.get("substitute_order", "ring")),
+        )

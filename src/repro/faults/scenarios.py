@@ -1,0 +1,88 @@
+"""Preset fault scenarios for studies and the ``repro faults`` CLI.
+
+Each scenario is a deterministic function of the fault-free makespan
+(*horizon_s*) and the die size: event times are fixed fractions of the
+horizon, targets are fixed functions of the worker count.  The same
+(app, scale, seed, num_workers) therefore always yields the same plan --
+the determinism contract extends from the simulator up through the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
+
+#: Scenario names accepted by :func:`preset_plan` (and the CLI).
+SCENARIOS = (
+    "core_failure",
+    "straggler",
+    "throttle",
+    "link_failure",
+    "channel_loss",
+    "mixed",
+)
+
+
+def _victim_worker(num_workers: int) -> int:
+    return num_workers // 4
+
+
+def _straggler_worker(num_workers: int) -> int:
+    worker = num_workers // 3
+    if worker == _victim_worker(num_workers):
+        worker = (worker + 1) % num_workers
+    return worker
+
+
+def preset_plan(
+    scenario: str,
+    horizon_s: float,
+    num_workers: int,
+    link: Tuple[int, int] = (0, 1),
+) -> FaultPlan:
+    """Build the named scenario against a measured fault-free horizon.
+
+    *horizon_s* is the baseline makespan (typically the NVFI-mesh
+    ``total_time_s``); events land at fixed fractions of it so every
+    scenario bites mid-run regardless of app or scale.  *link* is the
+    wireline link the ``link_failure`` events target -- ``(0, 1)`` is a
+    mesh edge on every die size.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}, got {scenario!r}")
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be > 0, got {horizon_s!r}")
+    if num_workers < 4:
+        raise ValueError(f"num_workers must be >= 4, got {num_workers!r}")
+
+    victim = _victim_worker(num_workers)
+    straggler = _straggler_worker(num_workers)
+    events = {
+        "core_failure": [
+            FaultSpec(FaultKind.CORE_FAILURE, 0.25 * horizon_s, (victim,)),
+        ],
+        "straggler": [
+            FaultSpec(FaultKind.CORE_SLOWDOWN, 0.2 * horizon_s, (straggler,), 2.5),
+        ],
+        "throttle": [
+            FaultSpec(FaultKind.ISLAND_THROTTLE, 0.3 * horizon_s, (1,), 2.0),
+        ],
+        "link_failure": [
+            FaultSpec(FaultKind.LINK_FAILURE, 0.25 * horizon_s, link),
+        ],
+        "channel_loss": [
+            FaultSpec(FaultKind.CHANNEL_LOSS, 0.25 * horizon_s, (0,)),
+        ],
+    }
+    if scenario == "mixed":
+        chosen = (
+            events["straggler"]
+            + events["core_failure"]
+            + [FaultSpec(FaultKind.ISLAND_THROTTLE, 0.3 * horizon_s, (1,), 1.0)]
+            + [FaultSpec(FaultKind.LINK_FAILURE, 0.35 * horizon_s, link)]
+            + [FaultSpec(FaultKind.CHANNEL_LOSS, 0.3 * horizon_s, (0,))]
+        )
+    else:
+        chosen = events[scenario]
+    return FaultPlan(events=tuple(chosen), name=scenario)

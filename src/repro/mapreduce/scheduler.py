@@ -227,6 +227,16 @@ class TaskQueueSet:
         self.steals += 1
         return task
 
+    def requeue(self, worker: int, task: Task) -> None:
+        """Put *task* back at the head of *worker*'s own queue.
+
+        Fault re-execution: an execution killed by a core failure returns
+        its task to the victim's queue, where surviving workers steal it
+        from the tail (or the force-drain backstop picks it up).  Counters
+        and executed counts are untouched -- the original pop already
+        charged them, and the re-execution will charge its own."""
+        self._queues[worker].appendleft(task)
+
     def drain_serial(self) -> List[tuple]:
         """Execute all queues in a deterministic round-robin order.
 

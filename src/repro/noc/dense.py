@@ -40,7 +40,12 @@ class DenseLatencyModel:
         # networks of the same platform (same fabric and clocks) through
         # the network's static cache.  The frequency fingerprint guards
         # against a stale cache being handed to a re-clocked network.
-        key = ("dense_static", bulk)
+        key = (
+            "dense_static",
+            bulk,
+            model.topology.epoch,
+            len(model.topology.links),
+        )
         static = model.static_cache.get(key)
         if static is None or not np.array_equal(
             static["node_freq"], model._node_freq
@@ -256,7 +261,12 @@ class PairwiseEnergy:
         self.bulk = bulk
         # Path energies depend only on the fabric, never on clocks or
         # load; share the tables across rebuilt networks of one platform.
-        key = ("pairwise_static", bulk, len(model.topology.links))
+        key = (
+            "pairwise_static",
+            bulk,
+            model.topology.epoch,
+            len(model.topology.links),
+        )
         static = model.static_cache.get(key)
         if static is None:
             static = self._build_static(model, bulk)

@@ -274,7 +274,12 @@ class FlowNetworkModel:
         """
         from scipy.sparse import csr_matrix
 
-        key = ("flow_usage", bulk, len(self.topology.links))
+        key = (
+            "flow_usage",
+            bulk,
+            self.topology.epoch,
+            len(self.topology.links),
+        )
         usage = self.static_cache.get(key)
         if usage is not None:
             return usage

@@ -13,11 +13,19 @@ grid neighbours, the WiNoC topology is built by
 from __future__ import annotations
 
 import enum
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.utils.validation import check_positive
+
+#: Monotonic epoch source for mutated topologies.  Fresh-built topologies
+#: keep epoch 0; every derived topology (``with_links`` /
+#: ``without_links``) draws a new process-unique epoch so static caches
+#: keyed on ``(bulk, epoch, len(links))`` can never alias tables computed
+#: for a different link set.
+_EPOCH = itertools.count(1)
 
 
 class LinkKind(enum.Enum):
@@ -110,6 +118,10 @@ class Topology:
     name: str
     geometry: GridGeometry
     links: List[Link] = field(default_factory=list)
+    #: Mutation epoch: 0 for fresh-built topologies, process-unique for
+    #: every derived one.  Static-table caches key on it, so removing or
+    #: adding links invalidates cached hop/energy tables.
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         self._adjacency: Optional[Dict[int, List[Link]]] = None
@@ -167,6 +179,33 @@ class Topology:
             name=name or self.name,
             geometry=self.geometry,
             links=list(self.links) + list(extra),
+            epoch=next(_EPOCH),
+        )
+
+    def without_links(
+        self,
+        keys: Iterable[FrozenSet[int]],
+        name: Optional[str] = None,
+    ) -> "Topology":
+        """New topology with every link whose :attr:`Link.key` is in
+        *keys* removed (fault injection: failed wires / lost channels).
+
+        The derived topology carries a fresh mutation epoch, so shared
+        static caches recompute hop and energy tables instead of reusing
+        those of the intact fabric.
+        """
+        drop = set(keys)
+        missing = drop - {link.key for link in self.links}
+        if missing:
+            raise KeyError(
+                f"links not in topology {self.name!r}: "
+                f"{sorted(sorted(k) for k in missing)}"
+            )
+        return Topology(
+            name=name or self.name,
+            geometry=self.geometry,
+            links=[link for link in self.links if link.key not in drop],
+            epoch=next(_EPOCH),
         )
 
     def wireless_links(self) -> List[Link]:

@@ -20,15 +20,41 @@ import itertools
 import json
 import math
 from dataclasses import dataclass, fields
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.apps.registry import canonical_app_name
+from repro.faults import FaultPlan
 
 #: Bump whenever the serialized study document or the pipeline semantics
 #: change: a new version invalidates every previously cached result.
-CACHE_SCHEMA_VERSION = 1
+#: v2: specs grew a ``fault_plan`` axis and study documents may carry a
+#: ``faults`` impact section.
+CACHE_SCHEMA_VERSION = 2
 
 WINOC_METHODOLOGIES = ("max_wireless", "min_hop")
+
+
+def _canonical_plan_json(
+    plan: Union[None, str, FaultPlan]
+) -> Optional[str]:
+    """Normalize a fault-plan field to canonical JSON (or ``None``).
+
+    Accepts a :class:`FaultPlan`, a JSON string (re-canonicalized through
+    a round trip, so key order and whitespace never split the cache), or
+    ``None``.  An empty plan collapses to ``None`` -- the same rule the
+    simulator applies, so the fault-free unit has exactly one identity.
+    """
+    if plan is None:
+        return None
+    if isinstance(plan, str):
+        plan = FaultPlan.from_json(plan)
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(
+            f"fault_plan must be None, JSON text or FaultPlan, got {plan!r}"
+        )
+    if len(plan) == 0:
+        return None
+    return plan.to_json()
 
 
 @dataclass(frozen=True)
@@ -41,6 +67,11 @@ class StudySpec:
     num_workers: int = 64
     winoc_methodology: str = "max_wireless"
     include_vfi1: bool = True
+    #: Canonical JSON encoding of a :class:`repro.faults.FaultPlan`, or
+    #: ``None`` for a fault-free unit.  Stored as a string so the spec
+    #: stays hashable and its cache key is a pure function of builtins;
+    #: construction also accepts a ``FaultPlan`` and canonicalizes it.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", canonical_app_name(self.app))
@@ -48,6 +79,9 @@ class StudySpec:
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "num_workers", int(self.num_workers))
         object.__setattr__(self, "include_vfi1", bool(self.include_vfi1))
+        object.__setattr__(
+            self, "fault_plan", _canonical_plan_json(self.fault_plan)
+        )
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale!r}")
         root = math.isqrt(self.num_workers) if self.num_workers > 0 else 0
@@ -75,7 +109,15 @@ class StudySpec:
         """Keyword arguments for :func:`repro.core.experiment.run_app_study`."""
         kwargs = self.to_dict()
         kwargs["app_name"] = kwargs.pop("app")
+        if kwargs["fault_plan"] is not None:
+            kwargs["fault_plan"] = FaultPlan.from_json(kwargs["fault_plan"])
         return kwargs
+
+    def plan(self) -> Optional[FaultPlan]:
+        """The decoded fault plan, or ``None`` for a fault-free unit."""
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_json(self.fault_plan)
 
     def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
         """Stable content address of this spec.
@@ -103,6 +145,10 @@ class StudySpec:
             parts.append(self.winoc_methodology)
         if not self.include_vfi1:
             parts.append("no-vfi1")
+        if self.fault_plan is not None:
+            plan = self.plan()
+            name = plan.name or "plan"
+            parts.append(f"faults={name}({len(plan)})")
         return " ".join(parts)
 
     def run(self):
@@ -119,6 +165,7 @@ def expand_grid(
     num_workers: Iterable[int] = (64,),
     winoc_methodologies: Iterable[str] = ("max_wireless",),
     include_vfi1: Iterable[bool] = (True,),
+    fault_plans: Iterable[Union[None, str, FaultPlan]] = (None,),
 ) -> List[StudySpec]:
     """Cross-product a campaign grid into de-duplicated specs.
 
@@ -126,13 +173,17 @@ def expand_grid(
     the first app, then the second, ...), matching how the paper's
     figures group their series.  Canonicalization happens inside
     :class:`StudySpec`, so ``("hist", "histogram")`` collapses to one unit.
+    The ``fault_plans`` axis is the resilience sweep: pairing ``(None,
+    plan)`` runs every configuration clean and degraded, which is how the
+    degradation report gets its baseline.
     """
     if not apps:
         raise ValueError("apps must be non-empty")
     specs: List[StudySpec] = []
     seen = set()
     for combo in itertools.product(
-        apps, scales, seeds, num_workers, winoc_methodologies, include_vfi1
+        apps, scales, seeds, num_workers, winoc_methodologies,
+        include_vfi1, fault_plans,
     ):
         spec = StudySpec(*combo)
         if spec not in seen:

@@ -11,7 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+# Imported from the leaf modules (not the ``repro.faults`` package) so the
+# faults engine can in turn import the platform without a cycle.
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.spec import FaultPlan
 from repro.utils.validation import check_in_range, check_positive
+
+#: Valid adaptive-relaxation convergence criteria.
+RELAXATION_CRITERIA = ("phase_end", "worker_residual")
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,18 @@ class SimulationParams:
     #: Upper bound on adaptive relaxation rounds (safety net for
     #: oscillating fixed points).
     max_relaxation_iterations: int = 10
+    #: Adaptive convergence criterion: ``"phase_end"`` watches the phase
+    #: end time (default, historical behaviour); ``"worker_residual"``
+    #: watches the largest per-worker busy-time change between rounds
+    #: relative to the phase duration (stricter: load can migrate between
+    #: workers without moving the makespan).
+    relaxation_criterion: str = "phase_end"
+    #: Timed degradation events injected into the run; ``None`` (or an
+    #: empty plan) is the bit-identical fault-free simulator.
+    fault_plan: Optional[FaultPlan] = None
+    #: How the system reacts to injected faults; ``None`` selects the
+    #: default :class:`repro.faults.policy.ResiliencePolicy`.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         check_positive("relaxation_iterations", self.relaxation_iterations)
@@ -96,3 +115,8 @@ class SimulationParams:
         if self.relaxation_rtol is not None:
             check_positive("relaxation_rtol", self.relaxation_rtol)
         check_positive("max_relaxation_iterations", self.max_relaxation_iterations)
+        if self.relaxation_criterion not in RELAXATION_CRITERIA:
+            raise ValueError(
+                f"relaxation_criterion must be one of {RELAXATION_CRITERIA}, "
+                f"got {self.relaxation_criterion!r}"
+            )

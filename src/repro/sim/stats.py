@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.energy.metrics import EnergyBreakdown, edp
+from repro.faults.impact import FaultImpact
 from repro.mapreduce.tasks import Phase
 
 
@@ -54,6 +55,10 @@ class SimulationResult:
     phases: List[PhaseStats] = field(default_factory=list)
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     network: NetworkStats = field(default_factory=NetworkStats)
+    #: Degradation accounting; ``None`` for fault-free runs (the common
+    #: case keeps its serialized form byte-identical to before faults
+    #: existed).
+    faults: Optional[FaultImpact] = None
 
     # ------------------------------------------------------------------ #
     # derived metrics

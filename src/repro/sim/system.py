@@ -35,12 +35,14 @@ per relaxation round.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.energy.metrics import EnergyBreakdown
+from repro.faults.engine import FaultEngine
+from repro.faults.spec import FaultInjectionError
 from repro.mapreduce.scheduler import StealingPolicy, TaskQueueSet
 from repro.mapreduce.tasks import Phase, Task
 from repro.mapreduce.trace import JobTrace, TaskRecord
@@ -62,6 +64,24 @@ class _ScheduledTask:
     @property
     def end_s(self) -> float:
         return self.start_s + self.duration_s
+
+
+@dataclass
+class _Recovery:
+    """Per-phase fault-recovery bookkeeping for the committed schedule.
+
+    ``lost`` holds ``(worker, start_s, duration_s, task_id)`` intervals
+    burnt on executions a core failure killed; the time was spent (and is
+    charged as busy/dynamic energy) but the work was not."""
+
+    lost: List[Tuple[int, float, float, int]] = field(default_factory=list)
+    reexecutions: int = 0
+    substitutions: int = 0
+
+    def merge(self, other: "_Recovery") -> None:
+        self.lost.extend(other.lost)
+        self.reexecutions += other.reexecutions
+        self.substitutions += other.substitutions
 
 
 class SystemSimulator:
@@ -108,6 +128,19 @@ class SystemSimulator:
             [platform.node_of_worker(w) for w in range(n)]
         )
         self._worker_freqs = np.array(platform.worker_frequencies())
+        # Fault injection: an empty plan is normalized to "no plan" so the
+        # two are indistinguishable everywhere (results, caches, traces).
+        self._locality = locality
+        self._base_policy = stealing_policy
+        self._base_platform = platform
+        plan = params.fault_plan
+        if plan is not None and len(plan) == 0:
+            plan = None
+        self.faults: Optional[FaultEngine] = (
+            FaultEngine(platform, plan, params.resilience, tracer=self.tracer)
+            if plan is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -123,20 +156,64 @@ class SystemSimulator:
         self._committed = np.zeros(self.platform.num_cores)
         phases: List[PhaseStats] = []
         now = 0.0
+        if self.faults is not None:
+            self.faults.begin(trace)
+            # Segmented energy accounting: each platform change (throttle
+            # or fabric degradation) closes a (platform, elapsed, busy)
+            # segment, mirroring PhaseAdaptiveSimulator's bookkeeping.
+            self._segments: List[Tuple[Platform, float, np.ndarray]] = []
+            self._segment_start = 0.0
+            self._busy_snapshot = np.zeros(self.platform.num_cores)
+            self._run_busy = busy
         for iteration in trace.iterations:
+            self._apply_pending_faults(now)
             now = self._run_lib_init(iteration.lib_init, now, busy, phases, iteration.iteration)
+            self._apply_pending_faults(now)
             now = self._run_map(
                 iteration.map_phase.tasks, now, busy, phases, iteration.iteration
             )
+            self._apply_pending_faults(now)
             now = self._run_reduce(
                 iteration.reduce_phase.tasks, now, busy, phases, iteration.iteration
             )
             for stage in iteration.merge_stages:
+                self._apply_pending_faults(now)
                 now = self._run_merge_stage(
                     stage.tasks, now, busy, phases, iteration.iteration
                 )
         total_time = now
         return self._finalize(trace, total_time, busy, phases)
+
+    def _apply_pending_faults(self, now: float) -> None:
+        """Phase-boundary fault hook: activate due events and refresh the
+        effective platform / frequency / policy views.  A no-op (zero
+        float operations) for fault-free runs."""
+        faults = self.faults
+        if faults is None:
+            return
+        platform_dirty, freqs_dirty = faults.activate_due(now)
+        if platform_dirty:
+            new_platform = faults.effective_platform()
+            if new_platform is not self.platform:
+                self._segments.append(
+                    (
+                        self.platform,
+                        now - self._segment_start,
+                        (self._run_busy - self._busy_snapshot).copy(),
+                    )
+                )
+                self._busy_snapshot = self._run_busy.copy()
+                self._segment_start = now
+                self.platform = new_platform
+                new_platform.network = new_platform.build_network()
+                new_platform.network.trace_label = new_platform.name
+                self.memory = MemorySystem(new_platform, self._locality)
+                self._bulk_energy = self.memory.pairwise_bulk
+        if platform_dirty or freqs_dirty:
+            self._worker_freqs = faults.effective_worker_freqs(self.platform)
+            self.policy = faults.effective_policy(
+                self._base_policy, self.platform
+            )
 
     # ------------------------------------------------------------------ #
     # phases
@@ -152,19 +229,24 @@ class SystemSimulator:
     ) -> float:
         self.platform.network.reset_flows()
         self.memory.refresh_latencies()
-        worker = record.home_worker
-        duration = self._task_time(record, worker)
-        busy[worker] += duration
-        self._record_task_energy(record, worker)
+        if self.faults is None:
+            worker = record.home_worker
+            duration = self._task_time(record, worker)
+            item = _ScheduledTask(record, worker, start, duration)
+        else:
+            item, recovery = self._execute_with_substitution(
+                record, start, kv=False
+            )
+            self._fold_recovery(recovery, busy)
+        busy[item.worker] += item.duration_s
+        self._record_task_energy(record, item.worker)
         phases.append(
-            PhaseStats(Phase.LIB_INIT, iteration, start, start + duration)
+            PhaseStats(Phase.LIB_INIT, iteration, start, item.end_s)
         )
         if self.tracer.enabled:
             self._trace_phase(phases[-1])
-            self._trace_tasks(
-                [_ScheduledTask(record, worker, start, duration)], Phase.LIB_INIT
-            )
-        return start + duration
+            self._trace_tasks([item], Phase.LIB_INIT)
+        return item.end_s
 
     def _relax_phase(self, schedule_fn, start: float, kv: bool, legacy_rounds: int):
         """Drive one phase to its latency/traffic fixed point.
@@ -192,16 +274,57 @@ class SystemSimulator:
                 self.memory.refresh_latencies()
             # Final schedule under converged latencies.
             return schedule_fn()
+        residual_mode = params.relaxation_criterion == "worker_residual"
         result = schedule_fn()
+        iterations = 1
+        residual = 0.0
+        prev_busy = self._schedule_busy(result[0]) if residual_mode else None
         for _ in range(params.max_relaxation_iterations):
             schedule, end = result[0], result[1]
             self._register_phase_flows(schedule, max(end - start, 1e-12), kv=kv)
             self.memory.refresh_latencies()
             result = schedule_fn()
+            iterations += 1
             new_end = result[1]
-            if abs(new_end - end) <= rtol * max(new_end - start, 1e-12):
-                break
+            if residual_mode:
+                # Converge on the largest per-worker busy-time movement:
+                # load can migrate between workers (steals flip) without
+                # moving the makespan at all.
+                new_busy = self._schedule_busy(result[0])
+                scale = max(new_end - start, 1e-12)
+                residual = float(np.max(np.abs(new_busy - prev_busy))) / scale
+                prev_busy = new_busy
+                if residual <= rtol:
+                    break
+            else:
+                # The residual is reported either way; the break condition
+                # is kept as the exact historical comparison.
+                residual = abs(new_end - end) / max(new_end - start, 1e-12)
+                if abs(new_end - end) <= rtol * max(new_end - start, 1e-12):
+                    break
+        if self.tracer.enabled:
+            pid = self.platform.name
+            self.tracer.counter_add(
+                "sim.relaxation_iterations", float(iterations), key=pid
+            )
+            self.tracer.histogram_record(
+                "sim.relaxation_iterations", float(iterations)
+            )
+            self.tracer.sample(
+                "sim.relaxation_residual",
+                start,
+                residual,
+                pid=pid,
+                tid="relaxation",
+            )
         return result
+
+    def _schedule_busy(self, schedule: Sequence[_ScheduledTask]) -> np.ndarray:
+        """Per-worker busy seconds of one phase schedule."""
+        busy = np.zeros(self.platform.num_cores)
+        for item in schedule:
+            busy[item.worker] += item.duration_s
+        return busy
 
     def _run_map(
         self,
@@ -219,13 +342,14 @@ class SystemSimulator:
             durations = self._map_durations(instructions, l2, mem)
             return self._schedule_map(records, start, durations)
 
-        schedule, end, queues = self._relax_phase(
+        schedule, end, queues, recovery = self._relax_phase(
             schedule_fn, start, kv=False,
             legacy_rounds=self.params.relaxation_iterations,
         )
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker)
+        self._fold_recovery(recovery, busy)
         phases.append(PhaseStats(Phase.MAP, iteration, start, end))
         if self.tracer.enabled:
             # Stealing statistics come from the committed schedule's queue
@@ -266,13 +390,18 @@ class SystemSimulator:
         records: Sequence[TaskRecord],
         start: float,
         durations: np.ndarray,
-    ) -> Tuple[List[_ScheduledTask], float, TaskQueueSet]:
+    ) -> Tuple[List[_ScheduledTask], float, TaskQueueSet, Optional[_Recovery]]:
         """Event-driven map scheduling with stealing.
 
         ``durations[i, w]`` is the precomputed runtime of ``records[i]``
         on worker ``w`` under the current latency estimate.  Returns the
         queue set as well so the caller can fold its stealing statistics
         for the committed schedule only.
+
+        Under fault injection, an execution that would cross its worker's
+        failure instant is killed: the burnt interval is recorded, the
+        task returns to the victim's queue head (survivors steal it from
+        the tail), and the dead worker never pops again.
         """
         num_workers = self.platform.num_cores
         tasks = [
@@ -288,25 +417,51 @@ class SystemSimulator:
         policy = self.policy or _fresh_default_policy()
         queues = TaskQueueSet(num_workers, policy)
         queues.load(tasks)
+        faults = self.faults
+        fail_time = faults.fail_time if faults is not None else None
+        recovery = _Recovery() if faults is not None else None
         heap: List[Tuple[float, int]] = [(start, w) for w in range(num_workers)]
         heapq.heapify(heap)
         schedule: List[_ScheduledTask] = []
         end = start
         while heap and queues.remaining > 0:
             now, worker = heapq.heappop(heap)
+            if fail_time is not None and fail_time[worker] <= now:
+                # Dead core: drops out of the event loop for good.
+                continue
             task = queues.next_task(worker)
             if task is None:
                 # Capped out or nothing to steal: this core is done.
                 continue
             record: TaskRecord = task.payload
             duration = float(durations[row_of[id(record)], worker])
+            if fail_time is not None and now + duration > fail_time[worker]:
+                # Killed mid-execution (now < fail strictly, see above).
+                fail = float(fail_time[worker])
+                recovery.lost.append(
+                    (worker, now, fail - now, record.task_id)
+                )
+                recovery.reexecutions += 1
+                queues.requeue(worker, task)
+                end = max(end, fail)
+                continue
             schedule.append(_ScheduledTask(record, worker, now, duration))
             end = max(end, now + duration)
             heapq.heappush(heap, (now + duration, worker))
         if queues.remaining > 0:
             # Every worker is capped (possible only with a user-supplied
-            # fmax above all cores): run leftovers on the fastest core.
-            fastest = int(np.argmax(self._worker_freqs))
+            # fmax above all cores) or the survivors exited before a killed
+            # task was requeued: run leftovers on the fastest core.
+            if faults is None:
+                fastest = int(np.argmax(self._worker_freqs))
+            else:
+                alive = np.isinf(fail_time)
+                if not alive.any():
+                    raise FaultInjectionError(
+                        "all workers fail before the map phase drains"
+                    )
+                masked = np.where(alive, self._worker_freqs, -np.inf)
+                fastest = int(np.argmax(masked))
             now = end
             for worker, task in queues.force_drain(fastest):
                 record = task.payload
@@ -314,7 +469,7 @@ class SystemSimulator:
                 schedule.append(_ScheduledTask(record, worker, now, duration))
                 now += duration
             end = now
-        return schedule, end, queues
+        return schedule, end, queues, recovery
 
     def _run_reduce(
         self,
@@ -324,7 +479,7 @@ class SystemSimulator:
         phases: List[PhaseStats],
         iteration: int,
     ) -> float:
-        schedule, end = self._relax_phase(
+        schedule, end, recovery = self._relax_phase(
             lambda: self._schedule_parallel(records, start),
             start, kv=True,
             legacy_rounds=self.params.relaxation_iterations,
@@ -332,6 +487,7 @@ class SystemSimulator:
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
+        self._fold_recovery(recovery, busy)
         phases.append(PhaseStats(Phase.REDUCE, iteration, start, end))
         if self.tracer.enabled:
             self._trace_phase(phases[-1])
@@ -349,13 +505,14 @@ class SystemSimulator:
     ) -> float:
         if not records:
             return start
-        schedule, end = self._relax_phase(
+        schedule, end, recovery = self._relax_phase(
             lambda: self._schedule_parallel(records, start),
             start, kv=True, legacy_rounds=1,
         )
         for item in schedule:
             busy[item.worker] += item.duration_s
             self._record_task_energy(item.record, item.worker, kv=True)
+        self._fold_recovery(recovery, busy)
         phases.append(PhaseStats(Phase.MERGE, iteration, start, end))
         if self.tracer.enabled:
             self._trace_phase(phases[-1])
@@ -365,18 +522,89 @@ class SystemSimulator:
 
     def _schedule_parallel(
         self, records: Sequence[TaskRecord], start: float
-    ) -> Tuple[List[_ScheduledTask], float]:
-        """One task per owning worker, all starting at the barrier."""
+    ) -> Tuple[List[_ScheduledTask], float, Optional[_Recovery]]:
+        """One task per owning worker, all starting at the barrier.
+
+        Under fault injection, a task whose home worker is dead (or dies
+        mid-execution) runs on a policy-chosen substitute instead."""
         schedule = []
         end = start
+        if self.faults is None:
+            for record in records:
+                worker = record.home_worker
+                duration = self._task_time(record, worker) + self._kv_pull_time(
+                    record, worker
+                )
+                schedule.append(_ScheduledTask(record, worker, start, duration))
+                end = max(end, start + duration)
+            return schedule, end, None
+        recovery = _Recovery()
         for record in records:
-            worker = record.home_worker
-            duration = self._task_time(record, worker) + self._kv_pull_time(
-                record, worker
+            item, item_recovery = self._execute_with_substitution(
+                record, start, kv=True
             )
-            schedule.append(_ScheduledTask(record, worker, start, duration))
-            end = max(end, start + duration)
-        return schedule, end
+            recovery.merge(item_recovery)
+            schedule.append(item)
+            end = max(end, item.end_s)
+        return schedule, end, recovery
+
+    def _execute_with_substitution(
+        self, record: TaskRecord, start: float, kv: bool
+    ) -> Tuple[_ScheduledTask, _Recovery]:
+        """Run one barrier-phase task to completion despite core failures.
+
+        The execution chain is deterministic: a dead home worker is
+        replaced per the resilience policy's substitute order; an
+        execution the worker's failure would cut short burns the interval
+        up to the failure (recorded as lost busy time) and re-executes on
+        the next substitute.  Each worker dies at most once, so the chain
+        terminates; a run with no survivors raises
+        :class:`FaultInjectionError`."""
+        faults = self.faults
+        recovery = _Recovery()
+        worker = record.home_worker
+        t = start
+        while True:
+            if faults.fail_time[worker] <= t:
+                substitute = faults.substitute_for(
+                    worker, t, self._worker_freqs
+                )
+                if substitute is None:
+                    raise FaultInjectionError(
+                        f"no surviving worker to run task "
+                        f"{record.task_id} at t={t:.6f}s"
+                    )
+                worker = substitute
+                recovery.substitutions += 1
+            duration = self._task_time(record, worker)
+            if kv:
+                duration += self._kv_pull_time(record, worker)
+            fail = float(faults.fail_time[worker])
+            if t + duration <= fail:
+                return _ScheduledTask(record, worker, t, duration), recovery
+            recovery.lost.append((worker, t, fail - t, record.task_id))
+            recovery.reexecutions += 1
+            t = fail
+            substitute = faults.substitute_for(worker, t, self._worker_freqs)
+            if substitute is None:
+                raise FaultInjectionError(
+                    f"no surviving worker to re-execute task "
+                    f"{record.task_id} at t={t:.6f}s"
+                )
+            worker = substitute
+
+    def _fold_recovery(
+        self, recovery: Optional[_Recovery], busy: np.ndarray
+    ) -> None:
+        """Charge a committed phase's lost intervals as busy time and fold
+        the counts into the fault engine's impact record."""
+        if recovery is None or self.faults is None:
+            return
+        for worker, _start_s, duration_s, _task_id in recovery.lost:
+            busy[worker] += duration_s
+        self.faults.note_recovery(
+            recovery.reexecutions, recovery.substitutions, recovery.lost
+        )
 
     # ------------------------------------------------------------------ #
     # task-level models
@@ -393,7 +621,10 @@ class SystemSimulator:
         """(compute, memory stall) seconds of one task on *worker*'s core."""
         platform = self.platform
         node = platform.node_of_worker(worker)
-        frequency = platform.frequency_of_worker(worker)
+        # The effective frequency map: identical floats to
+        # ``platform.frequency_of_worker`` on fault-free runs, degraded by
+        # stragglers/throttles under fault injection.
+        frequency = float(self._worker_freqs[worker])
         cost = record.cost
         compute = cost.instructions / platform.core_params.ipc / frequency
         stall = self.memory.task_stall_s(
@@ -551,6 +782,8 @@ class SystemSimulator:
         busy: np.ndarray,
         phases: List[PhaseStats],
     ) -> SimulationResult:
+        if self.faults is not None:
+            return self._finalize_faulted(trace, total_time, busy, phases)
         platform = self.platform
         breakdown = EnergyBreakdown()
         for worker in range(platform.num_cores):
@@ -584,6 +817,82 @@ class SystemSimulator:
             phases=phases,
             energy=breakdown,
             network=stats,
+        )
+
+    def _finalize_faulted(
+        self,
+        trace: JobTrace,
+        total_time: float,
+        busy: np.ndarray,
+        phases: List[PhaseStats],
+    ) -> SimulationResult:
+        """Segmented energy accounting for fault-injected runs.
+
+        Each platform configuration the run passed through (throttles,
+        degraded fabrics) is one segment charged at its own V/F and with
+        its own network's accumulated dynamic energy -- the same
+        bookkeeping :class:`repro.sim.adaptive.PhaseAdaptiveSimulator`
+        uses for per-phase V/F switching.  Lost (killed) intervals were
+        folded into ``busy``, so wasted dynamic energy is charged; dead
+        cores keep burning idle and leakage power (a functional failure
+        is not a power-gated core).  The result reports the *base*
+        platform's name and frequencies so downstream normalization
+        compares degraded runs against their clean counterparts.
+        """
+        segments = list(self._segments)
+        segments.append(
+            (
+                self.platform,
+                total_time - self._segment_start,
+                busy - self._busy_snapshot,
+            )
+        )
+        base = self._base_platform
+        num_workers = base.num_cores
+        breakdown = EnergyBreakdown()
+        bits = hops_bits = wireless = dynamic = static = 0.0
+        for platform, elapsed, segment_busy in segments:
+            elapsed = max(float(elapsed), 0.0)
+            power = platform.core_power
+            for worker in range(num_workers):
+                point = platform.vf_of_worker(worker)
+                busy_s = float(min(segment_busy[worker], elapsed))
+                idle_s = max(elapsed - busy_s, 0.0)
+                breakdown.core_dynamic_j += (
+                    power.dynamic_power_w(point, 1.0) * busy_s
+                    + power.dynamic_power_w(point, power.params.idle_activity)
+                    * idle_s
+                )
+                breakdown.core_static_j += (
+                    power.leakage_power_w(point) * elapsed
+                )
+            network = platform.network
+            dynamic += network.energy.dynamic_joules
+            static += network.static_energy(elapsed)
+            bits += network.energy.bits_moved
+            hops_bits += network.energy.bit_hops
+            wireless += network.energy.wireless_bits
+        breakdown.noc_dynamic_j = dynamic
+        breakdown.noc_static_j = static
+        stats = NetworkStats(
+            bits_moved=bits,
+            average_hops=hops_bits / bits if bits else 0.0,
+            wireless_fraction=wireless / bits if bits else 0.0,
+            dynamic_energy_j=dynamic,
+            static_energy_j=static,
+        )
+        return SimulationResult(
+            app_name=trace.app_name,
+            platform_name=base.name,
+            total_time_s=total_time,
+            busy_s=busy,
+            committed_instructions=self._committed.copy(),
+            worker_frequencies_hz=np.array(base.worker_frequencies()),
+            issue_width=base.core_params.issue_width,
+            phases=phases,
+            energy=breakdown,
+            network=stats,
+            faults=self.faults.impact(),
         )
 
 

@@ -157,3 +157,52 @@ def test_trace_command(tmp_path, capsys):
     for event in document["traceEvents"]:
         assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
     assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+
+
+def test_faults_command(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    plan_path = tmp_path / "plan.json"
+    manifest = tmp_path / "manifest.json"
+    argv = [
+        "faults", "histogram", "--scenario", "core_failure",
+        "--scale", "0.05", "--seed", "9", "--num-workers", "16",
+        "--cache-dir", str(cache_dir),
+        "--manifest", str(manifest),
+        "--export-plan", str(plan_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "plan 'core_failure'" in out
+    assert "failed cores: [4]" in out
+    assert "makespan x" in out and "re-executed" in out
+    assert manifest.exists()
+
+    import json
+
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.from_json(plan_path.read_text())
+    assert len(plan) == 1
+    document = json.loads(manifest.read_text())
+    assert document["summary"]["units"] == 1
+
+    # Re-running against the exported plan file resolves from the cache.
+    capsys.readouterr()
+    argv = [
+        "faults", "histogram", "--plan", str(plan_path),
+        "--scale", "0.05", "--seed", "9", "--num-workers", "16",
+        "--cache-dir", str(cache_dir),
+    ]
+    assert main(argv) == 0
+    assert "makespan x" in capsys.readouterr().out
+
+
+def test_faults_rejects_empty_plan(tmp_path, capsys):
+    plan_path = tmp_path / "empty.json"
+    plan_path.write_text('{"events":[],"name":"empty"}')
+    result = main([
+        "faults", "histogram", "--plan", str(plan_path),
+        "--scale", "0.05", "--seed", "9", "--num-workers", "16",
+    ])
+    assert result == 2
+    assert "empty" in capsys.readouterr().err

@@ -91,6 +91,64 @@ def test_capped_policy_conserves_tasks(case):
 
 
 @settings(max_examples=60, deadline=None)
+@given(workload(), st.data())
+def test_requeue_conserves_tasks(case, data):
+    """Fault re-execution: popping a task and requeueing it (as a core
+    failure kills the execution) still drains every task exactly once --
+    the re-execution charges its own pop, so executed counts exceed the
+    task count by exactly the number of requeues."""
+    num_workers, homes = case
+    queues = TaskQueueSet(num_workers, DefaultStealingPolicy())
+    tasks = make_tasks(homes)
+    queues.load(tasks)
+
+    requeues = 0
+    seen = []
+    while queues.remaining > 0:
+        worker = data.draw(
+            st.integers(0, num_workers - 1), label="scheduling worker"
+        )
+        task = queues.next_task(worker)
+        if task is None:
+            continue
+        # Bound the kills so the drain always terminates within the
+        # entropy hypothesis provides.
+        kill = requeues < len(tasks) and data.draw(
+            st.booleans(), label="kill this execution"
+        )
+        if kill:
+            victim = data.draw(
+                st.integers(0, num_workers - 1), label="requeue victim"
+            )
+            queues.requeue(victim, task)
+            requeues += 1
+            # The requeued task goes to the head of the victim's queue.
+            assert queues.queue_length(victim) >= 1
+        else:
+            seen.append(task.task_id)
+
+    assert sorted(seen) == sorted(task.task_id for task in tasks)
+    assert executed_total(queues) == len(tasks) + requeues
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_requeue_preserves_head_position(case):
+    """A requeued task is the very next own-queue pop for that worker."""
+    num_workers, homes = case
+    if not homes:
+        return
+    queues = TaskQueueSet(num_workers, DefaultStealingPolicy())
+    tasks = make_tasks(homes)
+    queues.load(tasks)
+    home = tasks[0].home_worker
+    first = queues.next_task(home)
+    assert first is not None
+    queues.requeue(home, first)
+    assert queues.next_task(home) is first
+
+
+@settings(max_examples=60, deadline=None)
 @given(workload())
 def test_force_drain_conserves_tasks(case):
     """Force-draining straight after load attributes everything to the

@@ -83,3 +83,67 @@ class TestEnergyProperties:
         single = model.record_transfer(a, b, bits)
         double = model.record_transfer(a, b, 2 * bits)
         assert double == pytest.approx(2 * single, rel=1e-9)
+
+
+#: A small batch of flows: (src, dst, rate) triples.
+flow_batches = st.lists(
+    st.tuples(nodes, nodes, st.floats(0, 1e9)), min_size=0, max_size=12
+)
+
+
+class TestFlowRegistrationProperties:
+    @given(flow_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_resource_loads_never_negative(self, flows):
+        model = fresh_model()
+        for src, dst, rate in flows:
+            model.add_flow(src, dst, rate)
+        assert (model.load.link_load >= 0).all()
+        assert (model.load.channel_load >= 0).all()
+
+    @given(flow_batches, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar_registration(self, flows, bulk):
+        """``add_flows`` (sparse mat-vec) and a loop of ``add_flow``
+        calls must produce identical link and channel loads."""
+        scalar = fresh_model()
+        for src, dst, rate in flows:
+            scalar.add_flow(src, dst, rate, bulk=bulk)
+        batch = fresh_model()
+        batch.add_flows(
+            [f[0] for f in flows],
+            [f[1] for f in flows],
+            [f[2] for f in flows],
+            bulk=bulk,
+        )
+        np.testing.assert_allclose(
+            batch.load.link_load, scalar.load.link_load, rtol=1e-9, atol=1e-3
+        )
+        np.testing.assert_allclose(
+            batch.load.channel_load, scalar.load.channel_load,
+            rtol=1e-9, atol=1e-3,
+        )
+
+    @given(nodes, nodes, st.floats(1e6, 1e10))
+    @settings(max_examples=30, deadline=None)
+    def test_latency_monotone_in_offered_load(self, a, b, rate):
+        """Adding one more flow never makes any pair faster."""
+        if a == b:
+            return
+        model = fresh_model()
+        probes = [(0, 63), (17, 42), (b, a)]
+        before = [model.latency(x, y, 544) for x, y in probes]
+        model.add_flow(a, b, rate)
+        after = [model.latency(x, y, 544) for x, y in probes]
+        for earlier, later in zip(before, after):
+            assert later >= earlier - 1e-15
+
+    @given(flow_batches)
+    @settings(max_examples=20, deadline=None)
+    def test_reset_restores_unloaded_latency(self, flows):
+        model = fresh_model()
+        baseline = model.latency(0, 63, 544)
+        for src, dst, rate in flows:
+            model.add_flow(src, dst, rate)
+        model.reset_flows()
+        assert model.latency(0, 63, 544) == pytest.approx(baseline, rel=1e-12)

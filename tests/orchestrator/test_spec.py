@@ -47,7 +47,7 @@ class TestCanonicalization:
         assert "app" not in kwargs
         assert set(kwargs) == {
             "app_name", "scale", "seed", "num_workers",
-            "winoc_methodology", "include_vfi1",
+            "winoc_methodology", "include_vfi1", "fault_plan",
         }
 
     def test_label_mentions_identity(self):

@@ -95,9 +95,9 @@ class TestInstrumentation:
     def test_wireless_telemetry_only_on_winoc(self, traced_runs):
         (tracer, study), _ = traced_runs
         winoc = study.result(VFI2_WINOC).platform_name
-        sample_pids = {sample.pid for sample in tracer.samples}
-        assert sample_pids == {winoc}
-        assert all("occupancy" in s.name for s in tracer.samples)
+        occupancy = [s for s in tracer.samples if "occupancy" in s.name]
+        assert occupancy
+        assert {sample.pid for sample in occupancy} == {winoc}
         assert f"noc.token_wait_s/{winoc}" in tracer.histograms
         assert not any(
             name.startswith("noc.token_wait_s/") and winoc not in name
