@@ -1,0 +1,79 @@
+"""Large-die smoke: the paper pipeline beyond the 64-core die.
+
+Two end-to-end checks back the parametric-geometry refactor:
+
+* a 256-core (16x16, four 8x8 islands) wireless VFI study runs the
+  complete pipeline -- app execution, NVFI characterization, VFI design
+  flow, all four platform configurations including the WiNoC -- and
+  produces physically sensible results;
+* a 128-core (16x8) study resolves through the experiment orchestrator
+  with a persistent cache: the cold run computes, the warm run must be
+  a pure cache hit, and the manifests record both.
+
+Both use a reduced dataset scale so the smoke stays minutes-scale; the
+committed ``results/large_die_smoke.json`` records the headline
+normalized metrics per die size.
+"""
+
+import json
+
+from conftest import write_result
+
+from repro.core.experiment import (
+    NVFI_MESH,
+    VFI1_MESH,
+    VFI2_MESH,
+    VFI2_WINOC,
+    run_app_study,
+)
+from repro.orchestrator import StudySpec, run_campaign
+
+APP = "histogram"
+SCALE = 0.05
+SEED = 9
+RESULT_NAME = "large_die_smoke.json"
+
+ALL_CONFIGS = (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC)
+
+
+def test_256_core_winoc_end_to_end(results_dir):
+    study = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=256, use_cache=False,
+    )
+    assert sorted(study.results) == sorted(ALL_CONFIGS)
+    for config in ALL_CONFIGS:
+        result = study.result(config)
+        assert result.total_time_s > 0
+        assert result.total_energy_j > 0
+    # The overlay must actually carry traffic on a 16x16 die.
+    assert study.result(VFI2_WINOC).network.wireless_fraction > 0
+    write_result(results_dir, RESULT_NAME, json.dumps({
+        "app": APP, "scale": SCALE, "seed": SEED, "num_workers": 256,
+        "normalized_time": {
+            config: study.normalized_time(config) for config in ALL_CONFIGS
+        },
+        "normalized_edp": {
+            config: study.normalized_edp(config) for config in ALL_CONFIGS
+        },
+        "winoc_wireless_fraction": (
+            study.result(VFI2_WINOC).network.wireless_fraction
+        ),
+    }, indent=2))
+
+
+def test_128_core_study_through_orchestrator(tmp_path):
+    spec = StudySpec(app=APP, scale=SCALE, seed=SEED, num_workers=128)
+    cache_dir = tmp_path / "cache"
+
+    cold = run_campaign([spec], jobs=1, cache=str(cache_dir))
+    cold.raise_failures()
+    assert cold.manifest.num_computed == 1
+    study = cold.study(spec)
+    assert sorted(study.results) == sorted(ALL_CONFIGS)
+
+    warm = run_campaign([spec], jobs=1, cache=str(cache_dir))
+    warm.raise_failures()
+    assert warm.manifest.num_cached == 1
+    assert warm.study(spec).result(VFI2_WINOC).total_time_s == (
+        study.result(VFI2_WINOC).total_time_s
+    )

@@ -1,0 +1,67 @@
+"""Memory guard: blocked dense tables on the 256-core die.
+
+The all-pairs static layers (dense latency tables, pairwise energy,
+flow-usage matrices, memory-system expectations) are the simulator's
+peak-RSS driver at large core counts.  ``NocParams.dense_block_nodes``
+switches them to blocked float32 builds; this benchmark measures the
+additional allocation peak (tracemalloc) of constructing every static
+table -- network plus :class:`repro.sim.memory.MemorySystem`, which
+triggers the dense latency/bulk tables, both pairwise-energy tables,
+both flow-usage matrices, the miss-usage table and the latency refresh
+-- on a 256-core die, blocked against unblocked.
+
+Acceptance: the blocked peak must sit at least ``MIN_RATIO`` (4x) below
+the unblocked float64 peak.  The committed
+``results/memory_blocked_dense.json`` records both sides.
+"""
+
+import json
+import tracemalloc
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.core.geometry import DieGeometry
+from repro.core.platforms import LARGE_DIE_BLOCK_NODES, build_nvfi_mesh
+from repro.noc.network import NocParams
+from repro.sim.memory import MemorySystem
+
+NUM_CORES = 256
+MIN_RATIO = 4.0
+RESULT_NAME = "memory_blocked_dense.json"
+
+
+def _static_table_peak(block_nodes) -> float:
+    """Peak additional bytes while building every static table."""
+    platform = build_nvfi_mesh(DieGeometry.for_cores(NUM_CORES))
+    params = (
+        NocParams() if block_nodes is None
+        else replace(NocParams(), dense_block_nodes=block_nodes)
+    )
+    object.__setattr__(platform, "noc_params", params)
+    platform.network = platform.build_network()
+    tracemalloc.start()
+    try:
+        MemorySystem(platform, locality=0.6)
+        return float(tracemalloc.get_traced_memory()[1])
+    finally:
+        tracemalloc.stop()
+
+
+def test_blocked_dense_memory_footprint(results_dir):
+    blocked = _static_table_peak(LARGE_DIE_BLOCK_NODES)
+    unblocked = _static_table_peak(None)
+    ratio = unblocked / blocked
+    write_result(results_dir, RESULT_NAME, json.dumps({
+        "num_cores": NUM_CORES,
+        "block_nodes": LARGE_DIE_BLOCK_NODES,
+        "blocked_peak_mb": blocked / 1e6,
+        "unblocked_peak_mb": unblocked / 1e6,
+        "ratio": ratio,
+        "min_ratio": MIN_RATIO,
+    }, indent=2))
+    assert ratio >= MIN_RATIO, (
+        f"blocked static tables peak at {blocked / 1e6:.1f} MB, only "
+        f"{ratio:.2f}x below the unblocked {unblocked / 1e6:.1f} MB "
+        f"(need >= {MIN_RATIO}x)"
+    )

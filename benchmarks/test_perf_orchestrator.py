@@ -1,0 +1,139 @@
+"""Performance guard: orchestrator fan-out of a small campaign.
+
+Times :func:`repro.orchestrator.run_campaign` resolving a two-unit
+sweep across two worker processes -- spec canonicalization, process
+spawn, study serialization and result collection included -- in a fresh
+interpreter, next to the same fixed calibration workload the simulator
+guard uses.  Comparing the **ratio** of campaign time to calibration
+time against the committed baseline makes the guard portable across
+runner speeds.
+
+The committed ``results/perf_orchestrator.json`` carries:
+
+* ``baseline`` -- the ratio this guard defends (refreshed only
+  deliberately, by deleting the file and re-running);
+* ``latest`` -- the most recent measurement (updated every run).
+
+The guard fails when the measured ratio regresses more than
+``BUDGET`` (35%) beyond the baseline ratio.  The budget is wider than
+the simulator guard's: process spawn and IPC add scheduler noise that
+single-process timing does not see.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from conftest import write_result
+
+#: Allowed relative regression of the campaign/calibration ratio.
+BUDGET = 0.35
+
+RESULT_NAME = "perf_orchestrator.json"
+
+_CHILD = textwrap.dedent(
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    def calibration():
+        start = time.perf_counter()
+        total = 0
+        for i in range(400_000):
+            total += i * i
+        a = np.arange(262_144, dtype=float).reshape(512, 512)
+        for _ in range(12):
+            a = a @ np.eye(512) * 0.5 + 1.0
+        return time.perf_counter() - start
+
+    from repro.orchestrator import StudySpec, run_campaign
+
+    def specs_for(round_index):
+        # Fresh seeds every round: the in-process study memo is
+        # inherited by forked pool workers, so reusing seeds would
+        # reduce the measurement to bare process-spawn time.
+        return [
+            StudySpec(
+                app="histogram", scale=0.05,
+                seed=100 + 2 * round_index + offset, num_workers=16,
+            )
+            for offset in (0, 1)
+        ]
+
+    def campaign_once(round_index):
+        start = time.perf_counter()
+        result = run_campaign(specs_for(round_index), jobs=2, cache=None)
+        result.raise_failures()
+        return time.perf_counter() - start
+
+    campaign_once(99)  # warm imports and numpy dispatch in the parent
+    calibration()
+    print(json.dumps({
+        "campaign_s": min(campaign_once(i) for i in range(3)),
+        "calibration_s": min(calibration() for _ in range(5)),
+    }))
+    """
+)
+
+
+def _time_child() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def test_orchestrator_performance(results_dir):
+    committed = pathlib.Path(results_dir) / RESULT_NAME
+    previous = json.loads(committed.read_text()) if committed.exists() else {}
+    baseline = previous.get("baseline")
+
+    campaign_s = calibration_s = None
+    ratio = float("inf")
+    for _ in range(3):  # repeat until the floors stabilize
+        sample = _time_child()
+        campaign_s = (
+            sample["campaign_s"] if campaign_s is None
+            else min(campaign_s, sample["campaign_s"])
+        )
+        calibration_s = (
+            sample["calibration_s"] if calibration_s is None
+            else min(calibration_s, sample["calibration_s"])
+        )
+        ratio = campaign_s / calibration_s
+        if baseline and ratio <= baseline["ratio"] * (1.0 + BUDGET):
+            break
+
+    if baseline is None:
+        # First run on a fresh checkout: establish the baseline.
+        baseline = {
+            "campaign_s": campaign_s,
+            "calibration_s": calibration_s,
+            "ratio": ratio,
+        }
+
+    payload = {
+        "baseline": baseline,
+        "latest": {
+            "campaign_s": campaign_s,
+            "calibration_s": calibration_s,
+            "ratio": ratio,
+        },
+        "budget": BUDGET,
+    }
+    write_result(results_dir, RESULT_NAME, json.dumps(payload, indent=2))
+
+    assert ratio <= baseline["ratio"] * (1.0 + BUDGET), (
+        f"campaign/calibration ratio {ratio:.3f} regressed beyond "
+        f"baseline {baseline['ratio']:.3f} (+{BUDGET * 100:.0f}% budget); "
+        f"campaign {campaign_s:.3f}s, calibration {calibration_s:.3f}s"
+    )

@@ -27,7 +27,7 @@ from repro.core.platforms import (
     build_nvfi_mesh,
     build_vfi_mesh,
     build_vfi_winoc,
-    geometry_for,
+    die_for,
 )
 from repro.core.traffic import total_node_traffic
 from repro.faults import FaultPlan, ResiliencePolicy
@@ -131,7 +131,7 @@ def run_app_study(
         "study.app_run", cat="study", pid="pipeline", app=app_name, seed=seed,
     ):
         trace = app.run(num_workers=num_workers)
-    geometry = geometry_for(num_workers)
+    geometry = die_for(num_workers)
 
     # 1. NVFI-mesh characterization (always fault-free: it feeds the
     #    design flow).  With a fault plan, a second, degraded NVFI run is
@@ -150,6 +150,7 @@ def run_app_study(
         design = design_vfi(
             utilization=nvfi_result.utilization,
             traffic=traffic,
+            num_islands=geometry.num_islands,
             seed=spawn_seed(seed, app_name, "clustering"),
             structural_workers=structural_bottleneck_workers(trace),
         )
@@ -269,7 +270,7 @@ def select_winoc_methodology(
     )
     max_wireless_edp = base.result(VFI2_WINOC).network_edp
 
-    geometry = geometry_for(num_workers)
+    geometry = die_for(num_workers)
     rate = base.design.traffic * 8.0 / base.result(NVFI_MESH).total_time_s
     min_hop_platform = build_vfi_winoc(
         base.design,

@@ -1,0 +1,250 @@
+"""First-class die geometry: mesh shape plus VFI island tiling.
+
+The paper's platform is one point in this space -- an 8x8 die split into
+four 4x4 quadrant islands with a 3-channel/12-WI wireless overlay.  A
+:class:`DieGeometry` names the whole family: a ``rows x columns`` mesh
+tiled by ``island_rows x island_columns`` rectangular islands (``K =
+island_rows * island_columns``), from which every derived quantity --
+island membership, wireless-interface counts, token-ring sizes, channel
+assignment -- follows, instead of being hard-coded to 64/4/12.
+
+``DieGeometry.for_cores`` resolves a core count to a concrete die: the
+most square factorization of the count, tiled by the most square island
+blocks that divide it.  128 cores with 8 islands resolves to a 16x8 die
+of 4x4 islands; a 6-island split of the same die has no rectangular
+tiling and raises ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+
+from repro.noc.topology import GridGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.vfi.islands import VfiLayout
+
+
+@dataclass(frozen=True)
+class DieGeometry:
+    """A ``rows x columns`` mesh tiled by rectangular VFI islands.
+
+    ``island_columns x island_rows`` is the island grid (so the die holds
+    ``K = island_columns * island_rows`` islands), and each island is a
+    contiguous ``(columns / island_columns) x (rows / island_rows)``
+    block.  The paper's die is ``DieGeometry.paper()`` = 8x8 with a 2x2
+    island grid of 4x4 blocks.
+    """
+
+    columns: int
+    rows: int
+    island_columns: int = 2
+    island_rows: int = 2
+    pitch_mm: float = 2.5
+
+    def __post_init__(self) -> None:
+        for field_name in ("columns", "rows", "island_columns", "island_rows"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(
+                    f"DieGeometry.{field_name} must be a positive int, "
+                    f"got {value!r}"
+                )
+        if self.pitch_mm <= 0:
+            raise ValueError(
+                f"DieGeometry.pitch_mm must be > 0, got {self.pitch_mm!r}"
+            )
+        if self.columns % self.island_columns or self.rows % self.island_rows:
+            raise ValueError(
+                f"DieGeometry: a {self.columns}x{self.rows} die does not "
+                f"tile into {self.island_columns}x{self.island_rows} "
+                "rectangular islands; pick island_columns/island_rows that "
+                "divide the mesh, or resolve a core count with "
+                "DieGeometry.for_cores(num_cores, num_islands)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_cores(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def num_islands(self) -> int:
+        """K: the number of VFI islands on the die."""
+        return self.island_columns * self.island_rows
+
+    @property
+    def island_width(self) -> int:
+        """Columns per island block."""
+        return self.columns // self.island_columns
+
+    @property
+    def island_height(self) -> int:
+        """Rows per island block."""
+        return self.rows // self.island_rows
+
+    @property
+    def cores_per_island(self) -> int:
+        return self.island_width * self.island_height
+
+    def grid(self) -> GridGeometry:
+        """The plain mesh geometry (no island structure)."""
+        return GridGeometry(self.columns, self.rows, pitch_mm=self.pitch_mm)
+
+    def layout(self) -> "VfiLayout":
+        """Island membership per node (row-major island ids)."""
+        from repro.vfi.islands import rectangular_clusters
+
+        return rectangular_clusters(
+            self.grid(),
+            island_rows=self.island_rows,
+            island_columns=self.island_columns,
+        )
+
+    def island_of(self, node: int) -> int:
+        column, row = node % self.columns, node // self.columns
+        return (
+            (row // self.island_height) * self.island_columns
+            + column // self.island_width
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wireless overlay sizing (derived from K, not hard-coded 12/3x4)
+    # ------------------------------------------------------------------ #
+
+    def num_wireless_interfaces(self, num_channels: int = 3) -> int:
+        """Total WI count: one WI per (island, channel) pair."""
+        return self.num_islands * num_channels
+
+    def wis_per_channel(self) -> int:
+        """Token-ring size: every island holds one WI of each channel."""
+        return self.num_islands
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def paper(cls) -> "DieGeometry":
+        """The paper's 64-core die: 8x8 mesh, four 4x4 quadrant islands."""
+        return cls(8, 8, island_columns=2, island_rows=2)
+
+    @classmethod
+    def from_grid(
+        cls, grid: GridGeometry, num_islands: int = 4
+    ) -> "DieGeometry":
+        """Tile an existing mesh geometry with *num_islands* islands."""
+        island_columns, island_rows = _island_tiling(
+            grid.columns, grid.rows, num_islands
+        )
+        return cls(
+            grid.columns,
+            grid.rows,
+            island_columns=island_columns,
+            island_rows=island_rows,
+            pitch_mm=grid.pitch_mm,
+        )
+
+    @classmethod
+    def for_cores(
+        cls, num_cores: int, num_islands: int = 4
+    ) -> "DieGeometry":
+        """Resolve a core count to a concrete die.
+
+        The mesh is the most square ``columns x rows`` factorization of
+        *num_cores* (``columns >= rows``; a perfect square stays square,
+        128 becomes 16x8), and the island grid is the most square
+        rectangular tiling of that mesh into *num_islands* blocks.
+        Raises ``ValueError`` when no rectangular tiling exists (e.g. 6
+        islands on a 16x8 die).
+        """
+        if not isinstance(num_cores, int) or num_cores <= 0:
+            raise ValueError(
+                f"DieGeometry.for_cores: num_cores must be a positive int, "
+                f"got {num_cores!r}"
+            )
+        side = math.isqrt(num_cores)
+        columns = rows = side
+        if side * side != num_cores:
+            for candidate_rows in range(side, 0, -1):
+                if num_cores % candidate_rows == 0:
+                    rows = candidate_rows
+                    columns = num_cores // candidate_rows
+                    break
+        island_columns, island_rows = _island_tiling(
+            columns, rows, num_islands
+        )
+        return cls(
+            columns,
+            rows,
+            island_columns=island_columns,
+            island_rows=island_rows,
+        )
+
+
+GeometryLike = Union[DieGeometry, GridGeometry, None]
+
+
+def as_die(geometry: GeometryLike, num_islands: int = 4) -> DieGeometry:
+    """Normalize any accepted geometry argument to a :class:`DieGeometry`.
+
+    ``None`` means the paper die; a bare :class:`GridGeometry` (the
+    historical builder argument) is tiled with *num_islands* islands.
+    """
+    if geometry is None:
+        if num_islands == 4:
+            return DieGeometry.paper()
+        return DieGeometry.from_grid(GridGeometry(8, 8), num_islands)
+    if isinstance(geometry, DieGeometry):
+        return geometry
+    if isinstance(geometry, GridGeometry):
+        return DieGeometry.from_grid(geometry, num_islands)
+    raise TypeError(
+        f"geometry must be DieGeometry, GridGeometry or None, got {geometry!r}"
+    )
+
+
+def _island_tiling(
+    columns: int, rows: int, num_islands: int
+) -> Tuple[int, int]:
+    """Most square ``(island_columns, island_rows)`` tiling, or raise.
+
+    Preference order: squarest island blocks, then squarest island grid,
+    then more island columns -- all deterministic, and exactly ``(2, 2)``
+    for the paper's 8x8/4-island die (bit-for-bit with the historical
+    quadrant layout).
+    """
+    if not isinstance(num_islands, int) or num_islands <= 0:
+        raise ValueError(
+            f"DieGeometry: num_islands must be a positive int, "
+            f"got {num_islands!r}"
+        )
+    best: Tuple[Tuple[int, int, int], Tuple[int, int]] = None  # type: ignore
+    for island_columns in range(1, num_islands + 1):
+        if num_islands % island_columns:
+            continue
+        island_rows = num_islands // island_columns
+        if columns % island_columns or rows % island_rows:
+            continue
+        block_w = columns // island_columns
+        block_h = rows // island_rows
+        score = (
+            abs(block_w - block_h),
+            abs(island_columns - island_rows),
+            -island_columns,
+        )
+        if best is None or score < best[0]:
+            best = (score, (island_columns, island_rows))
+    if best is None:
+        raise ValueError(
+            f"DieGeometry: no rectangular {num_islands}-island tiling of a "
+            f"{columns}x{rows} die exists; pick a num_islands whose factor "
+            "pairs divide the mesh (see DieGeometry.for_cores / "
+            "DieGeometry.from_grid)"
+        )
+    return best[1]

@@ -1,4 +1,11 @@
-"""Builders for the paper's four evaluated system configurations."""
+"""Builders for the paper's four evaluated system configurations.
+
+Every builder accepts a :class:`repro.core.geometry.DieGeometry` (or a
+bare :class:`GridGeometry`, tiled with the default 2x2 island grid, or
+``None`` for the paper's 8x8/4-island die).  Island layout, wireless
+overlay sizing and memory-controller placement all derive from the die,
+so the same builders produce 64-, 128- and 256-core platforms.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.design_flow import VfiDesign
+from repro.core.geometry import DieGeometry, GeometryLike, as_die
 from repro.core.traffic import inter_cluster_traffic
 from repro.mapping.thread_mapping import (
     ThreadMapping,
@@ -15,6 +23,7 @@ from repro.mapping.thread_mapping import (
     wireless_centric_mapping,
 )
 from repro.noc.calibration import calibrate_wireless_routing
+from repro.noc.network import NocParams
 from repro.noc.placement import (
     center_wireless_placement,
     optimize_wireless_placement,
@@ -26,58 +35,110 @@ from repro.noc.wireless import WirelessSpec, assign_wireless_links
 from repro.sim.config import MemoryParams
 from repro.sim.platform import Platform
 from repro.utils.rng import SeedLike, derive_rng, spawn_seed
-from repro.vfi.islands import NOMINAL, VfiLayout, quadrant_clusters
+from repro.vfi.islands import NOMINAL, VfiLayout
 from repro.vfi.vf_assign import VfAssignment
+
+#: Dies larger than the paper's 64 cores default to blocked float32
+#: dense tables (this block size), keeping peak RSS bounded; the 64-core
+#: paper platform keeps the exact unblocked float64 path.
+LARGE_DIE_BLOCK_NODES = 64
 
 
 def default_geometry() -> GridGeometry:
-    """The paper's 8x8, 64-core die."""
+    """The paper's 8x8, 64-core die (mesh only; see :func:`default_die`)."""
     return GridGeometry(8, 8)
+
+
+def default_die() -> DieGeometry:
+    """The paper's 8x8 die with four 4x4 quadrant islands."""
+    return DieGeometry.paper()
 
 
 def geometry_for(num_cores: int) -> GridGeometry:
     """Square die for *num_cores* (must be a square of an even side, so
-    the four-quadrant island layout divides it)."""
+    the default 2x2 island grid divides it).
+
+    Non-square core counts resolve through
+    :meth:`repro.core.geometry.DieGeometry.for_cores` / :func:`die_for`
+    instead, which pick the most square rectangular mesh.
+    """
     side = int(round(num_cores**0.5))
     if side * side != num_cores:
-        raise ValueError(f"{num_cores} cores do not form a square grid")
+        raise ValueError(
+            f"{num_cores} cores do not form a square grid; use "
+            "DieGeometry.for_cores (repro.core.geometry) for rectangular "
+            "dies such as 128 = 16x8"
+        )
     if side % 2:
-        raise ValueError(f"side {side} must be even for quadrant islands")
+        raise ValueError(
+            f"side {side} must be even for the default 2x2 island grid; "
+            "use DieGeometry.for_cores / DieGeometry.from_grid to pick an "
+            "island tiling explicitly"
+        )
     return GridGeometry(side, side)
 
 
-def memory_params_for(geometry: GridGeometry) -> MemoryParams:
+def die_for(num_cores: int, num_islands: int = 4) -> DieGeometry:
+    """Concrete die for a core count (most square mesh + island tiling)."""
+    return DieGeometry.for_cores(num_cores, num_islands=num_islands)
+
+
+def memory_params_for(geometry: GeometryLike) -> MemoryParams:
     """Memory controllers at the die corners, whatever the die size."""
+    grid = as_die(geometry).grid()
     corners = (
-        geometry.node_at(0, 0),
-        geometry.node_at(geometry.columns - 1, 0),
-        geometry.node_at(0, geometry.rows - 1),
-        geometry.node_at(geometry.columns - 1, geometry.rows - 1),
+        grid.node_at(0, 0),
+        grid.node_at(grid.columns - 1, 0),
+        grid.node_at(0, grid.rows - 1),
+        grid.node_at(grid.columns - 1, grid.rows - 1),
     )
     return MemoryParams(controller_nodes=corners)
 
 
+def noc_params_for(die: DieGeometry) -> NocParams:
+    """Flow-model parameters sized for the die.
+
+    The paper's 64-core die keeps the exact legacy configuration
+    (unblocked float64 dense tables); larger dies switch the dense layer
+    to blocked float32 builds so 256-core platforms stay within a
+    bounded peak RSS.
+    """
+    if die.num_cores <= 64:
+        return NocParams()
+    return NocParams(dense_block_nodes=LARGE_DIE_BLOCK_NODES)
+
+
+def _check_design(design: VfiDesign, die: DieGeometry) -> None:
+    if design.num_islands != die.num_islands:
+        raise ValueError(
+            f"design has {design.num_islands} islands but the die tiles "
+            f"into {die.num_islands}; build the design with "
+            f"num_islands={die.num_islands} or pick a matching DieGeometry"
+        )
+
+
 def build_nvfi_mesh(
-    geometry: Optional[GridGeometry] = None,
+    geometry: GeometryLike = None,
     name: str = "nvfi-mesh",
 ) -> Platform:
     """Baseline: every island at nominal V/F, mesh NoC, identity mapping.
 
-    The quadrant layout is kept (it is physically there) but all four
-    islands run 1.0 V / 2.5 GHz, so the platform behaves as a single
+    The island layout is kept (it is physically there) but all islands
+    run 1.0 V / 2.5 GHz, so the platform behaves as a single
     clock/voltage domain.
     """
-    geometry = geometry or default_geometry()
-    layout = quadrant_clusters(geometry)
-    mesh = build_mesh(geometry)
+    die = as_die(geometry)
+    layout = die.layout()
+    mesh = build_mesh(die.grid())
     return Platform(
         name=name,
         layout=layout,
         vf_points=[NOMINAL] * layout.num_clusters,
         topology=mesh,
         routing=build_mesh_routing(mesh),
-        mapping=identity_mapping(geometry.num_nodes),
-        memory_params=memory_params_for(geometry),
+        mapping=identity_mapping(die.num_cores),
+        memory_params=memory_params_for(die),
+        noc_params=noc_params_for(die),
     )
 
 
@@ -100,20 +161,21 @@ def vfi_thread_mapping(
 def build_vfi_mesh(
     design: VfiDesign,
     system: str = "vfi2",
-    geometry: Optional[GridGeometry] = None,
+    geometry: GeometryLike = None,
     mapping: Optional[ThreadMapping] = None,
     seed: SeedLike = None,
     name: Optional[str] = None,
 ) -> Platform:
     """VFI 1 or VFI 2 system on the baseline mesh interconnect."""
-    geometry = geometry or default_geometry()
-    layout = quadrant_clusters(geometry)
+    die = as_die(geometry, num_islands=design.num_islands)
+    _check_design(design, die)
+    layout = die.layout()
     assignment = design.vfi1 if system == "vfi1" else design.vfi2
     if system not in ("vfi1", "vfi2"):
         raise ValueError(f"unknown system {system!r}")
     if mapping is None:
         mapping = vfi_thread_mapping(design, layout, seed=seed)
-    mesh = build_mesh(geometry)
+    mesh = build_mesh(die.grid())
     return Platform(
         name=name or f"{system}-mesh",
         layout=layout,
@@ -121,7 +183,8 @@ def build_vfi_mesh(
         topology=mesh,
         routing=build_mesh_routing(mesh),
         mapping=mapping,
-        memory_params=memory_params_for(geometry),
+        memory_params=memory_params_for(die),
+        noc_params=noc_params_for(die),
     )
 
 
@@ -129,7 +192,7 @@ def build_vfi_winoc(
     design: VfiDesign,
     system: str = "vfi2",
     methodology: str = "max_wireless",
-    geometry: Optional[GridGeometry] = None,
+    geometry: GeometryLike = None,
     smallworld_config: SmallWorldConfig = SmallWorldConfig(),
     wireless_spec: WirelessSpec = WirelessSpec(),
     sa_iterations: int = 300,
@@ -151,11 +214,22 @@ def build_vfi_winoc(
     estimate (bits/s); when given, the wireless routing weights are
     congestion-calibrated so no token channel is oversubscribed
     (:mod:`repro.noc.calibration`).
+
+    Overlay sizing derives from the die: every island holds one WI per
+    channel (``K * num_channels`` WIs total), each token ring spans ``K``
+    WIs, and the small-world inter-island link quota is checked against
+    the ``K``-island pair count (:meth:`SmallWorldConfig.sized_for`).
     """
     if methodology not in ("max_wireless", "min_hop"):
         raise ValueError(f"unknown methodology {methodology!r}")
-    geometry = geometry or default_geometry()
-    layout = quadrant_clusters(geometry)
+    die = as_die(geometry, num_islands=design.num_islands)
+    _check_design(design, die)
+    layout = die.layout()
+    grid = die.grid()
+    smallworld_config = smallworld_config.sized_for(
+        die.num_cores, die.num_islands
+    )
+    wireless_spec = wireless_spec.sized_for_islands(die.num_islands)
     assignment: VfAssignment = design.vfi1 if system == "vfi1" else design.vfi2
     base_seed = seed if isinstance(seed, int) else 11
 
@@ -167,7 +241,7 @@ def build_vfi_winoc(
     else:
         # WI anchors are known up front (island centers).
         anchor_placement = center_wireless_placement(
-            geometry, layout.node_cluster, wireless_spec.num_channels
+            grid, layout.node_cluster, wireless_spec.num_channels
         )
         wi_nodes = sorted(
             node for nodes in anchor_placement.values() for node in nodes
@@ -189,7 +263,7 @@ def build_vfi_winoc(
 
     # 3. Wireline small-world fabric.
     wireline = build_small_world(
-        geometry,
+        grid,
         list(layout.node_cluster),
         inter_cluster_traffic=cluster_traffic,
         config=smallworld_config,
@@ -200,7 +274,7 @@ def build_vfi_winoc(
     # 4. Wireless overlay per methodology.
     if methodology == "max_wireless":
         placement = center_wireless_placement(
-            geometry, layout.node_cluster, wireless_spec.num_channels
+            grid, layout.node_cluster, wireless_spec.num_channels
         )
     else:
         placement = optimize_wireless_placement(
@@ -233,5 +307,6 @@ def build_vfi_winoc(
         routing=routing,
         mapping=mapping,
         wireless_spec=wireless_spec,
-        memory_params=memory_params_for(geometry),
+        memory_params=memory_params_for(die),
+        noc_params=noc_params_for(die),
     )

@@ -72,12 +72,15 @@ def identity_mapping(num_workers: int) -> ThreadMapping:
 
 
 def _grid_distance_matrix(geometry: GridGeometry) -> np.ndarray:
-    n = geometry.num_nodes
-    distance = np.zeros((n, n))
-    for a in range(n):
-        for b in range(n):
-            distance[a, b] = geometry.manhattan_hops(a, b)
-    return distance
+    # All-pairs Manhattan distance in one broadcast: the O(n^2) Python
+    # loop dominated mapping setup on 128/256-core dies.
+    nodes = np.arange(geometry.num_nodes)
+    columns = nodes % geometry.columns
+    rows = nodes // geometry.columns
+    return (
+        np.abs(columns[:, None] - columns[None, :])
+        + np.abs(rows[:, None] - rows[None, :])
+    ).astype(float)
 
 
 def _initial_cluster_mapping(

@@ -227,6 +227,26 @@ class TaskQueueSet:
         self.steals += 1
         return task
 
+    def commit_own(self, worker: int, count: int) -> List[Task]:
+        """Bulk-pop *count* tasks from the head of *worker*'s own queue.
+
+        The epoch-batched map dispatch commits each worker's own-queue
+        prefix in one call instead of ping-ponging through
+        :meth:`next_task`.  Semantics match *count* consecutive
+        own-queue pops exactly: executed counts advance, stealing
+        counters and the policy are untouched (the Eq. 3 cap only gates
+        steals, never a worker's own queue).
+        """
+        own = self._queues[worker]
+        if count > len(own):
+            raise ValueError(
+                f"worker {worker} owns {len(own)} queued tasks, "
+                f"cannot commit {count}"
+            )
+        popped = [own.popleft() for _ in range(count)]
+        self._executed[worker] += count
+        return popped
+
     def requeue(self, worker: int, task: Task) -> None:
         """Put *task* back at the head of *worker*'s own queue.
 

@@ -63,6 +63,10 @@ class DenseLatencyModel:
         self._raw_bottleneck = static["raw_bottleneck"]
 
     def _build_static(self, model: FlowNetworkModel, bulk: bool) -> Dict:
+        if model.params.dense_block_nodes is not None:
+            return self._build_static_blocked(
+                model, bulk, model.params.dense_block_nodes
+            )
         n = self.num_nodes
         links = model.topology.links
         num_links = len(links)
@@ -167,6 +171,135 @@ class DenseLatencyModel:
             "raw_bottleneck": raw_bottleneck.reshape(n, n),
         }
 
+    def _build_static_blocked(
+        self, model: FlowNetworkModel, bulk: bool, block: int
+    ) -> Dict:
+        """Blocked float32 build of the static tables (large dies).
+
+        Identical semantics to :meth:`_build_static`, but per-pair paths
+        are never materialized: every source walks all destinations'
+        predecessor chains in lockstep over dense per-edge lookup tables,
+        head latencies accumulate in float64 and store as float32, and
+        usage entries are built as int arrays per source block.  Peak
+        transient memory is bounded by the block size instead of the
+        O(n^2 * hops) Python lists of the exact builder.
+        """
+        from repro.noc.pathwalk import (
+            assemble_blocked_csr, edge_resource_tables, walk_steps,
+        )
+
+        n = self.num_nodes
+        links = model.topology.links
+        num_links = len(links)
+        num_channels = max(model.wireless.num_channels, 1)
+        num_resources = 2 * num_links + num_channels
+
+        # Per-resource service time, raw capacity and buffer bound
+        # (identical to the exact builder; small, kept float64).
+        service = np.zeros(num_resources)
+        capacity = np.zeros(num_resources)
+        buffer_flits = np.zeros(num_resources)
+        node_freq = model._node_freq
+        params = model.params
+        for index, link in enumerate(links):
+            if link.kind is LinkKind.WIRELESS:
+                continue
+            f_link = min(node_freq[link.a], node_freq[link.b])
+            cap = params.flit_bits * f_link / params.link_traversal_cycles
+            for direction in (0, 1):
+                resource = 2 * index + direction
+                service[resource] = params.link_traversal_cycles / f_link
+                capacity[resource] = cap
+                buffer_flits[resource] = params.wire_buffer_flits
+        for channel in range(num_channels):
+            resource = 2 * num_links + channel
+            service[resource] = params.flit_bits / model.wireless.bandwidth_bps
+            capacity[resource] = model.wireless.bandwidth_bps
+            buffer_flits[resource] = params.wi_buffer_flits
+
+        # Dense per-edge tables: head-latency contribution, billed
+        # resource column and raw capacity of each adjacent hop u -> v.
+        link_col, chan_col = edge_resource_tables(model)
+        billed_col = np.where(chan_col >= 0, chan_col, link_col)
+        pipeline_s = params.router_pipeline_cycles / node_freq
+        hop_head = np.zeros((n, n))
+        hop_cap = np.zeros((n, n))
+        clusters = np.asarray(model.clusters)
+        for link in links:
+            for u, v in ((link.a, link.b), (link.b, link.a)):
+                t = pipeline_s[u]
+                if link.kind is LinkKind.WIRELESS:
+                    t += (
+                        model.wireless.propagation_s
+                        + model.wireless.token_overhead_s
+                    )
+                    cap = model.wireless.bandwidth_bps
+                else:
+                    f_link = min(node_freq[u], node_freq[v])
+                    t += params.link_traversal_cycles / f_link
+                    cap = params.flit_bits * f_link / params.link_traversal_cycles
+                if clusters[u] != clusters[v]:
+                    t += params.domain_sync_cycles / min(
+                        node_freq[u], node_freq[v]
+                    )
+                hop_head[u, v] = t
+                hop_cap[u, v] = cap
+
+        routing = model.bulk_routing if bulk else model.routing
+        pred = routing.predecessor_matrix()
+        head = np.zeros((n, n), dtype=np.float32)
+        raw_bottleneck = np.full((n, n), np.inf, dtype=np.float32)
+
+        def block_entries(start, end):
+            rows_parts: List[np.ndarray] = []
+            cols_parts: List[np.ndarray] = []
+            for src in range(start, end):
+                acc_head = np.zeros(n)
+                acc_cap = np.full(n, np.inf)
+                for dst, prev, cur in walk_steps(pred[src], src, n):
+                    acc_head[dst] += hop_head[prev, cur]
+                    acc_cap[dst] = np.minimum(acc_cap[dst], hop_cap[prev, cur])
+                    rows_parts.append((src * n + dst).astype(np.int32))
+                    cols_parts.append(billed_col[prev, cur])
+                # Ejection pipeline at every destination; the diagonal
+                # (zero hops) collapses to the local-port traversal.
+                acc_head += pipeline_s
+                head[src] = acc_head
+                raw_bottleneck[src] = acc_cap
+            if not rows_parts:
+                empty = np.empty(0, dtype=np.int32)
+                return empty, empty
+            return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+        usage = assemble_blocked_csr(block_entries, n, block, num_resources)
+        # Deduplicated membership: the constructor already summed
+        # duplicate entries, so clamping the stored data to 1 is exactly
+        # the per-pair unique-resource matrix of the exact builder.  The
+        # index structure is identical, so share indices/indptr with
+        # ``usage`` instead of copying them.
+        binary_usage = csr_matrix(
+            (
+                np.ones_like(usage.data),
+                usage.indices,
+                usage.indptr,
+            ),
+            shape=usage.shape,
+        )
+        return {
+            "node_freq": node_freq.copy(),
+            "num_resources": num_resources,
+            "service": service,
+            "capacity": capacity,
+            "buffer_flits": buffer_flits,
+            "head": head,
+            "usage": usage,
+            "binary_usage": binary_usage,
+            # Not materialized in blocked mode (would cost O(n^2) small
+            # arrays); nothing outside the exact builder consumes it.
+            "resources_per_pair": None,
+            "raw_bottleneck": raw_bottleneck,
+        }
+
     # ------------------------------------------------------------------ #
 
     def _resource_load(self) -> np.ndarray:
@@ -237,9 +370,20 @@ class DenseLatencyModel:
         inverse = np.zeros(self.num_resources)
         used = effective > 0
         inverse[used] = 1.0 / effective[used]
-        worst = np.asarray(
-            self._binary_usage.multiply(inverse).tocsr().max(axis=1).todense()
-        ).ravel()
+        # Per-pair max of inverse capacities over the pair's resources,
+        # straight off the csr structure: gather by column index, then a
+        # segmented max per row.  Equivalent to
+        # ``binary_usage.multiply(inverse).max(axis=1)`` (inverse >= 0,
+        # so implicit zeros never win) without materializing the scaled
+        # sparse intermediate on every load refresh.
+        usage = self._binary_usage
+        worst = np.zeros(usage.shape[0])
+        if len(usage.indices):
+            data = inverse[usage.indices]
+            indptr = usage.indptr
+            starts = np.minimum(indptr[:-1], len(data) - 1)
+            worst = np.maximum.reduceat(data, starts)
+            worst[indptr[:-1] == indptr[1:]] = 0.0
         n = self.num_nodes
         bottleneck = np.full(n * n, np.inf)
         nonzero = worst > 0
@@ -275,6 +419,8 @@ class PairwiseEnergy:
 
     @staticmethod
     def _build_static(model: FlowNetworkModel, bulk: bool):
+        if model.params.dense_block_nodes is not None:
+            return PairwiseEnergy._build_static_blocked(model, bulk)
         n = model.topology.num_nodes
         params = model.energy.params
         energy_per_bit = np.zeros((n, n))  # joules per bit
@@ -299,6 +445,49 @@ class PairwiseEnergy:
                 energy_per_bit[src, dst] = pj_per_bit * 1e-12
                 hops[src, dst] = len(links)
                 wireless_links[src, dst] = wireless
+        return energy_per_bit, hops, wireless_links
+
+    @staticmethod
+    def _build_static_blocked(model: FlowNetworkModel, bulk: bool):
+        """Blocked float32 build: per-edge energy tables + lockstep walks
+        (same quantities as the exact builder, no per-pair path lists)."""
+        from repro.noc.pathwalk import walk_steps
+
+        n = model.topology.num_nodes
+        params = model.energy.params
+        hop_pj = np.zeros((n, n))
+        hop_wireless = np.zeros((n, n))
+        for link in model.topology.links:
+            if link.kind is LinkKind.WIRELESS:
+                pj = params.router_pj_per_bit + params.wireless_pj_per_bit
+                wireless = 1.0
+            else:
+                pj = (
+                    params.router_pj_per_bit
+                    + params.wire_pj_per_bit_per_mm * link.length_mm
+                )
+                wireless = 0.0
+            for u, v in ((link.a, link.b), (link.b, link.a)):
+                hop_pj[u, v] = pj
+                hop_wireless[u, v] = wireless
+        routing = model.bulk_routing if bulk else model.routing
+        pred = routing.predecessor_matrix()
+        energy_per_bit = np.zeros((n, n), dtype=np.float32)
+        hops = np.zeros((n, n), dtype=np.float32)
+        wireless_links = np.zeros((n, n), dtype=np.float32)
+        for src in range(n):
+            acc_pj = np.zeros(n)
+            acc_hops = np.zeros(n)
+            acc_wireless = np.zeros(n)
+            for dst, prev, cur in walk_steps(pred[src], src, n):
+                acc_pj[dst] += hop_pj[prev, cur]
+                acc_hops[dst] += 1.0
+                acc_wireless[dst] += hop_wireless[prev, cur]
+            # Ejection router on every non-trivial path (diagonal stays 0).
+            acc_pj[acc_hops > 0] += params.router_pj_per_bit
+            energy_per_bit[src] = acc_pj * 1e-12
+            hops[src] = acc_hops
+            wireless_links[src] = acc_wireless
         return energy_per_bit, hops, wireless_links
 
     def record(self, src: int, dst: int, bits: float) -> float:

@@ -61,6 +61,14 @@ class NocParams:
     #: front of it before backpressure stalls the upstream router instead.
     wire_buffer_flits: int = 2
     wi_buffer_flits: int = 8
+    #: Opt-in blocked float32 construction of the dense all-pairs tables
+    #: (:mod:`repro.noc.dense`, :mod:`repro.sim.memory`): sources are
+    #: processed in blocks of this many nodes through vectorized
+    #: predecessor-chain walks, with float32 storage, so 128/256-core
+    #: dies stay within a bounded peak RSS.  ``None`` (the default)
+    #: keeps the exact legacy float64 path -- the 64-core paper platform
+    #: is bit-for-bit unchanged.
+    dense_block_nodes: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive("flit_bits", self.flit_bits)
@@ -69,6 +77,8 @@ class NocParams:
         check_positive("domain_sync_cycles", self.domain_sync_cycles, allow_zero=True)
         check_positive("wire_buffer_flits", self.wire_buffer_flits)
         check_positive("wi_buffer_flits", self.wi_buffer_flits)
+        if self.dense_block_nodes is not None:
+            check_positive("dense_block_nodes", self.dense_block_nodes)
         if not 0.0 < self.max_utilization < 1.0:
             raise ValueError(
                 f"max_utilization must be in (0,1), got {self.max_utilization}"
@@ -286,6 +296,17 @@ class FlowNetworkModel:
         n = self.topology.num_nodes
         num_links = len(self.topology.links)
         num_channels = self.load.channel_load.shape[0]
+        block = self.params.dense_block_nodes
+        if block is not None:
+            # Blocked build: vectorized predecessor-chain walks with
+            # float32 data, no per-pair Python path materialization.
+            from repro.noc.pathwalk import flow_usage_blocked
+
+            usage = flow_usage_blocked(
+                self, bulk, block, 2 * num_links + num_channels
+            )
+            self.static_cache[key] = usage
+            return usage
         rows: List[int] = []
         cols: List[int] = []
         for src in range(n):

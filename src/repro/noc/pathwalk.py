@@ -1,0 +1,144 @@
+"""Vectorized predecessor-chain walks for blocked dense-table builds.
+
+The legacy dense builders walk one Python path per (src, dst) pair and
+accumulate resource ids into Python lists -- at 256 cores that is ~65k
+path walks and hundreds of MB of transient ``int`` objects.  The blocked
+builders (:class:`repro.noc.dense.DenseLatencyModel` and
+:meth:`repro.noc.network.FlowNetworkModel._flow_usage` with
+``NocParams.dense_block_nodes`` set) instead walk every destination's
+predecessor chain in lockstep per source, reading dense per-edge lookup
+tables, so the transient state is a handful of length-``n`` arrays per
+source block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.noc.topology import LinkKind
+
+
+def edge_resource_tables(model) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense per-edge resource-column lookups for *model*'s topology.
+
+    Returns ``(link_col, chan_col)``, both ``(n, n)`` int32:
+    ``link_col[u, v]`` is the directed-link resource column for the hop
+    ``u -> v`` (``2 * index + direction``, the layout of
+    :meth:`FlowNetworkModel.apply_resource_load`), ``chan_col[u, v]`` the
+    shared wireless-channel column for wireless hops; ``-1`` where the
+    nodes are not adjacent (or the hop is wired, for ``chan_col``).
+    """
+    topology = model.topology
+    n = topology.num_nodes
+    num_links = len(topology.links)
+    link_col = np.full((n, n), -1, dtype=np.int32)
+    chan_col = np.full((n, n), -1, dtype=np.int32)
+    for index, link in enumerate(topology.links):
+        link_col[link.a, link.b] = 2 * index
+        link_col[link.b, link.a] = 2 * index + 1
+        if link.kind is LinkKind.WIRELESS:
+            column = 2 * num_links + link.channel
+            chan_col[link.a, link.b] = column
+            chan_col[link.b, link.a] = column
+    return link_col, chan_col
+
+
+def walk_steps(
+    pred_row: np.ndarray, src: int, n: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Walk all destinations' routes back toward *src* in lockstep.
+
+    Yields ``(dst, prev, cur)`` index arrays per step: for every
+    still-walking destination ``dst``, the route's hop ``prev -> cur``
+    (in forward, src-to-dst direction).  Iterating to exhaustion visits
+    every hop of every route exactly once.
+    """
+    destinations = np.arange(n)
+    current = destinations.copy()
+    alive = current != src
+    steps = 0
+    while alive.any():
+        steps += 1
+        if steps > 2 * n:
+            broken = destinations[alive]
+            raise RuntimeError(
+                f"predecessor chains from {src} do not terminate for "
+                f"destinations {broken[:8].tolist()}..."
+            )
+        dst = destinations[alive]
+        cur = current[alive]
+        prev = pred_row[cur]
+        if (prev < 0).any():
+            raise RuntimeError(
+                f"no route from {src} to {dst[prev < 0][:8].tolist()}"
+            )
+        yield dst, prev, cur
+        current[alive] = prev
+        alive = current != src
+
+
+def assemble_blocked_csr(block_entries, n: int, block: int, num_resources: int):
+    """Assemble the (n*n, num_resources) usage csr from per-block entries.
+
+    *block_entries(start, end)* yields ``(rows, cols)`` int32 entry
+    arrays for sources ``start <= src < end`` (rows are global pair
+    indices ``src * n + dst``; duplicates sum, encoding multiplicity).
+    Each block becomes its own csr and the result is a ``vstack``: no
+    full-size coo intermediate (whose sort/dedup copies dominated peak
+    memory) ever exists, so transient storage is bounded per block.
+    Entries are int32 -- a pair index fits for any die below ~46k nodes.
+    """
+    from scipy.sparse import csr_matrix, vstack
+
+    parts = []
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        rows, cols = block_entries(start, end)
+        parts.append(
+            csr_matrix(
+                (
+                    np.ones(len(rows), dtype=np.float32),
+                    (rows - np.int32(start * n), cols),
+                ),
+                shape=((end - start) * n, num_resources),
+            )
+        )
+    if not parts:
+        return csr_matrix((n * n, num_resources), dtype=np.float32)
+    return vstack(parts, format="csr")
+
+
+def flow_usage_blocked(model, bulk: bool, block: int, num_resources: int):
+    """Blocked build of :meth:`FlowNetworkModel._flow_usage`'s csr.
+
+    Mirrors the legacy per-pair loop: one entry per directed-link hop
+    (wire *and* wireless) plus one per wireless-channel crossing, with
+    duplicates summed into multiplicities.
+    """
+    n = model.topology.num_nodes
+    routing = model.bulk_routing if bulk else model.routing
+    pred = routing.predecessor_matrix()
+    link_col, chan_col = edge_resource_tables(model)
+
+    def block_entries(start, end):
+        rows_parts = []
+        cols_parts = []
+        for src in range(start, end):
+            base = src * n
+            for dst, prev, cur in walk_steps(pred[src], src, n):
+                pair = (base + dst).astype(np.int32)
+                rows_parts.append(pair)
+                cols_parts.append(link_col[prev, cur])
+                wireless = chan_col[prev, cur]
+                on_channel = wireless >= 0
+                if on_channel.any():
+                    rows_parts.append(pair[on_channel])
+                    cols_parts.append(wireless[on_channel])
+        if not rows_parts:
+            empty = np.empty(0, dtype=np.int32)
+            return empty, empty
+        return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+    return assemble_blocked_csr(block_entries, n, block, num_resources)

@@ -77,6 +77,18 @@ class RoutingTable:
     def hop_count(self, src: int, dst: int) -> int:
         return len(self.path(src, dst)) - 1
 
+    def predecessor_matrix(self) -> np.ndarray:
+        """All-pairs predecessor table: ``pred[src, dst]`` is the node
+        before *dst* on the deterministic route from *src* (negative on
+        the diagonal).  This is what the blocked dense-table builders walk
+        in vectorized lockstep instead of materializing per-pair paths.
+        """
+        if self._predecessors.size == 0:
+            raise NotImplementedError(
+                "this routing table does not expose a predecessor matrix"
+            )
+        return self._predecessors
+
     def hop_matrix(self) -> np.ndarray:
         """All-pairs hop counts along the table's deterministic routes.
 
@@ -181,8 +193,10 @@ class MeshRoutingTable(RoutingTable):
     router), exposed through the same interface as :class:`RoutingTable`."""
 
     def __init__(self, topology: Topology):
-        # No predecessor matrix needed; paths come from XY geometry.
+        # No Dijkstra predecessor matrix needed; paths come from XY
+        # geometry (a predecessor view is synthesized on demand).
         super().__init__(topology, predecessors=np.empty((0, 0)))
+        self._xy_predecessors: Optional[np.ndarray] = None
 
     def path(self, src: int, dst: int) -> Tuple[int, ...]:
         if src == dst:
@@ -193,6 +207,26 @@ class MeshRoutingTable(RoutingTable):
             cached = tuple(xy_route(self.topology.geometry, src, dst))
             self._cache[key] = cached
         return cached
+
+    def predecessor_matrix(self) -> np.ndarray:
+        """Synthesized XY predecessors: walking back from *dst*, the Y leg
+        unwinds first (XY routes move X then Y), then the X leg."""
+        if self._xy_predecessors is None:
+            geometry = self.topology.geometry
+            n = geometry.num_nodes
+            nodes = np.arange(n)
+            columns = nodes % geometry.columns
+            rows = nodes // geometry.columns
+            drow = rows[None, :] - rows[:, None]  # dst_row - src_row
+            dcol = columns[None, :] - columns[:, None]
+            pred = np.where(
+                drow != 0,
+                nodes[None, :] - np.sign(drow) * geometry.columns,
+                nodes[None, :] - np.sign(dcol),
+            ).astype(np.int32)
+            np.fill_diagonal(pred, -9999)
+            self._xy_predecessors = pred
+        return self._xy_predecessors
 
     def _build_hop_matrix(self) -> np.ndarray:
         # An XY route is exactly the Manhattan walk between the endpoints.

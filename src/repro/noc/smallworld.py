@@ -66,6 +66,22 @@ class SmallWorldConfig:
     def k_total(self) -> float:
         return self.k_intra + self.k_inter
 
+    def sized_for(self, num_nodes: int, num_islands: int) -> "SmallWorldConfig":
+        """Config sized for a die: the inter-island link budget
+        (``num_nodes * k_inter / 2``) must cover every island pair, so a
+        many-island die on a small mesh raises ``k_inter`` just enough to
+        allocate at least one link per pair.  The paper's 64-core,
+        4-island die (32 links for 6 pairs) returns ``self`` unchanged.
+        """
+        check_positive("num_nodes", num_nodes)
+        check_positive("num_islands", num_islands)
+        pairs = num_islands * (num_islands - 1) // 2
+        if round(num_nodes * self.k_inter / 2.0) >= pairs:
+            return self
+        from dataclasses import replace
+
+        return replace(self, k_inter=2.0 * pairs / num_nodes)
+
 
 def build_small_world(
     geometry: GridGeometry,

@@ -143,6 +143,22 @@ def simulate_token_channel(
     )
 
 
+def ring_size_for(geometry) -> int:
+    """Token-ring size implied by a die: one WI per island per channel.
+
+    Accepts a :class:`repro.core.geometry.DieGeometry` (or anything with
+    a ``num_islands`` attribute); the paper's 4-island die yields the
+    historical default of 4 WIs per ring.
+    """
+    num_islands = int(getattr(geometry, "num_islands", geometry))
+    if num_islands < 2:
+        raise ValueError(
+            f"a token ring needs >= 2 WIs (one per island), got "
+            f"{num_islands} islands"
+        )
+    return num_islands
+
+
 def measured_token_overhead(
     channel_utilization: float,
     packet_bits: float = 544.0,
@@ -157,7 +173,9 @@ def measured_token_overhead(
     ``channel_utilization`` of the channel bandwidth in aggregate and
     returns the mean wait (token acquisition + queueing) a packet sees --
     the quantity ``WirelessSpec.token_overhead_s`` plus the flow model's
-    queueing term approximate analytically.
+    queueing term approximate analytically.  ``num_wis`` is the ring
+    size; derive it from a die with :func:`ring_size_for` (``K`` rings
+    on a ``K``-island die) rather than assuming the paper's 4.
     """
     if not 0.0 < channel_utilization < 1.0:
         raise ValueError(

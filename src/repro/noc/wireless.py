@@ -42,12 +42,31 @@ class WirelessSpec:
     #: Buffer depth (flits) at WI ports; wired ports use 2 flits.
     wi_buffer_flits: int = 8
 
+    #: Ring size the :attr:`token_overhead_s` figure was measured for
+    #: (the paper's 4-island platform: one WI per island per channel).
+    BASELINE_RING_WIS = 4
+
     def __post_init__(self) -> None:
         check_positive("num_channels", self.num_channels)
         check_positive("bandwidth_bps", self.bandwidth_bps)
         check_positive("propagation_s", self.propagation_s, allow_zero=True)
         check_positive("token_overhead_s", self.token_overhead_s, allow_zero=True)
         check_positive("wi_buffer_flits", self.wi_buffer_flits)
+
+    def sized_for_islands(self, num_islands: int) -> "WirelessSpec":
+        """Spec with the token overhead scaled to a *num_islands*-WI ring.
+
+        Each channel's token circulates over one WI per island, so the
+        mean token-acquisition wait grows linearly with the ring length.
+        The paper's 4-island die returns ``self`` unchanged.
+        """
+        check_positive("num_islands", num_islands)
+        if num_islands == self.BASELINE_RING_WIS:
+            return self
+        from dataclasses import replace
+
+        scale = num_islands / self.BASELINE_RING_WIS
+        return replace(self, token_overhead_s=self.token_overhead_s * scale)
 
 
 @dataclass

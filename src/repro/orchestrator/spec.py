@@ -18,11 +18,11 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import math
 from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.apps.registry import canonical_app_name
+from repro.core.geometry import DieGeometry
 from repro.faults import FaultPlan
 
 #: Bump whenever the serialized study document or the pipeline semantics
@@ -84,11 +84,13 @@ class StudySpec:
         )
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale!r}")
-        root = math.isqrt(self.num_workers) if self.num_workers > 0 else 0
-        if self.num_workers <= 0 or root * root != self.num_workers:
+        try:
+            DieGeometry.for_cores(self.num_workers)
+        except ValueError as exc:
             raise ValueError(
-                f"num_workers must be a positive square, got {self.num_workers!r}"
-            )
+                f"num_workers {self.num_workers!r} does not resolve to a "
+                f"die geometry: {exc}"
+            ) from None
         if self.winoc_methodology not in WINOC_METHODOLOGIES:
             raise ValueError(
                 f"winoc_methodology must be one of {WINOC_METHODOLOGIES}, "

@@ -116,17 +116,33 @@ class MemorySystem:
         l_data = bulk[self._data_bits]
         self.bulk_base_latency_s = bulk[0.0]
         self.bulk_capacity_bps = self.dense_bulk.bottleneck_matrix()
-        # Expected L2 round trip per requesting node: request to bank,
-        # bank service, response back.
-        round_trip = l_ctrl + self._bank_service_s[None, :] + l_data.T
-        self._l2_round_trip = (self.bank_prob * round_trip).sum(axis=1)
-        # Expected extra time for an L2 miss: bank <-> controller + DRAM.
+        n = self.num_nodes
+        # Expected L2 round trip per requesting node (request to bank,
+        # bank service, response back) and expected extra L2-miss time
+        # (bank <-> controller + DRAM), both expectations over the
+        # home-bank distribution.  Requester rows are independent, so
+        # they evaluate in row blocks (NocParams.dense_block_nodes);
+        # the default single block is the exact legacy computation.
         mem = self.platform.memory_params
         mc = self.controller_of_bank
-        banks = np.arange(self.num_nodes)
+        banks = np.arange(n)
         bank_to_mc = l_ctrl[banks, mc] + l_data[mc, banks]
         extra_per_bank = bank_to_mc + mem.dram_latency_s
-        self._mem_extra = (self.bank_prob * extra_per_bank[None, :]).sum(axis=1)
+        block = self.platform.noc_params.dense_block_nodes or n
+        l2_round_trip = np.empty(n)
+        mem_extra = np.empty(n)
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            round_trip = (
+                l_ctrl[start:end]
+                + self._bank_service_s[None, :]
+                + l_data.T[start:end]
+            )
+            prob = self.bank_prob[start:end]
+            l2_round_trip[start:end] = (prob * round_trip).sum(axis=1)
+            mem_extra[start:end] = (prob * extra_per_bank[None, :]).sum(axis=1)
+        self._l2_round_trip = l2_round_trip
+        self._mem_extra = mem_extra
 
     def l2_round_trip_s(self, node: int) -> float:
         """Expected L1-miss service time for a core at *node*."""
@@ -174,25 +190,34 @@ class MemorySystem:
 
         network = self.platform.network
         n = self.num_nodes
-        nodes = np.repeat(np.arange(n), n)
-        banks = np.tile(np.arange(n), n)
-        prob = self.bank_prob.ravel()
-        # (node, node*n + bank) -> ctrl bits/s; (node, bank*n + node) ->
-        # data bits/s.  Pair columns follow the flow-usage convention.
-        ctrl_rates = csr_matrix(
-            (prob * self._ctrl_bits, (nodes, nodes * n + banks)),
-            shape=(n, n * n),
-        )
-        data_rates = csr_matrix(
-            (prob * self._data_bits, (nodes, banks * n + nodes)),
-            shape=(n, n * n),
-        )
-        self._miss_usage = np.asarray(
-            (
-                ctrl_rates @ network._flow_usage(bulk=False)
-                + data_rates @ network._flow_usage(bulk=True)
-            ).todense()
-        )
+        usage_ctrl = network._flow_usage(bulk=False)
+        usage_data = network._flow_usage(bulk=True)
+        num_resources = usage_ctrl.shape[1]
+        # Issuer rows are independent, so the rate-matrix products run in
+        # row blocks (NocParams.dense_block_nodes) to bound the sparse
+        # matmul workspace on large dies; the default single block is the
+        # legacy all-rows computation.
+        block = self.platform.noc_params.dense_block_nodes or n
+        self._miss_usage = np.empty((n, num_resources))
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            nodes = np.repeat(np.arange(start, end), n)
+            banks = np.tile(np.arange(n), end - start)
+            prob = self.bank_prob[start:end].ravel()
+            # (node, node*n + bank) -> ctrl bits/s; (node, bank*n + node)
+            # -> data bits/s.  Pair columns follow the flow-usage
+            # convention; rows are offset into the block.
+            ctrl_rates = csr_matrix(
+                (prob * self._ctrl_bits, (nodes - start, nodes * n + banks)),
+                shape=(end - start, n * n),
+            )
+            data_rates = csr_matrix(
+                (prob * self._data_bits, (nodes - start, banks * n + nodes)),
+                shape=(end - start, n * n),
+            )
+            self._miss_usage[start:end] = np.asarray(
+                (ctrl_rates @ usage_ctrl + data_rates @ usage_data).todense()
+            )
 
     def add_miss_flows(self, node: int, accesses_per_s: float) -> None:
         """Register a core's sustained miss traffic with the flow model."""
@@ -258,14 +283,6 @@ class MemorySystem:
         p = self.bank_prob
         n = self.num_nodes
         ctrl, data = self._ctrl_bits, self._data_bits
-        # L2 round trip: ctrl node->bank (latency class), data bank->node
-        # (bulk class).
-        e_round = ctrl * pe.energy_per_bit + data * pb.energy_per_bit.T
-        h_round = ctrl * pe.hops + data * pb.hops.T
-        w_round = ctrl * pe.wireless_links + data * pb.wireless_links.T
-        self._e_l2 = (p * e_round).sum(axis=1)
-        self._h_l2 = (p * h_round).sum(axis=1)
-        self._w_l2 = (p * w_round).sum(axis=1)
         # Memory extra: ctrl bank->controller, data controller->bank.
         mc = self.controller_of_bank
         banks = np.arange(n)
@@ -277,6 +294,28 @@ class MemorySystem:
             ctrl * pe.wireless_links[banks, mc]
             + data * pb.wireless_links[mc, banks]
         )
-        self._e_mem = (p * e_extra[None, :]).sum(axis=1)
-        self._h_mem = (p * h_extra[None, :]).sum(axis=1)
-        self._w_mem = (p * w_extra[None, :]).sum(axis=1)
+        # L2 round trip: ctrl node->bank (latency class), data bank->node
+        # (bulk class).  Requester rows are independent, so the (n, n)
+        # expectation products evaluate in row blocks
+        # (NocParams.dense_block_nodes); the default single block is the
+        # exact legacy computation.
+        block = self.platform.noc_params.dense_block_nodes or n
+        self._e_l2 = np.empty(n)
+        self._h_l2 = np.empty(n)
+        self._w_l2 = np.empty(n)
+        self._e_mem = np.empty(n)
+        self._h_mem = np.empty(n)
+        self._w_mem = np.empty(n)
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            rows = slice(start, end)
+            prob = p[rows]
+            e_round = ctrl * pe.energy_per_bit[rows] + data * pb.energy_per_bit.T[rows]
+            h_round = ctrl * pe.hops[rows] + data * pb.hops.T[rows]
+            w_round = ctrl * pe.wireless_links[rows] + data * pb.wireless_links.T[rows]
+            self._e_l2[rows] = (prob * e_round).sum(axis=1)
+            self._h_l2[rows] = (prob * h_round).sum(axis=1)
+            self._w_l2[rows] = (prob * w_round).sum(axis=1)
+            self._e_mem[rows] = (prob * e_extra[None, :]).sum(axis=1)
+            self._h_mem[rows] = (prob * h_extra[None, :]).sum(axis=1)
+            self._w_mem[rows] = (prob * w_extra[None, :]).sum(axis=1)

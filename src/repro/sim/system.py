@@ -337,10 +337,42 @@ class SystemSimulator:
         instructions = np.array([r.cost.instructions for r in records])
         l2 = np.array([r.cost.l2_accesses for r in records])
         mem = np.array([r.cost.memory_accesses for r in records])
+        # Task wrappers, record-row lookup, and per-worker home rows are
+        # invariant across relaxation rounds; build them once per phase
+        # instead of once per _schedule_map call.
+        tasks = [
+            Task(
+                task_id=record.task_id,
+                phase=Phase.MAP,
+                payload=record,
+                home_worker=record.home_worker,
+            )
+            for record in records
+        ]
+        row_of = {id(record): index for index, record in enumerate(records)}
+        num_workers = self.platform.num_cores
+        home = np.fromiter(
+            (r.home_worker for r in records), dtype=np.int64, count=len(records)
+        )
+        order = np.argsort(home, kind="stable")
+        boundaries = np.searchsorted(home[order], np.arange(num_workers + 1))
+        lengths = np.diff(boundaries)
+        # (sorted record rows, own-queue lengths, owning worker and
+        # queue slot per sorted row): the scatter indices the epoch-
+        # batched prologue uses to gather each round's durations.
+        dispatch = (
+            order,
+            lengths,
+            np.repeat(np.arange(num_workers), lengths),
+            np.arange(len(records)) - np.repeat(boundaries[:-1], lengths),
+        )
 
         def schedule_fn():
             durations = self._map_durations(instructions, l2, mem)
-            return self._schedule_map(records, start, durations)
+            return self._schedule_map(
+                records, start, durations,
+                tasks=tasks, row_of=row_of, dispatch=dispatch,
+            )
 
         schedule, end, queues, recovery = self._relax_phase(
             schedule_fn, start, kv=False,
@@ -390,6 +422,9 @@ class SystemSimulator:
         records: Sequence[TaskRecord],
         start: float,
         durations: np.ndarray,
+        tasks: Optional[List[Task]] = None,
+        row_of: Optional[dict] = None,
+        dispatch: Optional[Tuple[np.ndarray, ...]] = None,
     ) -> Tuple[List[_ScheduledTask], float, TaskQueueSet, Optional[_Recovery]]:
         """Event-driven map scheduling with stealing.
 
@@ -398,32 +433,47 @@ class SystemSimulator:
         queue set as well so the caller can fold its stealing statistics
         for the committed schedule only.
 
+        ``tasks``/``row_of``/``dispatch`` are the phase-invariant
+        structures :meth:`_run_map` hoists out of the relaxation loop;
+        when ``dispatch`` is present and no faults are armed, the
+        own-queue epoch before the first steal is dispatched in one
+        vectorized batch (:meth:`_dispatch_own_prologue`) and only the
+        stealing tail runs event by event.
+
         Under fault injection, an execution that would cross its worker's
         failure instant is killed: the burnt interval is recorded, the
         task returns to the victim's queue head (survivors steal it from
         the tail), and the dead worker never pops again.
         """
         num_workers = self.platform.num_cores
-        tasks = [
-            Task(
-                task_id=record.task_id,
-                phase=Phase.MAP,
-                payload=record,
-                home_worker=record.home_worker,
-            )
-            for record in records
-        ]
-        row_of = {id(record): index for index, record in enumerate(records)}
+        if tasks is None:
+            tasks = [
+                Task(
+                    task_id=record.task_id,
+                    phase=Phase.MAP,
+                    payload=record,
+                    home_worker=record.home_worker,
+                )
+                for record in records
+            ]
+        if row_of is None:
+            row_of = {id(record): index for index, record in enumerate(records)}
         policy = self.policy or _fresh_default_policy()
         queues = TaskQueueSet(num_workers, policy)
         queues.load(tasks)
         faults = self.faults
         fail_time = faults.fail_time if faults is not None else None
         recovery = _Recovery() if faults is not None else None
-        heap: List[Tuple[float, int]] = [(start, w) for w in range(num_workers)]
-        heapq.heapify(heap)
-        schedule: List[_ScheduledTask] = []
-        end = start
+        batched = faults is None and dispatch is not None
+        if batched:
+            schedule, end, heap = self._dispatch_own_prologue(
+                start, durations, queues, dispatch
+            )
+        else:
+            heap = [(start, w) for w in range(num_workers)]
+            heapq.heapify(heap)
+            schedule = []
+            end = start
         while heap and queues.remaining > 0:
             now, worker = heapq.heappop(heap)
             if fail_time is not None and fail_time[worker] <= now:
@@ -448,6 +498,12 @@ class SystemSimulator:
             schedule.append(_ScheduledTask(record, worker, now, duration))
             end = max(end, now + duration)
             heapq.heappush(heap, (now + duration, worker))
+        if batched:
+            # The prologue appends per-worker runs; the event loop's pop
+            # order is (time, worker) lexicographic, so a stable sort
+            # restores it exactly (energy accounting folds floats in
+            # schedule order, so order is part of the golden contract).
+            schedule.sort(key=lambda item: (item.start_s, item.worker))
         if queues.remaining > 0:
             # Every worker is capped (possible only with a user-supplied
             # fmax above all cores) or the survivors exited before a killed
@@ -470,6 +526,59 @@ class SystemSimulator:
                 now += duration
             end = now
         return schedule, end, queues, recovery
+
+    def _dispatch_own_prologue(
+        self,
+        start: float,
+        durations: np.ndarray,
+        queues: TaskQueueSet,
+        dispatch: Tuple[np.ndarray, ...],
+    ) -> Tuple[List[_ScheduledTask], float, List[Tuple[float, int]]]:
+        """Epoch-batched own-queue dispatch (fault-free fast path).
+
+        Until the first worker drains its own queue (``t*``, the minimum
+        per-worker drain time), every event-loop pop is an own-queue pop
+        that stealing cannot perturb: steals only remove victims' *tail*
+        tasks and only occur at event times ``>= t*``.  So each worker's
+        own-queue prefix with start time strictly below ``t*`` commits
+        in one batch.  Start times come from one ``np.add.accumulate``
+        over a zero-padded ``(workers, max_queue + 1)`` duration matrix
+        -- a strictly sequential float64 recurrence per row that
+        reproduces the event loop's ``now + duration`` arithmetic
+        bit-for-bit (unlike pairwise ``np.sum``; trailing zero pads are
+        exact no-ops).
+
+        Returns the committed partial schedule (grouped by worker; the
+        caller re-sorts into event order), the phase end so far, and the
+        seeded ``(next_event_time, worker)`` heap for the stealing tail.
+        """
+        order, lengths, owner, slot = dispatch
+        num_workers = self.platform.num_cores
+        width = int(lengths.max()) if len(order) else 0
+        pad = np.zeros((num_workers, width + 1))
+        pad[:, 0] = start
+        pad[owner, slot + 1] = durations[order, owner]
+        chain = np.add.accumulate(pad, axis=1)
+        workers = np.arange(num_workers)
+        t_star = chain[workers, lengths].min()
+        # Padded tail entries repeat the drain time (>= t*), so the full-
+        # row count equals the count over the worker's real queue prefix.
+        committed = (chain[:, :-1] < t_star).sum(axis=1)
+        schedule: List[_ScheduledTask] = []
+        heap: List[Tuple[float, int]] = []
+        for w in range(num_workers):
+            k = int(committed[w])
+            row = chain[w]
+            for j, task in enumerate(queues.commit_own(w, k)):
+                schedule.append(
+                    _ScheduledTask(
+                        task.payload, w, float(row[j]), float(pad[w, j + 1])
+                    )
+                )
+            heap.append((float(row[k]), w))
+        end = max(start, float(chain[workers, committed].max()))
+        heapq.heapify(heap)
+        return schedule, end, heap
 
     def _run_reduce(
         self,

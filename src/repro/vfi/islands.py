@@ -90,6 +90,36 @@ class VfiLayout:
         return self.node_cluster[node]
 
 
+def rectangular_clusters(
+    geometry: GridGeometry, island_rows: int, island_columns: int
+) -> VfiLayout:
+    """Contiguous rectangular islands tiling the die.
+
+    The die is split into an ``island_rows x island_columns`` grid of
+    equal rectangular blocks; cluster ids are row-major over that island
+    grid.  This is the general form of the paper's quadrant layout --
+    ``island_rows = island_columns = 2`` reproduces it exactly.
+    """
+    check_positive("island_rows", island_rows)
+    check_positive("island_columns", island_columns)
+    if geometry.columns % island_columns or geometry.rows % island_rows:
+        raise ValueError(
+            f"{geometry.columns}x{geometry.rows} grid does not tile into "
+            f"{island_columns}x{island_rows} rectangular islands; pick a "
+            "tiling that divides the mesh (see "
+            "repro.core.geometry.DieGeometry.for_cores)"
+        )
+    block_w = geometry.columns // island_columns
+    block_h = geometry.rows // island_rows
+    assignment = []
+    for node in range(geometry.num_nodes):
+        column, row = geometry.coordinates(node)
+        assignment.append(
+            (row // block_h) * island_columns + column // block_w
+        )
+    return VfiLayout(geometry, tuple(assignment))
+
+
 def quadrant_clusters(
     geometry: GridGeometry, clusters_per_side: int = 2
 ) -> VfiLayout:
@@ -97,26 +127,13 @@ def quadrant_clusters(
 
     Cluster ids are row-major over the quadrant grid: on the 8x8 die,
     cluster 0 is the top-left 4x4 block, cluster 1 top-right, cluster 2
-    bottom-left, cluster 3 bottom-right.
+    bottom-left, cluster 3 bottom-right.  Square special case of
+    :func:`rectangular_clusters`.
     """
     check_positive("clusters_per_side", clusters_per_side)
-    if (
-        geometry.columns % clusters_per_side
-        or geometry.rows % clusters_per_side
-    ):
-        raise ValueError(
-            f"{geometry.columns}x{geometry.rows} grid does not divide into "
-            f"{clusters_per_side}x{clusters_per_side} quadrants"
-        )
-    block_w = geometry.columns // clusters_per_side
-    block_h = geometry.rows // clusters_per_side
-    assignment = []
-    for node in range(geometry.num_nodes):
-        column, row = geometry.coordinates(node)
-        assignment.append(
-            (row // block_h) * clusters_per_side + column // block_w
-        )
-    return VfiLayout(geometry, tuple(assignment))
+    return rectangular_clusters(
+        geometry, island_rows=clusters_per_side, island_columns=clusters_per_side
+    )
 
 
 def uniform_vf(layout: VfiLayout, point: VfPoint = NOMINAL) -> List[VfPoint]:

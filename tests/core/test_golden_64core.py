@@ -1,0 +1,116 @@
+"""Bit-for-bit regression of the 64-core paper platform.
+
+``tests/data/golden_64core.json`` was captured before the parametric
+die-geometry refactor (``tests/data/capture_golden.py``); these tests
+pin the full study pipeline -- nVFI characterization, design flow,
+VFI-1/VFI-2 mesh and WiNoC simulation, faults, and telemetry -- so the
+geometry/blocked-dense/dispatch changes cannot drift the paper numbers.
+Comparisons use ``rel=1e-12``: the 64-core default path must stay on
+the exact legacy computation, not merely close to it.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import run_app_study
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
+from repro.telemetry import RecordingTracer, use_tracer
+from repro.telemetry.summary import island_summary, phase_summary
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_64core.json"
+)
+
+APP = "histogram"
+SCALE = 0.05
+SEED = 9
+WORKERS = 64
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _fault_plan():
+    return FaultPlan(
+        events=(
+            FaultSpec(FaultKind.CORE_FAILURE, 0.002, (13,)),
+            FaultSpec(FaultKind.ISLAND_THROTTLE, 0.001, (2,), magnitude=1),
+        ),
+        name="golden",
+    )
+
+
+def _fingerprint(result):
+    return {
+        "total_time_s": result.total_time_s,
+        "total_energy_j": result.total_energy_j,
+        "core_dynamic_j": result.energy.core_dynamic_j,
+        "core_static_j": result.energy.core_static_j,
+        "noc_dynamic_j": result.energy.noc_dynamic_j,
+        "noc_static_j": result.energy.noc_static_j,
+        "busy_sum_s": float(np.sum(result.busy_s)),
+        "committed_sum": float(np.sum(result.committed_instructions)),
+        "bits_moved": result.network.bits_moved,
+        "average_hops": result.network.average_hops,
+        "wireless_fraction": result.network.wireless_fraction,
+        "num_phases": len(result.phases),
+    }
+
+
+def _assert_matches(actual, expected, context):
+    assert set(actual) == set(expected), context
+    for key, want in expected.items():
+        got = actual[key]
+        if isinstance(want, float):
+            assert got == pytest.approx(want, rel=1e-12, abs=1e-300), (
+                f"{context}: {key} drifted: {got!r} != {want!r}"
+            )
+        else:
+            assert got == want, f"{context}: {key} drifted"
+
+
+@pytest.fixture(scope="module")
+def study_with_telemetry():
+    tracer = RecordingTracer()
+    with use_tracer(tracer):
+        study = run_app_study(
+            APP, scale=SCALE, seed=SEED, num_workers=WORKERS, use_cache=False
+        )
+    return study, tracer
+
+
+def test_fault_free_configs_bit_for_bit(golden, study_with_telemetry):
+    study, _ = study_with_telemetry
+    assert set(study.results) == set(golden["configs"])
+    for name, expected in golden["configs"].items():
+        _assert_matches(_fingerprint(study.results[name]), expected, name)
+
+
+def test_telemetry_summaries_stable(golden, study_with_telemetry):
+    study, tracer = study_with_telemetry
+    vfi2 = "vfi2-mesh"
+    phases = phase_summary(tracer, pid=vfi2)[vfi2]
+    _assert_matches(phases, golden["telemetry"]["phase_summary"], "phases")
+    islands = island_summary(tracer, vfi2, study.design.worker_clusters)
+    expected = golden["telemetry"]["island_summary"]
+    assert len(islands) == len(expected)
+    for summary, want in zip(islands, expected):
+        _assert_matches(summary, want, f"island {want['island']}")
+
+
+def test_faulted_configs_bit_for_bit(golden):
+    faulted = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS,
+        use_cache=False, fault_plan=_fault_plan(),
+    )
+    for name, expected in golden["faulted"].items():
+        _assert_matches(_fingerprint(faulted.results[name]), expected, name)
+    impact = faulted.result("vfi2_mesh").faults
+    assert impact is not None
+    _assert_matches(impact.to_dict(), golden["fault_impact"], "fault_impact")

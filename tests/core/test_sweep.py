@@ -44,6 +44,9 @@ class TestSizeSweep:
         assert list(sweep.rows) == [16]
         assert sweep.parameter == "num_workers"
 
-    def test_non_square_size_rejected(self):
+    def test_untileable_size_rejected(self):
+        # 18 factors as a 6x3 mesh, which admits no rectangular 4-island
+        # tiling (rectangular dies like 20 = 5x4 are accepted since the
+        # DieGeometry refactor).
         with pytest.raises(ValueError):
-            size_sweep("histogram", sizes=(20,), scale=SCALE, seed=9)
+            size_sweep("histogram", sizes=(18,), scale=SCALE, seed=9)

@@ -29,9 +29,14 @@ class TestCanonicalization:
         with pytest.raises(ValueError):
             StudySpec(app="histogram", scale=1.5)
 
-    def test_non_square_workers_rejected(self):
+    def test_untileable_workers_rejected(self):
+        # Rectangular worker counts (20 = 5x4, 128 = 16x8) are accepted
+        # since the DieGeometry refactor; 18 = 6x3 has no rectangular
+        # 4-island tiling and must still be rejected up front.
         with pytest.raises(ValueError):
-            StudySpec(app="histogram", num_workers=20)
+            StudySpec(app="histogram", num_workers=18)
+        assert StudySpec(app="histogram", num_workers=20).num_workers == 20
+        assert StudySpec(app="histogram", num_workers=128).num_workers == 128
 
     def test_bad_methodology_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,168 @@
+"""Epoch-batched map dispatch vs the pure event-driven scheduler.
+
+``SystemSimulator._schedule_map`` commits each worker's own-queue run
+in one vectorized batch when the phase-invariant ``dispatch`` indices
+are supplied (and no faults are armed); with ``dispatch=None`` it runs
+the original per-task heap loop.  Both must produce *identical*
+schedules -- same records, workers, start times, and durations, in the
+same order -- because downstream energy accounting folds floats in
+schedule order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import DieGeometry
+from repro.core.platforms import build_nvfi_mesh
+from repro.mapreduce.scheduler import CappedStealingPolicy, TaskQueueSet
+from repro.mapreduce.tasks import Phase, TaskCost, Task
+from repro.mapreduce.trace import TaskRecord
+from repro.sim.system import SystemSimulator
+
+
+def _records(rng, num_tasks, num_workers, skew=1.0):
+    records = []
+    for task_id in range(num_tasks):
+        home = int(rng.integers(num_workers))
+        if skew != 1.0 and home == 0:
+            home = int(rng.integers(num_workers))  # thin out worker 0
+        records.append(
+            TaskRecord(
+                task_id=task_id,
+                phase=Phase.MAP,
+                cost=TaskCost(
+                    instructions=float(rng.integers(1_000, 50_000)),
+                    l2_accesses=float(rng.integers(0, 500)),
+                    memory_accesses=float(rng.integers(0, 50)),
+                ),
+                home_worker=home,
+            )
+        )
+    return records
+
+
+def _dispatch_indices(records, num_workers):
+    """The phase-invariant scatter indices exactly as _run_map builds them."""
+    home = np.fromiter(
+        (r.home_worker for r in records), dtype=np.int64, count=len(records)
+    )
+    order = np.argsort(home, kind="stable")
+    boundaries = np.searchsorted(home[order], np.arange(num_workers + 1))
+    lengths = np.diff(boundaries)
+    return (
+        order,
+        lengths,
+        np.repeat(np.arange(num_workers), lengths),
+        np.arange(len(records)) - np.repeat(boundaries[:-1], lengths),
+    )
+
+
+def _run_both(simulator, records, durations, start=3.25):
+    num_workers = simulator.platform.num_cores
+    legacy = simulator._schedule_map(records, start, durations)
+    batched = simulator._schedule_map(
+        records, start, durations,
+        dispatch=_dispatch_indices(records, num_workers),
+    )
+    return legacy, batched
+
+
+def _assert_identical(legacy, batched):
+    schedule_a, end_a, queues_a, _ = legacy
+    schedule_b, end_b, queues_b, _ = batched
+    assert end_a == end_b
+    assert len(schedule_a) == len(schedule_b)
+    for item_a, item_b in zip(schedule_a, schedule_b):
+        assert item_a.record is item_b.record
+        assert item_a.worker == item_b.worker
+        assert item_a.start_s == item_b.start_s  # bit-for-bit
+        assert item_a.duration_s == item_b.duration_s
+    assert queues_a.steals == queues_b.steals
+    assert queues_a.steal_attempts == queues_b.steal_attempts
+    assert queues_a.cap_rejections == queues_b.cap_rejections
+    for worker in range(queues_a.num_workers):
+        assert queues_a.executed_count(worker) == queues_b.executed_count(
+            worker
+        )
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    platform = build_nvfi_mesh(DieGeometry.for_cores(16))
+    return SystemSimulator(platform, locality=0.6)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+@pytest.mark.parametrize("num_tasks", [5, 48, 200])
+def test_batched_matches_event_loop(simulator, seed, num_tasks):
+    rng = np.random.default_rng(seed)
+    num_workers = simulator.platform.num_cores
+    records = _records(rng, num_tasks, num_workers)
+    durations = rng.uniform(1e-4, 5e-3, (num_tasks, num_workers))
+    _assert_identical(*_run_both(simulator, records, durations))
+
+
+def test_batched_matches_with_stealing(simulator):
+    # A strongly skewed allocation forces the stealing tail to do real
+    # work after the batched prologue.
+    rng = np.random.default_rng(42)
+    num_workers = simulator.platform.num_cores
+    records = [
+        TaskRecord(
+            task_id=r.task_id, phase=r.phase, cost=r.cost,
+            home_worker=3 if r.task_id < 60 else r.home_worker,
+        )
+        for r in _records(rng, 120, num_workers)
+    ]  # half the work piled on worker 3
+    durations = rng.uniform(1e-4, 5e-3, (120, num_workers))
+    legacy, batched = _run_both(simulator, records, durations)
+    assert legacy[2].steals > 0  # the scenario exercises stealing
+    _assert_identical(legacy, batched)
+
+
+def test_batched_matches_with_capped_policy(simulator):
+    rng = np.random.default_rng(3)
+    num_workers = simulator.platform.num_cores
+    records = _records(rng, 150, num_workers)
+    durations = rng.uniform(1e-4, 5e-3, (150, num_workers))
+    freqs = rng.choice([1.5e9, 2.0e9, 2.5e9], size=num_workers)
+    simulator.policy = CappedStealingPolicy(list(freqs), fmax_hz=2.5e9)
+    try:
+        legacy, batched = _run_both(simulator, records, durations)
+    finally:
+        simulator.policy = None
+    _assert_identical(legacy, batched)
+
+
+def test_batched_handles_workers_without_tasks(simulator):
+    # Worker queues with zero home tasks collapse t* to the phase start:
+    # the prologue commits nothing and the event loop does all the work.
+    num_workers = simulator.platform.num_cores
+    records = [
+        TaskRecord(
+            task_id=i, phase=Phase.MAP,
+            cost=TaskCost(instructions=1000.0, l2_accesses=0.0,
+                          memory_accesses=0.0),
+            home_worker=0,
+        )
+        for i in range(10)
+    ]
+    rng = np.random.default_rng(0)
+    durations = rng.uniform(1e-4, 5e-3, (10, num_workers))
+    _assert_identical(*_run_both(simulator, records, durations))
+
+
+def test_commit_own_semantics():
+    queues = TaskQueueSet(2)
+    tasks = [
+        Task(task_id=i, phase=Phase.MAP, payload=None, home_worker=i % 2)
+        for i in range(6)
+    ]
+    queues.load(tasks)
+    popped = queues.commit_own(0, 2)
+    assert [t.task_id for t in popped] == [0, 2]
+    assert queues.executed_count(0) == 2
+    assert queues.queue_length(0) == 1
+    assert queues.steals == 0 and queues.steal_attempts == 0
+    with pytest.raises(ValueError):
+        queues.commit_own(1, 4)
