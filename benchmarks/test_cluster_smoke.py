@@ -1,0 +1,64 @@
+"""Cluster-service smoke: every policy over one seeded workload.
+
+Serves the preset ``smoke`` arrival trace on a two-chip fleet through
+every registered scheduling policy against one shared study cache --
+the per-job simulations compute once, every later policy resolves from
+cache/memo -- then verifies the replay contract (byte-identical digest,
+zero re-simulated studies) and records the SLO comparison in
+``results/cluster_smoke.json``.
+"""
+
+import json
+
+from conftest import write_result
+
+from repro.cluster import (
+    fleet_for,
+    preset_trace,
+    run_workload,
+    scheduler_names,
+)
+from repro.cluster.record import replay, verify_replay
+from repro.orchestrator.cache import StudyCache
+
+RESULT_NAME = "cluster_smoke.json"
+WORKLOAD = "smoke"
+SEED = 7
+
+
+def test_all_policies_and_replay(results_dir, tmp_path):
+    trace = preset_trace(WORKLOAD, seed=SEED)
+    fleet = fleet_for(2, num_workers=16)
+    cache = StudyCache(tmp_path / "cache")
+
+    results = {}
+    for index, name in enumerate(scheduler_names()):
+        result = run_workload(trace, fleet, name, cache=cache)
+        stats = result.study_stats
+        if index > 0:
+            # The first policy paid for the unique studies; everyone
+            # after it must resolve entirely from the shared cache.
+            assert stats["computed"] == 0, (name, stats)
+        report = result.report
+        assert report.completed + report.rejected == len(trace)
+        results[name] = result
+
+    # Replay contract: byte-identical, zero studies re-simulated.
+    for name, recorded in results.items():
+        fresh = replay(recorded, cache=cache)
+        assert verify_replay(recorded, fresh) is None, name
+        assert fresh.study_stats["computed"] == 0, name
+
+    write_result(results_dir, RESULT_NAME, json.dumps({
+        "workload": WORKLOAD,
+        "seed": SEED,
+        "trace_key": trace.trace_key,
+        "fleet": {"chips": len(fleet), "num_workers": 16},
+        "policies": {
+            name: {
+                "replay_digest": result.replay_digest,
+                "report": result.report.to_dict(),
+            }
+            for name, result in results.items()
+        },
+    }, indent=2))

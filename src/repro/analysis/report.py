@@ -132,6 +132,86 @@ def degradation_section(
     return out.getvalue()
 
 
+#: Column order of the cluster policy-comparison table (report + CLI).
+CLUSTER_COLUMNS = (
+    "policy",
+    "done/rej",
+    "throughput (/ks)",
+    "latency p50/p95 (s)",
+    "wait mean (s)",
+    "deadline hit",
+    "energy (kJ)",
+    "fleet EDP (MJ·s)",
+)
+
+
+def cluster_rows(results) -> list:
+    """One throughput/latency/energy row per cluster policy run.
+
+    *results* is an iterable of
+    :class:`repro.cluster.record.ClusterRunResult`, typically the same
+    arrival trace served by every registered policy.
+    """
+    rows = []
+    for result in results:
+        report = result.report
+        rows.append(
+            {
+                "policy": result.policy,
+                "done/rej": f"{report.completed}/{report.rejected}",
+                "throughput (/ks)": (
+                    f"{report.throughput_jobs_per_s * 1e3:.2f}"
+                ),
+                "latency p50/p95 (s)": (
+                    f"{report.latency_p50_s:.1f}/{report.latency_p95_s:.1f}"
+                ),
+                "wait mean (s)": f"{report.queue_wait_mean_s:.1f}",
+                "deadline hit": (
+                    f"{report.deadlines_met}/{report.deadlined}"
+                    if report.deadlined
+                    else "n/a"
+                ),
+                "energy (kJ)": f"{report.total_energy_j / 1e3:.2f}",
+                "fleet EDP (MJ·s)": f"{report.fleet_edp / 1e6:.3f}",
+            }
+        )
+    return rows
+
+
+def cluster_section(results) -> str:
+    """Markdown "cluster service" section: per-policy SLO comparison.
+
+    Groups the runs by arrival trace (several policies serving the same
+    trace form one comparison table); states the workload and fleet each
+    group ran on.
+    """
+    out = io.StringIO()
+    write = out.write
+    write("## Cluster service — policy comparison\n\n")
+    results = list(results)
+    if not results:
+        write("No cluster runs recorded.\n\n")
+        return out.getvalue()
+    by_trace: dict = {}
+    for result in results:
+        by_trace.setdefault(result.trace.trace_key, []).append(result)
+    for grouped in by_trace.values():
+        first = grouped[0]
+        trace = first.trace
+        fleet = first.fleet
+        write(
+            f"### workload `{trace.name}` (seed {trace.seed}, "
+            f"{len(trace)} jobs) on {len(fleet)} × "
+            f"{fleet.chips[0].num_workers}-core chips\n\n"
+        )
+        write(
+            f"Queue bound {first.max_queue_depth}; trace "
+            f"`{trace.trace_key[:12]}`.\n\n"
+        )
+        write(_md_table(cluster_rows(grouped), list(CLUSTER_COLUMNS)) + "\n\n")
+    return out.getvalue()
+
+
 def generate_report(
     studies: Optional[Mapping[str, AppStudy]] = None,
     scale: float = 1.0,
@@ -141,6 +221,7 @@ def generate_report(
     progress=None,
     tracer=None,
     faulted_studies: Optional[Mapping[str, AppStudy]] = None,
+    cluster_results=None,
 ) -> str:
     """Render the full reproduction report as markdown.
 
@@ -152,7 +233,9 @@ def generate_report(
     timelines from its spans instead of leaving phase timing to be
     recomputed from aggregate statistics.  *faulted_studies* (apps run
     under a fault plan, keyed like *studies*) appends the fault
-    degradation section.
+    degradation section.  *cluster_results* (an iterable of
+    :class:`repro.cluster.record.ClusterRunResult`) appends the cluster
+    service policy-comparison section.
     """
     if studies is None:
         studies = collect_studies(
@@ -305,4 +388,7 @@ def generate_report(
     if faulted_studies:
         write("\n")
         write(degradation_section(studies, faulted_studies))
+    if cluster_results:
+        write("\n")
+        write(cluster_section(cluster_results))
     return out.getvalue()

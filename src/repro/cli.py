@@ -24,6 +24,15 @@ Commands
     Run the app clean and under a deterministic fault plan (preset
     scenario placed against the measured fault-free makespan, or a plan
     file) and print the per-configuration degradation table.
+``cluster run [--workload NAME | --trace FILE] [--policy NAME|all]``
+    Serve a seeded multi-job arrival trace on a fleet of simulated chips
+    through one (or every) registered cluster scheduling policy; print
+    the SLO table and optionally record the run as canonical JSON.
+``cluster replay --record FILE``
+    Re-run a recorded cluster run and verify the replay is
+    byte-identical (exit nonzero on divergence).
+``cluster report --record FILE [FILE ...]``
+    Render the markdown policy-comparison section from saved records.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
@@ -178,6 +187,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export-plan", default=None,
         help="write the injected plan's canonical JSON to this path",
     )
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-job cluster service (run/replay/report)"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_run = cluster_sub.add_parser(
+        "run", help="serve an arrival trace through a scheduling policy"
+    )
+    from repro.cluster.arrivals import WORKLOADS as _WORKLOADS
+
+    cluster_run.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="smoke",
+        help="preset seeded workload (ignored when --trace is given)",
+    )
+    cluster_run.add_argument(
+        "--trace", default=None,
+        help="arrival-trace JSON file to serve instead of a preset",
+    )
+    cluster_run.add_argument(
+        "--policy", default="all",
+        help="registered scheduler name, or 'all' for the comparison table",
+    )
+    cluster_run.add_argument("--seed", type=int, default=7)
+    cluster_run.add_argument(
+        "--chips", type=int, default=2, help="fleet size"
+    )
+    cluster_run.add_argument(
+        "--num-workers", type=int, default=16, help="cores per chip"
+    )
+    cluster_run.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="admission-control queue bound (backpressure beyond it)",
+    )
+    cluster_run.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault-plan file degrading chip 0 (fault-axis composition)",
+    )
+    cluster_run.add_argument("--cache-dir", default=None)
+    cluster_run.add_argument(
+        "--record", default=None,
+        help="save the run record(s) as canonical JSON; with --policy all "
+        "a _<policy> suffix is appended per policy",
+    )
+    cluster_run.add_argument(
+        "--export-trace", default=None,
+        help="write the served arrival trace's canonical JSON to this path",
+    )
+
+    cluster_replay = cluster_sub.add_parser(
+        "replay", help="re-run a recorded cluster run and verify it"
+    )
+    cluster_replay.add_argument("--record", required=True)
+    cluster_replay.add_argument("--cache-dir", default=None)
+
+    cluster_report = cluster_sub.add_parser(
+        "report", help="markdown policy comparison from saved records"
+    )
+    cluster_report.add_argument("--record", nargs="+", required=True)
+    cluster_report.add_argument("--output", default=None)
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
     topology.add_argument("app", choices=APP_NAMES)
@@ -472,6 +541,125 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cluster_run(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.cluster import (
+        ArrivalTrace,
+        fleet_for,
+        preset_trace,
+        run_workload,
+        scheduler_names,
+    )
+    from repro.analysis.report import CLUSTER_COLUMNS, cluster_rows
+    from repro.faults import FaultPlan
+
+    if args.trace is not None:
+        with open(args.trace) as handle:
+            trace = ArrivalTrace.from_json(handle.read())
+    else:
+        trace = preset_trace(args.workload, seed=args.seed)
+
+    fault_plans = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+        fault_plans = [plan] + [None] * (args.chips - 1)
+    fleet = fleet_for(
+        args.chips, num_workers=args.num_workers, fault_plans=fault_plans
+    )
+
+    if args.policy == "all":
+        policies = scheduler_names()
+    else:
+        policies = [args.policy]
+
+    print(
+        f"workload {trace.name} (seed {trace.seed}, {len(trace)} jobs, "
+        f"trace {trace.trace_key[:12]}) on {len(fleet)} x "
+        f"{args.num_workers}-core chips, queue bound {args.queue_depth}",
+        file=sys.stderr,
+    )
+    results = []
+    for policy in policies:
+        result = run_workload(
+            trace, fleet, policy=policy, cache=args.cache_dir,
+            max_queue_depth=args.queue_depth,
+        )
+        stats = result.study_stats
+        print(
+            f"{policy}: {result.report.completed} completed, "
+            f"{stats['computed']} studies simulated, "
+            f"{stats['cache_hits']} cache hits "
+            f"(digest {result.replay_digest[:12]})",
+            file=sys.stderr,
+        )
+        results.append(result)
+
+    print(format_table(cluster_rows(results)))
+    if args.export_trace:
+        with open(args.export_trace, "w") as handle:
+            handle.write(trace.to_json() + "\n")
+        print(f"arrival trace written to {args.export_trace}", file=sys.stderr)
+    if args.record:
+        import pathlib
+
+        base = pathlib.Path(args.record)
+        for result in results:
+            if len(results) == 1:
+                path = base
+            else:
+                path = base.with_name(
+                    f"{base.stem}_{result.policy}{base.suffix or '.json'}"
+                )
+            result.save(path)
+            print(f"run record saved to {path}", file=sys.stderr)
+    return 0
+
+
+def _cluster_replay(args) -> int:
+    from repro.cluster.record import ClusterRunResult, replay, verify_replay
+
+    record = ClusterRunResult.load(args.record)
+    replayed = replay(record, cache=args.cache_dir)
+    divergence = verify_replay(record, replayed)
+    stats = replayed.study_stats
+    if divergence is not None:
+        print(f"repro: error: {divergence}", file=sys.stderr)
+        return 3
+    print(
+        f"replay byte-identical (digest {record.replay_digest[:12]}): "
+        f"{record.policy} on {record.trace.name}, "
+        f"{replayed.report.completed} jobs completed, "
+        f"{stats['computed']} studies simulated, "
+        f"{stats['cache_hits']} cache hits"
+    )
+    return 0
+
+
+def _cluster_report(args) -> int:
+    from repro.analysis.report import cluster_section
+    from repro.cluster.record import ClusterRunResult
+
+    results = [ClusterRunResult.load(path) for path in args.record]
+    text = cluster_section(results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"cluster report written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    handlers = {
+        "run": _cluster_run,
+        "replay": _cluster_replay,
+        "report": _cluster_report,
+    }
+    return handlers[args.cluster_command](args)
+
+
 def _cmd_topology(args) -> int:
     from repro.core.experiment import NVFI_MESH
     from repro.core.platforms import build_vfi_winoc
@@ -504,6 +692,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "cluster": _cmd_cluster,
     "topology": _cmd_topology,
 }
 

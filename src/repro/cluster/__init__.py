@@ -1,0 +1,65 @@
+"""Multi-job cluster service over fleets of simulated VFI chips.
+
+The production-shaped layer above the per-chip pipeline: seeded arrival
+traces of MapReduce jobs, pluggable cluster-level scheduling policies,
+admission control with bounded-queue backpressure, StudyCache-deduped
+per-job simulation, SLO metrics and byte-identical record/replay.
+
+Layering::
+
+    repro.cluster.service   discrete-event loop (admission -> dispatch)
+      repro.cluster.policies  SCHEDULERS registry (fifo/priority/edf/...)
+      repro.cluster.costmodel StudySpec resolution (memo -> cache -> sim)
+      repro.cluster.arrivals  seeded ArrivalTrace + preset WORKLOADS
+      repro.cluster.fleet     ChipSpec / Fleet (fault plans per chip)
+      repro.cluster.metrics   per-job + fleet SLO aggregation
+      repro.cluster.record    canonical-JSON run records + replay
+"""
+
+from repro.cluster.arrivals import (
+    ArrivalTrace,
+    WORKLOADS,
+    generate_trace,
+    preset_trace,
+)
+from repro.cluster.costmodel import CostModel, JobEstimate
+from repro.cluster.fleet import ChipSpec, Fleet, fleet_for
+from repro.cluster.jobs import COMPLETED, REJECTED, ClusterJob, JobRecord
+from repro.cluster.metrics import SloReport, slo_report
+from repro.cluster.policies import (
+    SCHEDULERS,
+    ClusterScheduler,
+    create_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
+from repro.cluster.record import ClusterRunResult, replay, verify_replay
+from repro.cluster.service import ClusterService, run_workload
+
+__all__ = [
+    "ArrivalTrace",
+    "WORKLOADS",
+    "generate_trace",
+    "preset_trace",
+    "CostModel",
+    "JobEstimate",
+    "ChipSpec",
+    "Fleet",
+    "fleet_for",
+    "COMPLETED",
+    "REJECTED",
+    "ClusterJob",
+    "JobRecord",
+    "SloReport",
+    "slo_report",
+    "SCHEDULERS",
+    "ClusterScheduler",
+    "create_scheduler",
+    "register_scheduler",
+    "scheduler_names",
+    "ClusterRunResult",
+    "replay",
+    "verify_replay",
+    "ClusterService",
+    "run_workload",
+]

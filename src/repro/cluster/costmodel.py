@@ -1,0 +1,95 @@
+"""Per-job simulation resolution, deduped through the StudyCache.
+
+Every job the cluster dispatches (and every estimate a cost-aware policy
+asks for) resolves to one :class:`~repro.orchestrator.spec.StudySpec`
+simulation.  The :class:`CostModel` funnels all of those resolutions
+through one path: an in-process memo, then the persistent
+:class:`~repro.orchestrator.cache.StudyCache`, then an actual pipeline
+run -- and counts each outcome.  A replayed cluster run against a warm
+cache therefore re-simulates **zero** per-job studies, and the counters
+prove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.cluster.fleet import ChipSpec
+from repro.cluster.jobs import ClusterJob
+from repro.core.experiment import AppStudy
+from repro.orchestrator.cache import StudyCache
+from repro.orchestrator.spec import StudySpec
+
+
+@dataclass(frozen=True)
+class JobEstimate:
+    """Predicted cost of one job on one chip class."""
+
+    service_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.service_s
+
+
+class CostModel:
+    """Resolve (job, chip) pairs to simulated studies, with dedup stats."""
+
+    def __init__(self, cache: Optional[Union[StudyCache, str]] = None):
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = StudyCache(cache)
+        self.cache = cache
+        self._memo: Dict[StudySpec, AppStudy] = {}
+        #: Units actually simulated by this model (cold resolutions).
+        self.computed = 0
+        #: Units served by the persistent StudyCache.
+        self.cache_hits = 0
+        #: Units served by the in-process memo (repeat jobs in one run).
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unique_specs(self) -> int:
+        return len(self._memo)
+
+    def study(self, spec: StudySpec) -> AppStudy:
+        """The study for *spec*: memo -> cache -> simulate."""
+        study = self._memo.get(spec)
+        if study is not None:
+            self.memo_hits += 1
+            return study
+        if self.cache is not None:
+            study = self.cache.get(spec)
+            if study is not None:
+                self.cache_hits += 1
+                self._memo[spec] = study
+                return study
+        study = spec.run()
+        self.computed += 1
+        if self.cache is not None:
+            self.cache.put(spec, study)
+        self._memo[spec] = study
+        return study
+
+    def estimate(self, job: ClusterJob, chip: ChipSpec) -> JobEstimate:
+        """Predicted service time and energy of *job* on *chip*.
+
+        The "estimate" is the exact simulated outcome -- the simulator
+        *is* the cost model, and the StudyCache makes asking cheap.
+        """
+        result = self.study(job.spec_for(chip)).result(chip.config)
+        return JobEstimate(
+            service_s=float(result.total_time_s),
+            energy_j=float(result.total_energy_j),
+        )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "computed": int(self.computed),
+            "cache_hits": int(self.cache_hits),
+            "memo_hits": int(self.memo_hits),
+            "unique_specs": int(self.unique_specs),
+        }

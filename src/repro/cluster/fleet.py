@@ -1,0 +1,197 @@
+"""The simulated chip fleet a cluster run schedules onto.
+
+A :class:`ChipSpec` describes one VFI chip in the fleet: die size,
+which simulated configuration it represents (``vfi2_winoc`` by default
+-- the paper's best system), and optionally a
+:class:`repro.faults.FaultPlan` that degrades every job the chip runs
+(the fault axis composing with the cluster layer).  A :class:`Fleet`
+is an ordered collection of chips plus the shared ingest interconnect
+that charges transfer time for non-resident datasets.
+
+Specs are frozen and canonical so a fleet round-trips through the run
+record's canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.experiment import NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC
+from repro.core.geometry import DieGeometry
+from repro.faults import FaultPlan
+from repro.orchestrator.spec import WINOC_METHODOLOGIES, _canonical_plan_json
+from repro.utils.jsonutil import to_builtin
+
+#: Configurations a chip can embody (one simulated system per chip).
+CHIP_CONFIGS = (NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC)
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One simulated chip in the fleet."""
+
+    chip_id: int
+    num_workers: int = 16
+    config: str = VFI2_WINOC
+    winoc_methodology: str = "max_wireless"
+    #: Canonical fault-plan JSON degrading this chip, or ``None``.
+    #: Accepts a FaultPlan / JSON text at construction (like StudySpec).
+    fault_plan: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "chip_id", int(self.chip_id))
+        object.__setattr__(self, "num_workers", int(self.num_workers))
+        object.__setattr__(
+            self, "fault_plan", _canonical_plan_json(self.fault_plan)
+        )
+        if self.chip_id < 0:
+            raise ValueError(f"chip_id must be >= 0, got {self.chip_id}")
+        if self.config not in CHIP_CONFIGS:
+            raise ValueError(
+                f"config must be one of {CHIP_CONFIGS}, got {self.config!r}"
+            )
+        if self.winoc_methodology not in WINOC_METHODOLOGIES:
+            raise ValueError(
+                f"winoc_methodology must be one of {WINOC_METHODOLOGIES}, "
+                f"got {self.winoc_methodology!r}"
+            )
+        try:
+            DieGeometry.for_cores(self.num_workers)
+        except ValueError as exc:
+            raise ValueError(
+                f"chip {self.chip_id}: num_workers {self.num_workers!r} "
+                f"does not resolve to a die geometry: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def needs_vfi1(self) -> bool:
+        """Whether this chip's study must simulate the VFI 1 system."""
+        return self.config == VFI1_MESH
+
+    @property
+    def class_key(self) -> Tuple:
+        """Chips of the same class resolve a job to the same StudySpec."""
+        return (
+            self.num_workers, self.config, self.winoc_methodology,
+            self.fault_plan,
+        )
+
+    def plan(self) -> Optional[FaultPlan]:
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_json(self.fault_plan)
+
+    @property
+    def label(self) -> str:
+        parts = [f"chip{self.chip_id}", f"{self.num_workers}c", self.config]
+        if self.fault_plan is not None:
+            plan = self.plan()
+            parts.append(f"faults={plan.name or 'plan'}({len(plan)})")
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict:
+        return {
+            "chip_id": self.chip_id,
+            "num_workers": self.num_workers,
+            "config": self.config,
+            "winoc_methodology": self.winoc_methodology,
+            "fault_plan": self.fault_plan,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChipSpec":
+        return cls(**to_builtin(dict(data)))
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered set of chips behind one ingest interconnect."""
+
+    chips: Tuple[ChipSpec, ...]
+    #: Shared ingest bandwidth charged when staging non-resident inputs.
+    interconnect_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        chips = tuple(
+            sorted(self.chips, key=lambda c: c.chip_id)
+        )
+        object.__setattr__(self, "chips", chips)
+        object.__setattr__(
+            self, "interconnect_gbps", float(self.interconnect_gbps)
+        )
+        if not chips:
+            raise ValueError("fleet must contain at least one chip")
+        ids = [chip.chip_id for chip in chips]
+        if len(set(ids)) != len(ids):
+            raise ValueError("chip ids must be unique")
+        if self.interconnect_gbps <= 0.0:
+            raise ValueError(
+                f"interconnect_gbps must be > 0, got {self.interconnect_gbps}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    def __iter__(self):
+        return iter(self.chips)
+
+    def chip(self, chip_id: int) -> ChipSpec:
+        for chip in self.chips:
+            if chip.chip_id == chip_id:
+                return chip
+        raise KeyError(f"no chip {chip_id} in fleet")
+
+    def transfer_s(self, input_mb: float) -> float:
+        """Staging time for *input_mb* over the ingest interconnect."""
+        return float(input_mb) * 8e6 / (self.interconnect_gbps * 1e9)
+
+    def to_dict(self) -> Dict:
+        return {
+            "chips": [chip.to_dict() for chip in self.chips],
+            "interconnect_gbps": self.interconnect_gbps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Fleet":
+        data = to_builtin(dict(data))
+        return cls(
+            chips=tuple(ChipSpec.from_dict(c) for c in data["chips"]),
+            interconnect_gbps=data.get("interconnect_gbps", 1.0),
+        )
+
+
+def fleet_for(
+    num_chips: int,
+    num_workers: int = 16,
+    config: str = VFI2_WINOC,
+    interconnect_gbps: float = 1.0,
+    fault_plans: Union[None, Sequence[Union[None, str, FaultPlan]]] = None,
+) -> Fleet:
+    """Build a homogeneous fleet (optionally with per-chip fault plans).
+
+    *fault_plans*, when given, must have one entry per chip (``None``
+    entries leave that chip clean) -- this is how a cluster scenario
+    degrades part of the fleet while the rest serves at full speed.
+    """
+    if num_chips < 1:
+        raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+    if fault_plans is not None and len(fault_plans) != num_chips:
+        raise ValueError(
+            f"fault_plans must have {num_chips} entries, got {len(fault_plans)}"
+        )
+    chips = []
+    for chip_id in range(num_chips):
+        plan = fault_plans[chip_id] if fault_plans is not None else None
+        chips.append(
+            ChipSpec(
+                chip_id=chip_id,
+                num_workers=num_workers,
+                config=config,
+                fault_plan=plan,
+            )
+        )
+    return Fleet(chips=tuple(chips), interconnect_gbps=interconnect_gbps)

@@ -1,0 +1,159 @@
+"""Per-job and fleet-level SLO metrics for one cluster run.
+
+:func:`slo_report` folds a run's :class:`~repro.cluster.jobs.JobRecord`
+list into an :class:`SloReport`: throughput, latency percentiles, queue
+waits, deadline hit rate, rejection (backpressure) counts, energy and
+fleet EDP, plus per-chip utilization.  Everything is computed with plain
+arithmetic over builtins -- no numpy -- so a report serialized through
+canonical JSON is byte-identical across replays by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cluster.fleet import Fleet
+from repro.cluster.jobs import COMPLETED, JobRecord
+from repro.utils.jsonutil import to_builtin
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values (q in [0,1])."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return float(
+        sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+    )
+
+
+@dataclass
+class SloReport:
+    """Fleet-level service-level metrics of one cluster run."""
+
+    policy: str
+    num_jobs: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: Last completion instant (the run's simulated makespan).
+    makespan_s: float = 0.0
+    #: Completed jobs per simulated second.
+    throughput_jobs_per_s: float = 0.0
+    latency_mean_s: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_max_s: float = 0.0
+    queue_wait_mean_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+    transfer_total_s: float = 0.0
+    #: Jobs that carried a deadline and completed.
+    deadlined: int = 0
+    deadlines_met: int = 0
+    total_energy_j: float = 0.0
+    energy_per_job_j: float = 0.0
+    #: total energy x makespan: the fleet-level EDP analogue.
+    fleet_edp: float = 0.0
+    #: chip_id (as str, for JSON) -> busy fraction of the makespan.
+    chip_utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        if self.deadlined == 0:
+            return 1.0
+        return self.deadlines_met / self.deadlined
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.num_jobs == 0:
+            return 0.0
+        return self.rejected / self.num_jobs
+
+    def to_dict(self) -> Dict:
+        return to_builtin(
+            {
+                "policy": self.policy,
+                "num_jobs": self.num_jobs,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "makespan_s": self.makespan_s,
+                "throughput_jobs_per_s": self.throughput_jobs_per_s,
+                "latency_mean_s": self.latency_mean_s,
+                "latency_p50_s": self.latency_p50_s,
+                "latency_p95_s": self.latency_p95_s,
+                "latency_max_s": self.latency_max_s,
+                "queue_wait_mean_s": self.queue_wait_mean_s,
+                "queue_wait_max_s": self.queue_wait_max_s,
+                "transfer_total_s": self.transfer_total_s,
+                "deadlined": self.deadlined,
+                "deadlines_met": self.deadlines_met,
+                "deadline_hit_rate": self.deadline_hit_rate,
+                "rejection_rate": self.rejection_rate,
+                "total_energy_j": self.total_energy_j,
+                "energy_per_job_j": self.energy_per_job_j,
+                "fleet_edp": self.fleet_edp,
+                "chip_utilization": dict(self.chip_utilization),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SloReport":
+        data = to_builtin(dict(data))
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def slo_report(
+    policy: str, records: Sequence[JobRecord], fleet: Fleet
+) -> SloReport:
+    """Fold job records into the fleet-level SLO report."""
+    report = SloReport(policy=policy, num_jobs=len(records))
+    done: List[JobRecord] = []
+    busy: Dict[int, float] = {chip.chip_id: 0.0 for chip in fleet}
+    for record in records:
+        if record.rejected:
+            report.rejected += 1
+            continue
+        report.admitted += 1
+        if record.status == COMPLETED and record.completed_s is not None:
+            done.append(record)
+            report.completed += 1
+            report.total_energy_j += record.energy_j
+            report.transfer_total_s += record.transfer_s
+            if record.chip_id is not None:
+                busy[record.chip_id] = busy.get(record.chip_id, 0.0) + (
+                    record.transfer_s + record.service_s
+                )
+            met = record.deadline_met
+            if met is not None:
+                report.deadlined += 1
+                if met:
+                    report.deadlines_met += 1
+    if not done:
+        return report
+
+    report.makespan_s = max(r.completed_s for r in done)
+    latencies = sorted(r.latency_s for r in done)
+    waits = [r.queue_wait_s for r in done]
+    report.latency_mean_s = sum(latencies) / len(latencies)
+    report.latency_p50_s = percentile(latencies, 0.50)
+    report.latency_p95_s = percentile(latencies, 0.95)
+    report.latency_max_s = latencies[-1]
+    report.queue_wait_mean_s = sum(waits) / len(waits)
+    report.queue_wait_max_s = max(waits)
+    if report.makespan_s > 0.0:
+        report.throughput_jobs_per_s = report.completed / report.makespan_s
+        report.chip_utilization = {
+            str(chip_id): busy_s / report.makespan_s
+            for chip_id, busy_s in sorted(busy.items())
+        }
+    report.energy_per_job_j = report.total_energy_j / report.completed
+    report.fleet_edp = report.total_energy_j * report.makespan_s
+    return report

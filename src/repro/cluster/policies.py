@@ -1,0 +1,203 @@
+"""Pluggable cluster-level scheduling policies.
+
+Each policy answers one question, deterministically: given the queued
+jobs, the currently free chips and a :class:`SchedulingContext`, which
+(job, chip) pair dispatches next?  The service calls ``select`` in a
+loop until it returns ``None`` or chips/queue run dry, so a policy never
+manages time -- only choice order.
+
+Policies register in the :data:`SCHEDULERS` dict (the idiom of the ray
+scheduler prototype's ``schedulers`` map) and must be pure functions of
+their inputs: same queue, same free chips, same context => same pick.
+All tie-breaks bottom out on ``(arrival_s, job_id)`` for jobs and
+``chip_id`` for chips, so two runs of the same trace are bit-identical.
+
+Built-in policies:
+
+``fifo``
+    Arrival order onto the lowest-numbered free chip.
+``priority``
+    Highest :attr:`~repro.cluster.jobs.ClusterJob.priority` first
+    (FIFO within a level).
+``edf``
+    Earliest absolute deadline first; best-effort jobs run after every
+    deadlined job.  The chip pick minimizes estimated completion
+    (transfer + service), so tight deadlines get the fastest landing.
+``least_edp``
+    Energy-aware: FIFO job order, chip chosen to minimize the job's
+    estimated energy-delay product including staging time.
+``locality``
+    Transfer-cost-aware: prefers (job, chip) pairs whose dataset is
+    already resident on the chip (zero staging); falls back to the
+    cheapest transfer for the head job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Type
+
+from repro.cluster.costmodel import JobEstimate
+from repro.cluster.fleet import ChipSpec
+from repro.cluster.jobs import ClusterJob
+
+
+class SchedulingContext(Protocol):
+    """What a policy may observe about the cluster mid-run."""
+
+    def estimate(self, job: ClusterJob, chip: ChipSpec) -> JobEstimate:
+        """Predicted service time / energy of *job* on *chip*."""
+        ...
+
+    def transfer_s(self, job: ClusterJob, chip: ChipSpec) -> float:
+        """Staging time for *job*'s input on *chip* (0 when resident)."""
+        ...
+
+    def is_resident(self, job: ClusterJob, chip: ChipSpec) -> bool:
+        """Whether *job*'s dataset is already resident on *chip*."""
+        ...
+
+
+def _fifo_key(job: ClusterJob) -> Tuple[float, int]:
+    return (job.arrival_s, job.job_id)
+
+
+class ClusterScheduler:
+    """Base class: FIFO job, lowest-id chip.  Subclasses override
+    :meth:`pick_job` and/or :meth:`pick_chip`."""
+
+    #: Registry name (set by :func:`register_scheduler`).
+    name = "base"
+
+    def pick_job(
+        self,
+        now: float,
+        queue: Sequence[ClusterJob],
+        free_chips: Sequence[ChipSpec],
+        ctx: SchedulingContext,
+    ) -> ClusterJob:
+        return min(queue, key=_fifo_key)
+
+    def pick_chip(
+        self,
+        now: float,
+        job: ClusterJob,
+        free_chips: Sequence[ChipSpec],
+        ctx: SchedulingContext,
+    ) -> ChipSpec:
+        return min(free_chips, key=lambda c: c.chip_id)
+
+    def select(
+        self,
+        now: float,
+        queue: Sequence[ClusterJob],
+        free_chips: Sequence[ChipSpec],
+        ctx: SchedulingContext,
+    ) -> Optional[Tuple[ClusterJob, ChipSpec]]:
+        """The next dispatch, or ``None`` to leave the queue waiting."""
+        if not queue or not free_chips:
+            return None
+        job = self.pick_job(now, queue, free_chips, ctx)
+        chip = self.pick_chip(now, job, free_chips, ctx)
+        return job, chip
+
+
+class FifoScheduler(ClusterScheduler):
+    """Arrival order, lowest-numbered free chip."""
+
+
+class PriorityScheduler(ClusterScheduler):
+    """Strict priority tiers; FIFO within a tier."""
+
+    def pick_job(self, now, queue, free_chips, ctx):
+        return min(queue, key=lambda j: (-j.priority,) + _fifo_key(j))
+
+
+class DeadlineScheduler(ClusterScheduler):
+    """Earliest-deadline-first, landing on the fastest-completing chip."""
+
+    def pick_job(self, now, queue, free_chips, ctx):
+        return min(
+            queue,
+            key=lambda j: (
+                j.deadline_s if j.deadline_s is not None else math.inf,
+            ) + _fifo_key(j),
+        )
+
+    def pick_chip(self, now, job, free_chips, ctx):
+        return min(
+            free_chips,
+            key=lambda c: (
+                ctx.transfer_s(job, c) + ctx.estimate(job, c).service_s,
+                c.chip_id,
+            ),
+        )
+
+
+class LeastEdpScheduler(ClusterScheduler):
+    """FIFO job order; chip minimizing the job's energy-delay product
+    (staging time included in the delay term)."""
+
+    def pick_chip(self, now, job, free_chips, ctx):
+        def edp_of(chip: ChipSpec) -> Tuple[float, int]:
+            estimate = ctx.estimate(job, chip)
+            delay = ctx.transfer_s(job, chip) + estimate.service_s
+            return (estimate.energy_j * delay, chip.chip_id)
+
+        return min(free_chips, key=edp_of)
+
+
+class LocalityScheduler(ClusterScheduler):
+    """Transfer-cost-aware: resident (job, chip) pairs dispatch first."""
+
+    def select(self, now, queue, free_chips, ctx):
+        if not queue or not free_chips:
+            return None
+        # First resident pair, scanning jobs in FIFO order.
+        for job in sorted(queue, key=_fifo_key):
+            resident = [c for c in free_chips if ctx.is_resident(job, c)]
+            if resident:
+                return job, min(resident, key=lambda c: c.chip_id)
+        # Nothing resident anywhere: head job, cheapest transfer.
+        job = min(queue, key=_fifo_key)
+        chip = min(
+            free_chips,
+            key=lambda c: (ctx.transfer_s(job, c), c.chip_id),
+        )
+        return job, chip
+
+
+#: The pluggable policy registry (ray-scheduler-prototype style).
+SCHEDULERS: Dict[str, Type[ClusterScheduler]] = {}
+
+
+def register_scheduler(
+    name: str, cls: Type[ClusterScheduler]
+) -> Type[ClusterScheduler]:
+    """Register a policy class under *name* (overwrites are rejected)."""
+    if name in SCHEDULERS:
+        raise ValueError(f"scheduler {name!r} already registered")
+    cls.name = name
+    SCHEDULERS[name] = cls
+    return cls
+
+
+register_scheduler("fifo", FifoScheduler)
+register_scheduler("priority", PriorityScheduler)
+register_scheduler("edf", DeadlineScheduler)
+register_scheduler("least_edp", LeastEdpScheduler)
+register_scheduler("locality", LocalityScheduler)
+
+
+def create_scheduler(name: str) -> ClusterScheduler:
+    """Instantiate a registered policy by name."""
+    if name not in SCHEDULERS:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[name]()
+
+
+def scheduler_names() -> List[str]:
+    """Registered policy names, in registration order."""
+    return list(SCHEDULERS)

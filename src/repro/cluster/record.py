@@ -1,0 +1,144 @@
+"""Cluster run records: canonical, replayable artifacts of one run.
+
+A :class:`ClusterRunResult` captures everything a cluster run did -- the
+arrival trace it served, the policy and fleet it ran on, one
+:class:`~repro.cluster.jobs.JobRecord` per job, and the fleet-level
+:class:`~repro.cluster.metrics.SloReport` -- as canonical JSON.
+
+Replay contract: the **replay digest** (sha256 over the canonical JSON
+of trace + policy + fleet + queue bound + records + report) is a pure
+function of the simulated schedule.  Re-running a record's trace through
+the same policy on the same fleet must reproduce that digest byte for
+byte; the cold/warm split of the study resolutions (``study_stats``) is
+deliberately excluded, because a warm replay resolves every per-job
+simulation from the StudyCache without changing a single metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.cluster.arrivals import ArrivalTrace
+from repro.cluster.fleet import Fleet
+from repro.cluster.jobs import JobRecord
+from repro.cluster.metrics import SloReport
+from repro.utils.jsonutil import canonical_json, to_builtin
+
+#: Bump when the run-record JSON schema changes.
+RECORD_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ClusterRunResult:
+    """The complete audited outcome of one cluster run."""
+
+    trace: ArrivalTrace
+    policy: str
+    fleet: Fleet
+    max_queue_depth: int
+    records: List[JobRecord]
+    report: SloReport
+    #: CostModel counters (computed / cache_hits / memo_hits /
+    #: unique_specs).  Excluded from the replay digest: a warm replay
+    #: differs here and nowhere else.
+    study_stats: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+
+    def payload_dict(self) -> Dict:
+        """The replay-deterministic portion of the record."""
+        return {
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "trace": self.trace.to_dict(),
+            "policy": self.policy,
+            "fleet": self.fleet.to_dict(),
+            "max_queue_depth": int(self.max_queue_depth),
+            "records": [record.to_dict() for record in self.records],
+            "report": self.report.to_dict(),
+        }
+
+    def payload_json(self) -> str:
+        """Canonical JSON of the replay-deterministic portion."""
+        return canonical_json(self.payload_dict())
+
+    @property
+    def replay_digest(self) -> str:
+        """sha256 of :meth:`payload_json` -- equal across replays."""
+        return hashlib.sha256(self.payload_json().encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict:
+        out = self.payload_dict()
+        out["replay_digest"] = self.replay_digest
+        out["study_stats"] = to_builtin(dict(self.study_stats))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterRunResult":
+        data = to_builtin(dict(data))
+        version = data.get("schema_version", RECORD_SCHEMA_VERSION)
+        if version != RECORD_SCHEMA_VERSION:
+            raise ValueError(
+                f"record schema version {version} not supported "
+                f"(expected {RECORD_SCHEMA_VERSION})"
+            )
+        return cls(
+            trace=ArrivalTrace.from_dict(data["trace"]),
+            policy=data["policy"],
+            fleet=Fleet.from_dict(data["fleet"]),
+            max_queue_depth=int(data["max_queue_depth"]),
+            records=[JobRecord.from_dict(r) for r in data["records"]],
+            report=SloReport.from_dict(data["report"]),
+            study_stats=dict(data.get("study_stats", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w") as handle:
+            handle.write(canonical_json(self.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ClusterRunResult":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def replay(
+    record: ClusterRunResult,
+    cache=None,
+) -> ClusterRunResult:
+    """Re-run a recorded cluster run (same trace, policy, fleet).
+
+    With a warm *cache* the replay resolves every per-job simulation from
+    the StudyCache -- ``result.study_stats["computed"] == 0`` -- and must
+    reproduce the record's :attr:`~ClusterRunResult.replay_digest`.
+    """
+    from repro.cluster.service import ClusterService
+
+    service = ClusterService(
+        record.fleet,
+        policy=record.policy,
+        cache=cache,
+        max_queue_depth=record.max_queue_depth,
+    )
+    return service.run(record.trace)
+
+
+def verify_replay(
+    record: ClusterRunResult, replayed: ClusterRunResult
+) -> Optional[str]:
+    """``None`` when *replayed* reproduces *record* byte for byte, else a
+    one-line description of the first divergence."""
+    if replayed.replay_digest == record.replay_digest:
+        return None
+    original = record.payload_dict()
+    fresh = replayed.payload_dict()
+    for key in original:
+        if canonical_json(original[key]) != canonical_json(fresh.get(key)):
+            return (
+                f"replay diverged at {key!r}: digest "
+                f"{record.replay_digest[:12]} != {replayed.replay_digest[:12]}"
+            )
+    return "replay diverged (unlocated)"

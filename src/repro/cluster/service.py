@@ -1,0 +1,211 @@
+"""The cluster service: a deterministic multi-job discrete-event loop.
+
+:class:`ClusterService` admits a stream of jobs from an
+:class:`~repro.cluster.arrivals.ArrivalTrace` onto a
+:class:`~repro.cluster.fleet.Fleet` of simulated chips:
+
+1. **Admission control** -- an arriving job is admitted while the bounded
+   queue has room; otherwise it is rejected on the spot (backpressure:
+   an open-loop source sees load shedding, a closed-loop source would
+   retry).  Admission, queueing, dispatch and completion each emit
+   telemetry spans/counters on the simulated cluster clock.
+2. **Scheduling** -- whenever chips are free and jobs are queued, the
+   pluggable policy (:mod:`repro.cluster.policies`) picks the next
+   (job, chip) dispatch.
+3. **Execution** -- the job's service time and energy are the *simulated*
+   makespan/energy of its :class:`~repro.orchestrator.spec.StudySpec` on
+   that chip, resolved through the :class:`~repro.cluster.costmodel.CostModel`
+   (memo -> StudyCache -> simulate), plus input staging time when the
+   dataset is not yet resident on the chip.  A chip carrying a
+   :class:`~repro.faults.FaultPlan` serves every job degraded.
+
+The loop is fully deterministic: events advance to exact float minima,
+completions at a timestamp are processed before arrivals at the same
+timestamp (a freed chip is visible to the job arriving "at" that
+instant), and every policy tie-break bottoms out on ids.  Same trace +
+same fleet + same policy => byte-identical records and metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.cluster.arrivals import ArrivalTrace
+from repro.cluster.costmodel import CostModel, JobEstimate
+from repro.cluster.fleet import ChipSpec, Fleet
+from repro.cluster.jobs import COMPLETED, REJECTED, ClusterJob, JobRecord
+from repro.cluster.metrics import slo_report
+from repro.cluster.policies import ClusterScheduler, create_scheduler
+from repro.cluster.record import ClusterRunResult
+from repro.orchestrator.cache import StudyCache
+from repro.telemetry import get_tracer
+
+
+class ClusterService:
+    """One policy serving one fleet; :meth:`run` serves one trace."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        policy: Union[str, ClusterScheduler] = "fifo",
+        cache: Optional[Union[StudyCache, str]] = None,
+        max_queue_depth: int = 8,
+    ):
+        if isinstance(policy, str):
+            policy = create_scheduler(policy)
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.fleet = fleet
+        self.policy = policy
+        self.max_queue_depth = int(max_queue_depth)
+        self.cost_model = CostModel(cache)
+
+    # ------------------------------------------------------------------ #
+    # the SchedulingContext the policy observes
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, job: ClusterJob, chip: ChipSpec) -> JobEstimate:
+        return self.cost_model.estimate(job, chip)
+
+    def transfer_s(self, job: ClusterJob, chip: ChipSpec) -> float:
+        if self.is_resident(job, chip):
+            return 0.0
+        return self.fleet.transfer_s(job.input_mb)
+
+    def is_resident(self, job: ClusterJob, chip: ChipSpec) -> bool:
+        return job.dataset_key in self._resident.get(chip.chip_id, set())
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: ArrivalTrace) -> ClusterRunResult:
+        """Serve *trace* to completion and report the outcome."""
+        tracer = get_tracer()
+        records: Dict[int, JobRecord] = {}
+        queue: List[ClusterJob] = []
+        pending: List[ClusterJob] = list(trace.jobs)  # already sorted
+        #: (completion_s, chip_id, record) -- chip_id breaks float ties.
+        busy: List[Tuple[float, int, JobRecord]] = []
+        free: Dict[int, ChipSpec] = {
+            chip.chip_id: chip for chip in self.fleet
+        }
+        self._resident: Dict[int, Set[str]] = {
+            chip.chip_id: set() for chip in self.fleet
+        }
+
+        def admit(job: ClusterJob, now: float) -> None:
+            if len(queue) >= self.max_queue_depth:
+                records[job.job_id] = JobRecord(job=job, status=REJECTED)
+                if tracer.enabled:
+                    tracer.counter_add("cluster.rejected", 1.0)
+                    tracer.span(
+                        job.label, job.arrival_s, 0.0, cat="cluster",
+                        pid="cluster", tid="rejected",
+                    )
+                return
+            record = JobRecord(job=job, status=COMPLETED, admitted_s=now)
+            records[job.job_id] = record
+            queue.append(job)
+            if tracer.enabled:
+                tracer.counter_add("cluster.admitted", 1.0)
+
+        def dispatch(job: ClusterJob, chip: ChipSpec, now: float) -> None:
+            queue.remove(job)
+            del free[chip.chip_id]
+            transfer = self.transfer_s(job, chip)
+            estimate = self.cost_model.estimate(job, chip)
+            record = records[job.job_id]
+            record.chip_id = chip.chip_id
+            record.dispatched_s = now
+            record.transfer_s = transfer
+            record.service_s = estimate.service_s
+            record.energy_j = estimate.energy_j
+            completion = now + transfer + estimate.service_s
+            heapq.heappush(busy, (completion, chip.chip_id, record))
+            self._resident[chip.chip_id].add(job.dataset_key)
+            if tracer.enabled:
+                tracer.counter_add("cluster.dispatched", 1.0)
+                tracer.histogram_record(
+                    "cluster.queue_wait_s", record.queue_wait_s
+                )
+                if record.queue_wait_s > 0.0:
+                    tracer.span(
+                        job.label, record.admitted_s, record.queue_wait_s,
+                        cat="cluster", pid="cluster", tid="queue",
+                    )
+                tracer.span(
+                    job.label, now, transfer + estimate.service_s,
+                    cat="cluster", pid="cluster",
+                    tid=f"chip{chip.chip_id}",
+                    app=job.app, transfer_s=transfer,
+                    service_s=estimate.service_s,
+                )
+
+        def complete(record: JobRecord, when: float) -> None:
+            record.completed_s = when
+            free[record.chip_id] = self.fleet.chip(record.chip_id)
+            if tracer.enabled:
+                tracer.counter_add("cluster.completed", 1.0)
+                tracer.histogram_record("cluster.latency_s", record.latency_s)
+                if record.deadline_met is False:
+                    tracer.counter_add("cluster.deadline_misses", 1.0)
+
+        now = 0.0
+        while True:
+            # Dispatch everything the policy will place at `now`.
+            while queue and free:
+                free_chips = [free[cid] for cid in sorted(free)]
+                pick = self.policy.select(now, list(queue), free_chips, self)
+                if pick is None:
+                    break
+                job, chip = pick
+                if job not in queue or chip.chip_id not in free:
+                    raise RuntimeError(
+                        f"policy {self.policy.name!r} selected an invalid "
+                        f"pair: {job.label} -> {chip.label}"
+                    )
+                dispatch(job, chip, now)
+
+            times = []
+            if busy:
+                times.append(busy[0][0])
+            if pending:
+                times.append(pending[0].arrival_s)
+            if not times:
+                break
+            now = min(times)
+            # Completions first: a chip freed at `now` is visible to the
+            # arrival (and dispatch round) at the same instant.
+            while busy and busy[0][0] <= now:
+                completion, _, record = heapq.heappop(busy)
+                complete(record, completion)
+            while pending and pending[0].arrival_s <= now:
+                admit(pending.pop(0), now)
+
+        ordered = [records[job.job_id] for job in trace.jobs]
+        report = slo_report(self.policy.name, ordered, self.fleet)
+        return ClusterRunResult(
+            trace=trace,
+            policy=self.policy.name,
+            fleet=self.fleet,
+            max_queue_depth=self.max_queue_depth,
+            records=ordered,
+            report=report,
+            study_stats=self.cost_model.stats(),
+        )
+
+
+def run_workload(
+    trace: ArrivalTrace,
+    fleet: Fleet,
+    policy: Union[str, ClusterScheduler] = "fifo",
+    cache: Optional[Union[StudyCache, str]] = None,
+    max_queue_depth: int = 8,
+) -> ClusterRunResult:
+    """One-shot convenience: build the service and serve *trace*."""
+    service = ClusterService(
+        fleet, policy=policy, cache=cache, max_queue_depth=max_queue_depth
+    )
+    return service.run(trace)

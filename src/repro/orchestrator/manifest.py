@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Union
 
 from pathlib import Path
 
+from repro.utils.jsonutil import to_builtin
+
 #: Unit statuses, in the order a unit can move through them.
 CACHED = "cached"
 COMPUTED = "computed"
@@ -47,15 +49,20 @@ class UnitRecord:
         return max(0, self.attempts - 1)
 
     def to_dict(self) -> Dict:
-        return {
-            "key": self.key,
-            "label": self.label,
-            "spec": dict(self.spec),
-            "status": self.status,
-            "wall_time_s": float(self.wall_time_s),
-            "attempts": int(self.attempts),
-            "error": self.error,
-        }
+        # Sweep drivers routinely build specs from numpy values
+        # (np.linspace scales, np.int64 seeds); cast the whole payload to
+        # builtins so manifests always serialize as plain JSON.
+        return to_builtin(
+            {
+                "key": self.key,
+                "label": self.label,
+                "spec": dict(self.spec),
+                "status": self.status,
+                "wall_time_s": float(self.wall_time_s),
+                "attempts": int(self.attempts),
+                "error": self.error,
+            }
+        )
 
 
 @dataclass
@@ -107,21 +114,23 @@ class RunManifest:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> Dict:
-        return {
-            "jobs": int(self.jobs),
-            "cache_dir": self.cache_dir,
-            "schema_version": int(self.schema_version),
-            "wall_time_s": float(self.wall_time_s),
-            "summary": {
-                "units": self.num_units,
-                "cached": self.num_cached,
-                "computed": self.num_computed,
-                "failed": self.num_failed,
-                "retries": self.num_retries,
-                "hit_rate": self.hit_rate,
-            },
-            "records": [r.to_dict() for r in self.records],
-        }
+        return to_builtin(
+            {
+                "jobs": int(self.jobs),
+                "cache_dir": self.cache_dir,
+                "schema_version": int(self.schema_version),
+                "wall_time_s": float(self.wall_time_s),
+                "summary": {
+                    "units": self.num_units,
+                    "cached": self.num_cached,
+                    "computed": self.num_computed,
+                    "failed": self.num_failed,
+                    "retries": self.num_retries,
+                    "hit_rate": self.hit_rate,
+                },
+                "records": [r.to_dict() for r in self.records],
+            }
+        )
 
     def save(self, path: Union[str, Path]) -> None:
         with open(path, "w") as handle:

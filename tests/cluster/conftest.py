@@ -1,0 +1,32 @@
+"""Cluster test fixtures: one tiny workload, one warm session cache.
+
+Every service-level test serves the same small trace (4 unique study
+specs at scale 0.05 on 16-core chips) against a session-scoped
+StudyCache, so the underlying simulations run once per pytest session
+and everything downstream resolves from cache/memo.
+"""
+
+import pytest
+
+from repro.cluster import fleet_for, preset_trace
+from repro.orchestrator.cache import StudyCache
+
+
+@pytest.fixture(scope="session")
+def smoke_trace():
+    return preset_trace("smoke", seed=7)
+
+
+@pytest.fixture(scope="session")
+def burst_trace():
+    return preset_trace("burst", seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    return fleet_for(2, num_workers=16)
+
+
+@pytest.fixture(scope="session")
+def study_cache(tmp_path_factory):
+    return StudyCache(tmp_path_factory.mktemp("cluster_cache"))

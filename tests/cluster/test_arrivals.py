@@ -1,0 +1,117 @@
+"""Arrival traces: determinism, canonical JSON, decorrelated knobs."""
+
+import json
+
+import pytest
+
+from repro.cluster.arrivals import (
+    TRACE_SCHEMA_VERSION,
+    WORKLOADS,
+    ArrivalTrace,
+    generate_trace,
+    preset_trace,
+)
+from repro.cluster.jobs import ClusterJob
+
+
+class TestArrivalTrace:
+    def test_jobs_sorted_by_arrival(self):
+        late = ClusterJob(job_id=0, app="histogram", arrival_s=9.0)
+        early = ClusterJob(job_id=1, app="wordcount", arrival_s=2.0)
+        trace = ArrivalTrace(name="t", seed=1, jobs=(late, early))
+        assert [j.job_id for j in trace.jobs] == [1, 0]
+        assert trace.horizon_s == 9.0
+
+    def test_duplicate_job_ids_rejected(self):
+        a = ClusterJob(job_id=0, app="histogram", arrival_s=0.0)
+        b = ClusterJob(job_id=0, app="wordcount", arrival_s=1.0)
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="t", seed=1, jobs=(a, b))
+
+    def test_json_round_trip(self):
+        trace = preset_trace("smoke", seed=7)
+        rebuilt = ArrivalTrace.from_json(trace.to_json())
+        assert rebuilt == trace
+        assert rebuilt.to_json() == trace.to_json()
+
+    def test_schema_version_rejected(self):
+        data = preset_trace("smoke", seed=7).to_dict()
+        data["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            ArrivalTrace.from_dict(data)
+
+    def test_trace_key_is_content_address(self):
+        a = preset_trace("smoke", seed=7)
+        b = preset_trace("smoke", seed=7)
+        c = preset_trace("smoke", seed=8)
+        assert a.trace_key == b.trace_key
+        assert a.trace_key != c.trace_key
+        assert len(a.trace_key) == 64
+
+    def test_canonical_json_is_byte_stable(self):
+        trace = preset_trace("burst", seed=7)
+        text = trace.to_json()
+        assert text == preset_trace("burst", seed=7).to_json()
+        # Canonical form: sorted keys, no whitespace.
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        a = generate_trace("x", seed=3, num_jobs=12, deadline_fraction=0.5)
+        b = generate_trace("x", seed=3, num_jobs=12, deadline_fraction=0.5)
+        assert a == b
+
+    def test_app_mix_does_not_reshuffle_arrivals(self):
+        # Apps draw from a decorrelated child stream, so changing the mix
+        # must leave the arrival instants untouched.
+        a = generate_trace("x", seed=3, num_jobs=10)
+        b = generate_trace(
+            "x", seed=3, num_jobs=10, apps=(("kmeans", 1.0),)
+        )
+        assert [j.arrival_s for j in a.jobs] == [j.arrival_s for j in b.jobs]
+        assert all(j.app == "kmeans" for j in b.jobs)
+
+    def test_burstiness_preserves_job_count(self):
+        trace = generate_trace("x", seed=3, num_jobs=16, burstiness=0.9)
+        assert len(trace) == 16
+
+    def test_deadline_fraction(self):
+        none = generate_trace("x", seed=3, num_jobs=16, deadline_fraction=0.0)
+        all_ = generate_trace("x", seed=3, num_jobs=16, deadline_fraction=1.0)
+        assert all(j.deadline_s is None for j in none.jobs)
+        assert all(j.deadline_s is not None for j in all_.jobs)
+        assert all(j.deadline_s > j.arrival_s for j in all_.jobs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_jobs": -1},
+            {"num_jobs": 4, "burstiness": 1.0},
+            {"num_jobs": 4, "dataset_seeds": ()},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_trace("x", seed=3, **kwargs)
+
+
+class TestPresets:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {
+            "smoke", "steady", "burst", "priority_mix",
+            "deadline_tight", "heavy",
+        }
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_preset_builds_and_is_stable(self, name):
+        trace = preset_trace(name, seed=7)
+        assert len(trace) > 0
+        assert trace.name == name
+        assert trace.trace_key == preset_trace(name, seed=7).trace_key
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            preset_trace("nope")

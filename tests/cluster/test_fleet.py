@@ -1,0 +1,117 @@
+"""ChipSpec / Fleet: validation, canonical round trips, fault plans."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleet import CHIP_CONFIGS, ChipSpec, Fleet, fleet_for
+from repro.core.experiment import VFI1_MESH, VFI2_WINOC
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+def _plan():
+    return FaultPlan(
+        name="straggler",
+        events=(
+            FaultSpec(
+                kind=FaultKind.CORE_SLOWDOWN, time_s=0.0,
+                target=(3,), magnitude=2.0,
+            ),
+        ),
+    )
+
+
+class TestChipSpec:
+    def test_defaults(self):
+        chip = ChipSpec(chip_id=0)
+        assert chip.config == VFI2_WINOC
+        assert chip.needs_vfi1 is False
+        assert chip.fault_plan is None
+
+    def test_vfi1_needs_vfi1(self):
+        assert ChipSpec(chip_id=0, config=VFI1_MESH).needs_vfi1 is True
+
+    def test_numpy_ids_cast(self):
+        chip = ChipSpec(chip_id=np.int64(2), num_workers=np.int64(16))
+        assert type(chip.chip_id) is int
+        assert type(chip.num_workers) is int
+
+    def test_fault_plan_canonicalized(self):
+        from_plan = ChipSpec(chip_id=0, fault_plan=_plan())
+        from_json = ChipSpec(chip_id=0, fault_plan=_plan().to_json())
+        assert from_plan.fault_plan == from_json.fault_plan
+        assert from_plan.plan() == _plan()
+        assert "faults=straggler" in from_plan.label
+
+    def test_class_key_ignores_chip_id(self):
+        a = ChipSpec(chip_id=0)
+        b = ChipSpec(chip_id=5)
+        assert a.class_key == b.class_key
+        assert a.class_key != ChipSpec(chip_id=0, fault_plan=_plan()).class_key
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chip_id": -1},
+            {"chip_id": 0, "config": "nope"},
+            {"chip_id": 0, "winoc_methodology": "nope"},
+            {"chip_id": 0, "num_workers": 13},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChipSpec(**kwargs)
+
+    def test_round_trip(self):
+        chip = ChipSpec(chip_id=1, fault_plan=_plan())
+        assert ChipSpec.from_dict(chip.to_dict()) == chip
+
+
+class TestFleet:
+    def test_fleet_for(self):
+        fleet = fleet_for(3, num_workers=16)
+        assert len(fleet) == 3
+        assert [c.chip_id for c in fleet] == [0, 1, 2]
+        assert all(c.config in CHIP_CONFIGS for c in fleet)
+
+    def test_chips_sorted_and_unique(self):
+        a = ChipSpec(chip_id=1)
+        b = ChipSpec(chip_id=0)
+        fleet = Fleet(chips=(a, b))
+        assert [c.chip_id for c in fleet] == [0, 1]
+        with pytest.raises(ValueError, match="unique"):
+            Fleet(chips=(a, a))
+
+    def test_transfer_time(self):
+        fleet = fleet_for(1, interconnect_gbps=1.0)
+        # 64 MB at 1 Gb/s = 64 * 8e6 / 1e9 s.
+        assert fleet.transfer_s(64.0) == pytest.approx(0.512)
+        fast = fleet_for(1, interconnect_gbps=4.0)
+        assert fast.transfer_s(64.0) == pytest.approx(0.128)
+
+    def test_chip_lookup(self):
+        fleet = fleet_for(2)
+        assert fleet.chip(1).chip_id == 1
+        with pytest.raises(KeyError):
+            fleet.chip(9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_chips": 0},
+            {"num_chips": 2, "interconnect_gbps": 0.0},
+            {"num_chips": 2, "fault_plans": [None]},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            fleet_for(**kwargs)
+
+    def test_partial_fault_plans(self):
+        fleet = fleet_for(2, fault_plans=[_plan(), None])
+        assert fleet.chip(0).fault_plan is not None
+        assert fleet.chip(1).fault_plan is None
+
+    def test_round_trip(self):
+        fleet = fleet_for(2, fault_plans=[_plan(), None], interconnect_gbps=2.0)
+        rebuilt = Fleet.from_dict(fleet.to_dict())
+        assert rebuilt == fleet

@@ -1,0 +1,182 @@
+"""Policy registry and per-policy choice behavior (stub context)."""
+
+import pytest
+
+from repro.cluster.costmodel import JobEstimate
+from repro.cluster.fleet import ChipSpec
+from repro.cluster.jobs import ClusterJob
+from repro.cluster.policies import (
+    SCHEDULERS,
+    ClusterScheduler,
+    create_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
+
+
+class StubContext:
+    """A SchedulingContext with scripted costs.
+
+    ``estimates`` maps (job_id, chip_id) -> (service_s, energy_j);
+    ``resident`` is a set of (job_id, chip_id) pairs with a local copy of
+    the dataset; non-resident pairs pay ``transfer`` seconds of staging.
+    """
+
+    def __init__(self, estimates=None, resident=(), transfer=0.5):
+        self.estimates = estimates or {}
+        self.resident = set(resident)
+        self.transfer = transfer
+
+    def estimate(self, job, chip):
+        service, energy = self.estimates.get(
+            (job.job_id, chip.chip_id), (10.0, 1000.0)
+        )
+        return JobEstimate(service_s=service, energy_j=energy)
+
+    def transfer_s(self, job, chip):
+        return 0.0 if self.is_resident(job, chip) else self.transfer
+
+    def is_resident(self, job, chip):
+        return (job.job_id, chip.chip_id) in self.resident
+
+
+def job(job_id, arrival=0.0, priority=0, deadline=None):
+    return ClusterJob(
+        job_id=job_id, app="histogram", arrival_s=arrival,
+        priority=priority, deadline_s=deadline,
+    )
+
+
+CHIPS = (ChipSpec(chip_id=0), ChipSpec(chip_id=1), ChipSpec(chip_id=2))
+
+
+class TestRegistry:
+    def test_at_least_five_policies(self):
+        assert len(SCHEDULERS) >= 5
+        assert scheduler_names() == list(SCHEDULERS)
+        assert {"fifo", "priority", "edf", "least_edp", "locality"} <= set(
+            SCHEDULERS
+        )
+
+    def test_create_by_name_sets_name(self):
+        for name in scheduler_names():
+            assert create_scheduler(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            create_scheduler("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler("fifo", ClusterScheduler)
+
+    def test_empty_inputs_yield_none(self):
+        ctx = StubContext()
+        for name in scheduler_names():
+            policy = create_scheduler(name)
+            assert policy.select(0.0, [], list(CHIPS), ctx) is None
+            assert policy.select(0.0, [job(0)], [], ctx) is None
+
+
+class TestFifo:
+    def test_arrival_order_lowest_chip(self):
+        queue = [job(1, arrival=5.0), job(0, arrival=2.0)]
+        picked, chip = create_scheduler("fifo").select(
+            6.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 0
+        assert chip.chip_id == 0
+
+    def test_tie_breaks_on_job_id(self):
+        queue = [job(7, arrival=1.0), job(3, arrival=1.0)]
+        picked, _ = create_scheduler("fifo").select(
+            2.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 3
+
+
+class TestPriority:
+    def test_highest_priority_first(self):
+        queue = [job(0, arrival=0.0, priority=0), job(1, arrival=9.0, priority=3)]
+        picked, _ = create_scheduler("priority").select(
+            10.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 1
+
+    def test_fifo_within_tier(self):
+        queue = [job(1, arrival=5.0, priority=2), job(0, arrival=1.0, priority=2)]
+        picked, _ = create_scheduler("priority").select(
+            6.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 0
+
+
+class TestDeadline:
+    def test_earliest_deadline_first(self):
+        queue = [
+            job(0, arrival=0.0, deadline=500.0),
+            job(1, arrival=1.0, deadline=100.0),
+            job(2, arrival=2.0),  # best effort runs last
+        ]
+        picked, _ = create_scheduler("edf").select(
+            3.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 1
+
+    def test_best_effort_after_deadlined(self):
+        queue = [job(0, arrival=0.0), job(1, arrival=9.0, deadline=1e6)]
+        picked, _ = create_scheduler("edf").select(
+            10.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 1
+
+    def test_chip_minimizes_completion(self):
+        # chip1 is slower but resident (no transfer); chip0 fast but cold.
+        ctx = StubContext(
+            estimates={(0, 0): (10.0, 1.0), (0, 1): (9.8, 1.0)},
+            resident={(0, 1)},
+            transfer=0.5,
+        )
+        _, chip = create_scheduler("edf").select(
+            0.0, [job(0, deadline=50.0)], list(CHIPS[:2]), ctx
+        )
+        assert chip.chip_id == 1  # 9.8 < 10.5
+
+
+class TestLeastEdp:
+    def test_chip_minimizes_energy_delay_product(self):
+        # chip0: 10 s x 1000 J = 10000; chip1: 12 s x 700 J = 8400.
+        ctx = StubContext(
+            estimates={(0, 0): (9.5, 1000.0), (0, 1): (11.5, 700.0)},
+            transfer=0.5,
+        )
+        _, chip = create_scheduler("least_edp").select(
+            0.0, [job(0)], list(CHIPS[:2]), ctx
+        )
+        assert chip.chip_id == 1
+
+    def test_fifo_job_order(self):
+        queue = [job(4, arrival=4.0), job(2, arrival=2.0)]
+        picked, _ = create_scheduler("least_edp").select(
+            5.0, queue, list(CHIPS), StubContext()
+        )
+        assert picked.job_id == 2
+
+
+class TestLocality:
+    def test_prefers_resident_pair(self):
+        # Head job is cold everywhere; job 1's data lives on chip 2.
+        ctx = StubContext(resident={(1, 2)})
+        queue = [job(0, arrival=0.0), job(1, arrival=5.0)]
+        picked, chip = create_scheduler("locality").select(
+            6.0, queue, list(CHIPS), ctx
+        )
+        assert (picked.job_id, chip.chip_id) == (1, 2)
+
+    def test_falls_back_to_head_job_cheapest_transfer(self):
+        ctx = StubContext()  # nothing resident; uniform transfer
+        queue = [job(1, arrival=5.0), job(0, arrival=0.0)]
+        picked, chip = create_scheduler("locality").select(
+            6.0, queue, list(CHIPS), ctx
+        )
+        assert (picked.job_id, chip.chip_id) == (0, 0)

@@ -1,0 +1,85 @@
+"""Run records: canonical persistence, replay verification, tampering."""
+
+import json
+
+import pytest
+
+from repro.cluster import run_workload
+from repro.cluster.record import (
+    RECORD_SCHEMA_VERSION,
+    ClusterRunResult,
+    replay,
+    verify_replay,
+)
+from repro.utils.jsonutil import canonical_json
+
+
+@pytest.fixture(scope="module")
+def recorded(smoke_trace, small_fleet, study_cache):
+    return run_workload(smoke_trace, small_fleet, "priority", cache=study_cache)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "run.json"
+        recorded.save(path)
+        loaded = ClusterRunResult.load(path)
+        assert loaded.payload_json() == recorded.payload_json()
+        assert loaded.replay_digest == recorded.replay_digest
+        assert loaded.study_stats == recorded.study_stats
+
+    def test_file_is_canonical_json(self, recorded, tmp_path):
+        path = tmp_path / "run.json"
+        recorded.save(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        data = json.loads(text)
+        assert text == canonical_json(data) + "\n"
+        assert data["schema_version"] == RECORD_SCHEMA_VERSION
+        assert data["replay_digest"] == recorded.replay_digest
+
+    def test_schema_version_rejected(self, recorded):
+        data = recorded.to_dict()
+        data["schema_version"] = RECORD_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            ClusterRunResult.from_dict(data)
+
+    def test_digest_excludes_study_stats(self, recorded):
+        # The cold/warm split must not leak into the replay contract.
+        clone = ClusterRunResult.from_dict(recorded.to_dict())
+        clone.study_stats = {"computed": 0, "cache_hits": 99}
+        assert clone.replay_digest == recorded.replay_digest
+
+
+class TestReplay:
+    def test_warm_replay_matches_and_recomputes_nothing(
+        self, recorded, study_cache
+    ):
+        fresh = replay(recorded, cache=study_cache)
+        assert verify_replay(recorded, fresh) is None
+        assert fresh.study_stats["computed"] == 0
+
+    def test_tampered_record_diverges(self, recorded, study_cache):
+        data = recorded.to_dict()
+        data["report"]["total_energy_j"] += 1.0
+        tampered = ClusterRunResult.from_dict(data)
+        fresh = replay(tampered, cache=study_cache)
+        divergence = verify_replay(tampered, fresh)
+        assert divergence is not None
+        assert "report" in divergence
+
+    def test_different_policy_diverges(
+        self, burst_trace, small_fleet, study_cache
+    ):
+        # Under the bursty workload fifo and locality genuinely schedule
+        # differently; a record relabeled with the other policy must not
+        # verify against its own replay.
+        fifo = run_workload(
+            burst_trace, small_fleet, "fifo", cache=study_cache
+        )
+        data = fifo.to_dict()
+        data["policy"] = "locality"
+        relabeled = ClusterRunResult.from_dict(data)
+        fresh = replay(relabeled, cache=study_cache)
+        assert fresh.policy == "locality"
+        assert verify_replay(relabeled, fresh) is not None

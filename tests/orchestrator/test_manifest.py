@@ -2,6 +2,8 @@
 
 import json
 
+import numpy as np
+
 from repro.orchestrator import RunManifest, UnitRecord
 from repro.orchestrator.manifest import CACHED, COMPUTED, FAILED
 
@@ -80,3 +82,36 @@ class TestSerialization:
         assert "1 cached" in text
         assert "1 FAILED" in text
         assert "retries" in text
+
+    def test_numpy_scalars_in_specs_are_cast(self, tmp_path):
+        # Sweep drivers build specs from numpy values (np.linspace
+        # scales, np.int64 seeds); the manifest must still serialize as
+        # plain JSON with builtin-typed payloads.
+        manifest = RunManifest(jobs=np.int64(2))
+        manifest.wall_time_s = np.float64(1.5)
+        manifest.add(
+            UnitRecord(
+                key="cd" * 32,
+                label="sweep unit",
+                spec={
+                    "app": "histogram",
+                    "scale": np.float64(0.05),
+                    "seed": np.int64(9),
+                    "grid": np.linspace(0.0, 1.0, 3),
+                },
+                status=COMPUTED,
+                wall_time_s=np.float64(0.25),
+                attempts=np.int64(1),
+            )
+        )
+        data = manifest.to_dict()
+        text = json.dumps(data, allow_nan=False)  # must not raise
+        spec = data["records"][0]["spec"]
+        assert type(spec["scale"]) is float
+        assert type(spec["seed"]) is int
+        assert spec["grid"] == [0.0, 0.5, 1.0]
+        assert type(data["jobs"]) is int
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        assert json.loads(path.read_text())["records"][0]["spec"] == spec
+        assert "0.05" in text

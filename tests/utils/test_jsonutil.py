@@ -1,0 +1,63 @@
+"""canonical_json / to_builtin: the byte-stability foundation."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.jsonutil import canonical_json, to_builtin
+
+
+class TestToBuiltin:
+    def test_numpy_scalars(self):
+        assert type(to_builtin(np.int64(3))) is int
+        assert type(to_builtin(np.int32(3))) is int
+        assert type(to_builtin(np.float64(2.5))) is float
+        assert type(to_builtin(np.float32(0.5))) is float
+        assert type(to_builtin(np.bool_(True))) is bool
+
+    def test_arrays_become_nested_lists(self):
+        out = to_builtin(np.arange(6).reshape(2, 3))
+        assert out == [[0, 1, 2], [3, 4, 5]]
+        assert all(type(v) is int for row in out for v in row)
+
+    def test_tuples_become_lists(self):
+        assert to_builtin((1, (2, 3))) == [1, [2, 3]]
+
+    def test_nested_dict(self):
+        data = {"a": np.float64(1.5), "b": {"c": (np.int64(2),)}}
+        out = to_builtin(data)
+        assert out == {"a": 1.5, "b": {"c": [2]}}
+        json.dumps(out)
+
+    def test_numeric_keys_stringified(self):
+        out = to_builtin({np.int64(3): "x", 4: "y", 2.5: "z"})
+        assert out == {"3": "x", "4": "y", "2.5": "z"}
+
+    def test_plain_values_pass_through(self):
+        for value in (None, True, "s", 1, 1.5, []):
+            assert to_builtin(value) == value
+
+
+class TestCanonicalJson:
+    def test_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_numpy_equals_builtin_encoding(self):
+        # The whole point: a payload assembled from numpy must hash the
+        # same as the equivalent builtin payload.
+        a = canonical_json({"x": np.float64(0.05), "n": np.int64(7)})
+        b = canonical_json({"x": 0.05, "n": 7})
+        assert a == b
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ValueError):
+            canonical_json({"x": np.float64(math.inf)})
+
+    def test_round_trip_is_stable(self):
+        payload = {"jobs": [{"id": np.int64(1), "t": np.float64(2.5)}]}
+        text = canonical_json(payload)
+        assert canonical_json(json.loads(text)) == text
