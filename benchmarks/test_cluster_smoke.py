@@ -14,6 +14,7 @@ from conftest import write_result
 
 from repro.cluster import (
     fleet_for,
+    hetero_fleet,
     preset_trace,
     run_workload,
     scheduler_names,
@@ -61,4 +62,42 @@ def test_all_policies_and_replay(results_dir, tmp_path):
             }
             for name, result in results.items()
         },
+    }, indent=2))
+
+
+def test_hetero_fleet_smoke(results_dir, tmp_path):
+    """The mixed die-size x tech-node fleet serves a workload end to end.
+
+    Four chip classes (16c/65nm, 64c/45nm, 16c/32nm big.LITTLE,
+    64c/22nm in-order) behind one scheduler: every job completes or is
+    rejected, per-chip studies resolve under the chip's own technology,
+    and the run survives the byte-identical replay contract.
+    """
+    trace = preset_trace(WORKLOAD, seed=SEED)
+    fleet = hetero_fleet(4)
+    cache = StudyCache(tmp_path / "cache")
+
+    result = run_workload(trace, fleet, "locality", cache=cache)
+    report = result.report
+    assert report.completed + report.rejected == len(trace)
+    assert report.completed > 0
+
+    # Jobs really landed across the heterogeneous classes.
+    used_chips = {
+        record.chip_id
+        for record in result.records
+        if record.chip_id is not None
+    }
+    assert len(used_chips) > 1
+
+    fresh = replay(result, cache=cache)
+    assert verify_replay(result, fresh) is None
+    assert fresh.study_stats["computed"] == 0
+
+    write_result(results_dir, "cluster_smoke_hetero.json", json.dumps({
+        "workload": WORKLOAD,
+        "seed": SEED,
+        "fleet": [chip.label for chip in fleet],
+        "replay_digest": result.replay_digest,
+        "report": report.to_dict(),
     }, indent=2))

@@ -43,6 +43,7 @@ from repro.orchestrator import (
     run_campaign,
 )
 from repro.sim import Platform, SystemSimulator, simulate
+from repro.tech import TechNode, TechSpec, get_node
 from repro.telemetry import (
     NullTracer,
     RecordingTracer,
@@ -51,7 +52,7 @@ from repro.telemetry import (
     use_tracer,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "APP_NAMES",
@@ -73,6 +74,9 @@ __all__ = [
     "StudyCache",
     "expand_grid",
     "run_campaign",
+    "TechNode",
+    "TechSpec",
+    "get_node",
     "NVFI_MESH",
     "VFI1_MESH",
     "VFI2_MESH",

@@ -212,6 +212,160 @@ def cluster_section(results) -> str:
     return out.getvalue()
 
 
+#: Column order of the dark-silicon frontier table (report + CLI).
+TECH_FRONTIER_COLUMNS = (
+    "node",
+    "variant",
+    "mix",
+    "cap (W)",
+    "chip peak (W)",
+    "active cores",
+    "dark %",
+    "throughput",
+)
+
+#: Default shape of the frontier sweep when none is given: the paper
+#: node plus two shrinks, homogeneous OoO vs big.LITTLE, three caps.
+TECH_DEFAULT_NODES = ("65nm", "45nm", "32nm")
+TECH_DEFAULT_MIXES = ("ooo", "big_little")
+TECH_DEFAULT_CAPS_W = (40.0, 80.0, 120.0)
+
+
+def tech_node_rows(nodes, variant: str = "itrs") -> list:
+    """One per-node row: rails, clock, per-core peak power, ladder span."""
+    from repro.tech import core_peak_power_w, dvfs_ladder, get_core_type, get_node
+
+    rows = []
+    ooo = get_core_type("ooo")
+    io = get_core_type("io")
+    for node in nodes:
+        resolved = get_node(node, variant)
+        ladder = dvfs_ladder(resolved)
+        rows.append(
+            {
+                "node": resolved.name,
+                "variant": resolved.variant,
+                "Vdd (V)": f"{resolved.vdd_nominal_v:.2f}",
+                "Vth (V)": f"{resolved.vth_v:.2f}",
+                "clock (GHz)": f"{resolved.frequency_nominal_hz / 1e9:.2f}",
+                "OoO peak (W)": f"{core_peak_power_w(resolved, ooo):.2f}",
+                "IO peak (W)": f"{core_peak_power_w(resolved, io):.2f}",
+                "ladder (V)": f"{ladder[0].voltage_v:.2f}-{ladder[-1].voltage_v:.2f}",
+                "area x": f"{resolved.area_scale:.2f}",
+            }
+        )
+    return rows
+
+
+def tech_frontier_rows(
+    nodes=TECH_DEFAULT_NODES,
+    mixes=TECH_DEFAULT_MIXES,
+    caps_w=TECH_DEFAULT_CAPS_W,
+    num_cores: int = 64,
+    variant: str = "itrs",
+) -> list:
+    """Formatted dark-silicon frontier rows (shared by report and CLI)."""
+    from repro.tech import frontier
+
+    rows = []
+    for raw in frontier(nodes, mixes, caps_w, num_cores=num_cores, variant=variant):
+        rows.append(
+            {
+                "node": raw["node"],
+                "variant": raw["variant"],
+                "mix": raw["mix"],
+                "cap (W)": f"{raw['cap_w']:g}",
+                "chip peak (W)": f"{raw['chip_peak_w']:.1f}",
+                "active cores": f"{raw['active_cores']}/{num_cores}",
+                "dark %": f"{raw['dark_fraction'] * 100:.1f}",
+                "throughput": f"{raw['throughput']:.2f}",
+            }
+        )
+    return rows
+
+
+def tech_study_rows(tech_studies: Mapping[str, AppStudy]) -> list:
+    """One measured row per technology configuration of the same app.
+
+    *tech_studies* maps a tech label (``"default (65nm)"`` or a
+    :attr:`repro.tech.TechSpec.label`) to the study run under it.
+    """
+    rows = []
+    for label, study in tech_studies.items():
+        result = study.result(VFI2_WINOC)
+        rows.append(
+            {
+                "tech": label,
+                "config": VFI2_WINOC,
+                "time (ms)": f"{result.total_time_s * 1e3:.1f}",
+                "energy (J)": f"{result.total_energy_j:.1f}",
+                "EDP": f"{result.edp:.3g}",
+                "time vs NVFI": f"{study.normalized_time(VFI2_WINOC):.3f}",
+                "EDP vs NVFI": f"{study.normalized_edp(VFI2_WINOC):.3f}",
+            }
+        )
+    return rows
+
+
+def tech_section(
+    tech_studies: Optional[Mapping[str, AppStudy]] = None,
+    nodes=TECH_DEFAULT_NODES,
+    mixes=TECH_DEFAULT_MIXES,
+    caps_w=TECH_DEFAULT_CAPS_W,
+    num_cores: int = 64,
+    variant: str = "itrs",
+) -> str:
+    """Markdown "technology frontier" section: nodes + dark silicon.
+
+    Renders the per-node technology table and the dark-silicon frontier
+    (active-core ceiling and throughput proxy per node x core mix x
+    power cap).  When *tech_studies* maps tech labels to measured
+    studies of one app (the ``repro tech frontier`` sweep produces
+    exactly this), the section closes with the measured comparison.
+    """
+    out = io.StringIO()
+    write = out.write
+    write("## Technology frontier — nodes, core mixes and dark silicon\n\n")
+    write(
+        "Scale factors are relative to the paper's 65 nm out-of-order "
+        "platform (1.00 V, 2.5 GHz, 1.9 W dynamic + 0.25 W leakage per "
+        "core); the 65 nm row is the identity, so the default pipeline "
+        "is untouched by the tech axis.\n\n"
+    )
+    node_columns = [
+        "node", "variant", "Vdd (V)", "Vth (V)", "clock (GHz)",
+        "OoO peak (W)", "IO peak (W)", "ladder (V)", "area x",
+    ]
+    write(_md_table(tech_node_rows(nodes, variant), node_columns) + "\n\n")
+    write(
+        f"Dark-silicon frontier on a {num_cores}-core die: the largest "
+        "active set whose summed peak power fits the cap (cheapest cores "
+        "first), and its aggregate throughput in units of one 65 nm OoO "
+        "core at nominal clock.\n\n"
+    )
+    write(
+        _md_table(
+            tech_frontier_rows(nodes, mixes, caps_w, num_cores, variant),
+            list(TECH_FRONTIER_COLUMNS),
+        )
+        + "\n\n"
+    )
+    if tech_studies:
+        first = next(iter(tech_studies.values()))
+        write(f"### Measured sweep — {first.label}\n\n")
+        write(
+            _md_table(
+                tech_study_rows(tech_studies),
+                [
+                    "tech", "config", "time (ms)", "energy (J)", "EDP",
+                    "time vs NVFI", "EDP vs NVFI",
+                ],
+            )
+            + "\n\n"
+        )
+    return out.getvalue()
+
+
 def generate_report(
     studies: Optional[Mapping[str, AppStudy]] = None,
     scale: float = 1.0,
@@ -222,6 +376,7 @@ def generate_report(
     tracer=None,
     faulted_studies: Optional[Mapping[str, AppStudy]] = None,
     cluster_results=None,
+    tech_studies: Optional[Mapping[str, AppStudy]] = None,
 ) -> str:
     """Render the full reproduction report as markdown.
 
@@ -235,7 +390,9 @@ def generate_report(
     under a fault plan, keyed like *studies*) appends the fault
     degradation section.  *cluster_results* (an iterable of
     :class:`repro.cluster.record.ClusterRunResult`) appends the cluster
-    service policy-comparison section.
+    service policy-comparison section.  *tech_studies* (one app measured
+    under several technology configurations, keyed by tech label)
+    appends the technology-frontier / dark-silicon section.
     """
     if studies is None:
         studies = collect_studies(
@@ -391,4 +548,7 @@ def generate_report(
     if cluster_results:
         write("\n")
         write(cluster_section(cluster_results))
+    if tech_studies:
+        write("\n")
+        write(tech_section(tech_studies))
     return out.getvalue()

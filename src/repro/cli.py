@@ -33,6 +33,17 @@ Commands
     byte-identical (exit nonzero on divergence).
 ``cluster report --record FILE [FILE ...]``
     Render the markdown policy-comparison section from saved records.
+``tech list``
+    Show the technology-node tables (both scaling variants) and the
+    core-type registry the tech axis is built from.
+``tech frontier [--app APP] [--nodes ...] [--mixes ...] [--caps ...]``
+    Sweep one app across technology configurations (node x core mix)
+    through the orchestrator, print the dark-silicon frontier and the
+    measured comparison, and optionally write the markdown section and
+    the campaign manifest.
+``tech export [--output FILE] [--format {md,json}]``
+    Export the node/core tables and the dark-silicon frontier as
+    markdown or JSON.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
@@ -247,6 +258,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cluster_report.add_argument("--record", nargs="+", required=True)
     cluster_report.add_argument("--output", default=None)
+
+    tech = sub.add_parser(
+        "tech", help="technology axis (list/frontier/export)"
+    )
+    tech_sub = tech.add_subparsers(dest="tech_command", required=True)
+
+    tech_sub.add_parser(
+        "list", help="show node tables and core-type registry"
+    )
+
+    tech_frontier = tech_sub.add_parser(
+        "frontier",
+        help="sweep an app across nodes x core mixes via the orchestrator",
+    )
+    tech_frontier.add_argument(
+        "--app", default="histogram", choices=APP_NAMES
+    )
+    tech_frontier.add_argument(
+        "--nodes", nargs="+", default=None, metavar="NODE",
+        help="technology nodes to sweep (default: 65nm 45nm 32nm)",
+    )
+    tech_frontier.add_argument(
+        "--mixes", nargs="+", default=None, metavar="MIX",
+        help="core types / mix presets to sweep (default: ooo big_little)",
+    )
+    tech_frontier.add_argument(
+        "--caps", type=float, nargs="+", default=None, metavar="W",
+        help="chip power caps for the dark-silicon table "
+        "(default: 40 80 120)",
+    )
+    tech_frontier.add_argument(
+        "--variant", choices=("itrs", "cons"), default="itrs",
+        help="technology-scaling trajectory (optimistic vs conservative)",
+    )
+    tech_frontier.add_argument("--scale", type=float, default=1.0)
+    tech_frontier.add_argument("--seed", type=int, default=7)
+    tech_frontier.add_argument("--num-workers", type=int, default=64)
+    tech_frontier.add_argument("--jobs", type=int, default=1)
+    tech_frontier.add_argument("--cache-dir", default=None)
+    tech_frontier.add_argument(
+        "--manifest", default=None,
+        help="save the campaign's run manifest (JSON) to this path; a "
+        "sibling .trace.json with the per-unit timeline is written too",
+    )
+    tech_frontier.add_argument(
+        "--report", default=None,
+        help="write the markdown technology-frontier section (with the "
+        "measured sweep) to this path",
+    )
+
+    tech_export = tech_sub.add_parser(
+        "export", help="export node/core tables and the frontier"
+    )
+    tech_export.add_argument(
+        "--output", default=None, help="write to file (default: stdout)"
+    )
+    tech_export.add_argument(
+        "--format", choices=("md", "json"), default="md"
+    )
+    tech_export.add_argument(
+        "--nodes", nargs="+", default=None, metavar="NODE",
+        help="nodes to export (default: every node)",
+    )
+    tech_export.add_argument(
+        "--variant", choices=("itrs", "cons"), default="itrs"
+    )
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
     topology.add_argument("app", choices=APP_NAMES)
@@ -660,6 +737,185 @@ def _cmd_cluster(args) -> int:
     return handlers[args.cluster_command](args)
 
 
+def _tech_list(args) -> int:
+    from repro.tech import (
+        VARIANTS,
+        core_type_names,
+        dvfs_ladder,
+        get_core_type,
+        get_node,
+        node_names,
+    )
+
+    for variant in VARIANTS:
+        print(f"technology nodes ({variant}):")
+        rows = []
+        for name in node_names():
+            node = get_node(name, variant)
+            ladder = dvfs_ladder(node)
+            rows.append(
+                {
+                    "node": node.name,
+                    "Vdd (V)": f"{node.vdd_nominal_v:.2f}",
+                    "Vth (V)": f"{node.vth_v:.2f}",
+                    "clock (GHz)": f"{node.frequency_nominal_hz / 1e9:.2f}",
+                    "dyn x": f"{node.dynamic_scale:.2f}",
+                    "leak x": f"{node.leakage_scale:.2f}",
+                    "area x": f"{node.area_scale:.2f}",
+                    "ladder": " ".join(p.label for p in ladder[:: len(ladder) - 1]),
+                }
+            )
+        print(format_table(rows))
+        print()
+    print("core types:")
+    rows = []
+    for name in core_type_names():
+        core = get_core_type(name)
+        rows.append(
+            {
+                "type": core.name,
+                "perf x": f"{core.perf_scale:.2f}",
+                "dyn x": f"{core.dynamic_scale:.2f}",
+                "leak x": f"{core.leakage_scale:.2f}",
+                "area x": f"{core.area_scale:.2f}",
+                "description": core.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _tech_frontier(args) -> int:
+    from repro.analysis.report import (
+        TECH_DEFAULT_CAPS_W,
+        TECH_DEFAULT_MIXES,
+        TECH_DEFAULT_NODES,
+        tech_frontier_rows,
+        tech_section,
+        tech_study_rows,
+    )
+    from repro.orchestrator.executor import run_campaign
+    from repro.orchestrator.spec import expand_grid
+    from repro.tech import TechSpec, get_node
+
+    nodes = tuple(args.nodes) if args.nodes else TECH_DEFAULT_NODES
+    mixes = tuple(args.mixes) if args.mixes else TECH_DEFAULT_MIXES
+    caps = tuple(args.caps) if args.caps else TECH_DEFAULT_CAPS_W
+    # Vet the axes up front so a typo fails before the campaign starts.
+    for node in nodes:
+        get_node(node, args.variant)
+    sweep = [
+        TechSpec(node=node, variant=args.variant, cores=mix)
+        for node in nodes
+        for mix in mixes
+    ]
+    specs = expand_grid(
+        [args.app],
+        scales=[args.scale],
+        seeds=[args.seed],
+        num_workers=[args.num_workers],
+        tech=sweep,
+    )
+    campaign = run_campaign(
+        specs, jobs=args.jobs, cache=args.cache_dir, progress=_print_progress,
+    )
+    campaign.raise_failures()
+    tech_studies = {}
+    for spec in specs:
+        tech = spec.tech_spec()
+        label = tech.label if tech is not None else "default (65nm)"
+        tech_studies[label] = campaign.study(spec)
+
+    print(
+        f"{args.app}: {len(specs)} technology configurations "
+        f"({len(nodes)} nodes x {len(mixes)} mixes, variant {args.variant})"
+    )
+    print("\nDark-silicon frontier (active cores / throughput under a cap):")
+    print(
+        format_table(
+            tech_frontier_rows(nodes, mixes, caps, args.num_workers, args.variant)
+        )
+    )
+    print("\nMeasured sweep (vfi2_winoc per technology configuration):")
+    print(format_table(tech_study_rows(tech_studies)))
+
+    if args.report:
+        text = tech_section(
+            tech_studies, nodes=nodes, mixes=mixes, caps_w=caps,
+            num_cores=args.num_workers, variant=args.variant,
+        )
+        with open(args.report, "w") as handle:
+            handle.write(text)
+        print(f"\ntech report written to {args.report}")
+    if args.manifest:
+        import pathlib
+
+        manifest_path = pathlib.Path(args.manifest)
+        campaign.manifest.save(manifest_path)
+        trace_path = manifest_path.with_suffix(".trace.json")
+        campaign.manifest.save_trace(trace_path)
+        print(f"run manifest saved to {manifest_path} (+ {trace_path})")
+    return 0
+
+
+def _tech_export(args) -> int:
+    from repro.analysis.report import (
+        TECH_DEFAULT_CAPS_W,
+        TECH_DEFAULT_MIXES,
+        tech_section,
+    )
+    from repro.tech import (
+        CORE_TYPES,
+        frontier,
+        get_core_type,
+        get_node,
+        node_names,
+    )
+
+    nodes = tuple(args.nodes) if args.nodes else tuple(node_names())
+    if args.format == "json":
+        import json
+
+        payload = {
+            "variant": args.variant,
+            "nodes": [
+                get_node(node, args.variant).to_dict() for node in nodes
+            ],
+            "core_types": {
+                name: {
+                    "perf_scale": get_core_type(name).perf_scale,
+                    "dynamic_scale": get_core_type(name).dynamic_scale,
+                    "leakage_scale": get_core_type(name).leakage_scale,
+                    "area_scale": get_core_type(name).area_scale,
+                }
+                for name in sorted(CORE_TYPES)
+            },
+            "frontier": frontier(
+                nodes, TECH_DEFAULT_MIXES, TECH_DEFAULT_CAPS_W,
+                variant=args.variant,
+            ),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        text = tech_section(nodes=nodes, variant=args.variant)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"tech tables written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_tech(args) -> int:
+    handlers = {
+        "list": _tech_list,
+        "frontier": _tech_frontier,
+        "export": _tech_export,
+    }
+    return handlers[args.tech_command](args)
+
+
 def _cmd_topology(args) -> int:
     from repro.core.experiment import NVFI_MESH
     from repro.core.platforms import build_vfi_winoc
@@ -693,6 +949,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "cluster": _cmd_cluster,
+    "tech": _cmd_tech,
     "topology": _cmd_topology,
 }
 

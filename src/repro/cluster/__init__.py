@@ -23,7 +23,7 @@ from repro.cluster.arrivals import (
     preset_trace,
 )
 from repro.cluster.costmodel import CostModel, JobEstimate
-from repro.cluster.fleet import ChipSpec, Fleet, fleet_for
+from repro.cluster.fleet import ChipSpec, Fleet, fleet_for, hetero_fleet
 from repro.cluster.jobs import COMPLETED, REJECTED, ClusterJob, JobRecord
 from repro.cluster.metrics import SloReport, slo_report
 from repro.cluster.policies import (
@@ -46,6 +46,7 @@ __all__ = [
     "ChipSpec",
     "Fleet",
     "fleet_for",
+    "hetero_fleet",
     "COMPLETED",
     "REJECTED",
     "ClusterJob",

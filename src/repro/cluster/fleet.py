@@ -22,6 +22,7 @@ from repro.core.experiment import NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC
 from repro.core.geometry import DieGeometry
 from repro.faults import FaultPlan
 from repro.orchestrator.spec import WINOC_METHODOLOGIES, _canonical_plan_json
+from repro.tech.spec import TechSpec, canonical_tech_json
 from repro.utils.jsonutil import to_builtin
 
 #: Configurations a chip can embody (one simulated system per chip).
@@ -39,6 +40,9 @@ class ChipSpec:
     #: Canonical fault-plan JSON degrading this chip, or ``None``.
     #: Accepts a FaultPlan / JSON text at construction (like StudySpec).
     fault_plan: Optional[str] = None
+    #: Canonical tech JSON (node x core mix), or ``None`` for the paper's
+    #: 65 nm homogeneous default.  Accepts a TechSpec / JSON text.
+    tech: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "chip_id", int(self.chip_id))
@@ -46,6 +50,7 @@ class ChipSpec:
         object.__setattr__(
             self, "fault_plan", _canonical_plan_json(self.fault_plan)
         )
+        object.__setattr__(self, "tech", canonical_tech_json(self.tech))
         if self.chip_id < 0:
             raise ValueError(f"chip_id must be >= 0, got {self.chip_id}")
         if self.config not in CHIP_CONFIGS:
@@ -77,7 +82,7 @@ class ChipSpec:
         """Chips of the same class resolve a job to the same StudySpec."""
         return (
             self.num_workers, self.config, self.winoc_methodology,
-            self.fault_plan,
+            self.fault_plan, self.tech,
         )
 
     def plan(self) -> Optional[FaultPlan]:
@@ -85,12 +90,20 @@ class ChipSpec:
             return None
         return FaultPlan.from_json(self.fault_plan)
 
+    def tech_spec(self) -> Optional[TechSpec]:
+        """The decoded tech spec, or ``None`` for the paper default."""
+        if self.tech is None:
+            return None
+        return TechSpec.from_json(self.tech)
+
     @property
     def label(self) -> str:
         parts = [f"chip{self.chip_id}", f"{self.num_workers}c", self.config]
         if self.fault_plan is not None:
             plan = self.plan()
             parts.append(f"faults={plan.name or 'plan'}({len(plan)})")
+        if self.tech is not None:
+            parts.append(f"tech={self.tech_spec().label}")
         return " ".join(parts)
 
     def to_dict(self) -> Dict:
@@ -100,6 +113,7 @@ class ChipSpec:
             "config": self.config,
             "winoc_methodology": self.winoc_methodology,
             "fault_plan": self.fault_plan,
+            "tech": self.tech,
         }
 
     @classmethod
@@ -170,12 +184,15 @@ def fleet_for(
     config: str = VFI2_WINOC,
     interconnect_gbps: float = 1.0,
     fault_plans: Union[None, Sequence[Union[None, str, FaultPlan]]] = None,
+    tech: Union[None, str, TechSpec] = None,
 ) -> Fleet:
     """Build a homogeneous fleet (optionally with per-chip fault plans).
 
     *fault_plans*, when given, must have one entry per chip (``None``
     entries leave that chip clean) -- this is how a cluster scenario
     degrades part of the fleet while the rest serves at full speed.
+    *tech* applies one technology configuration to every chip; build the
+    fleet by hand (or with :func:`hetero_fleet`) for per-chip nodes.
     """
     if num_chips < 1:
         raise ValueError(f"num_chips must be >= 1, got {num_chips}")
@@ -192,6 +209,43 @@ def fleet_for(
                 num_workers=num_workers,
                 config=config,
                 fault_plan=plan,
+                tech=tech,
+            )
+        )
+    return Fleet(chips=tuple(chips), interconnect_gbps=interconnect_gbps)
+
+
+def hetero_fleet(
+    num_chips: int = 4,
+    config: str = VFI2_WINOC,
+    interconnect_gbps: float = 1.0,
+) -> Fleet:
+    """Heterogeneous reference fleet: mixed die sizes *and* tech nodes.
+
+    Chips cycle through four classes -- the paper's 16-core 65 nm chip,
+    a 64-core 45 nm shrink, a 16-core 32 nm big.LITTLE part and a
+    64-core 22 nm in-order throughput part -- so a single fleet
+    exercises every axis the scheduler can trade against: die size, node
+    and core mix.  Chips of the same class still deduplicate to one
+    study per job via :attr:`ChipSpec.class_key`.
+    """
+    classes = (
+        (16, None),
+        (64, TechSpec(node="45nm")),
+        (16, TechSpec(node="32nm", cores="big_little")),
+        (64, TechSpec(node="22nm", cores="io")),
+    )
+    if num_chips < 1:
+        raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+    chips = []
+    for chip_id in range(num_chips):
+        num_workers, tech = classes[chip_id % len(classes)]
+        chips.append(
+            ChipSpec(
+                chip_id=chip_id,
+                num_workers=num_workers,
+                config=config,
+                tech=tech,
             )
         )
     return Fleet(chips=tuple(chips), interconnect_gbps=interconnect_gbps)

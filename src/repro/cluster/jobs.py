@@ -95,6 +95,7 @@ class ClusterJob:
             winoc_methodology=chip.winoc_methodology,
             include_vfi1=chip.needs_vfi1,
             fault_plan=chip.fault_plan,
+            tech=chip.tech,
         )
 
     def to_dict(self) -> Dict:

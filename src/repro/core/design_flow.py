@@ -27,6 +27,7 @@ from repro.vfi.clustering import (
     ClusteringResult,
     solve_simulated_annealing,
 )
+from repro.vfi.islands import DVFS_LADDER, VfPoint
 from repro.vfi.vf_assign import VfAssignment, assign_vf, reassign_for_bottlenecks
 
 
@@ -106,6 +107,7 @@ def design_vfi(
     clustering_iterations: int = 4000,
     seed: SeedLike = None,
     structural_workers: Optional[set] = None,
+    ladder: Sequence[VfPoint] = DVFS_LADDER,
 ) -> VfiDesign:
     """Run the full Fig. 3 flow from an NVFI characterization.
 
@@ -125,6 +127,9 @@ def design_vfi(
         paper's distinction between true bottleneck cores (PCA/HIST/MM)
         and data-driven hot cores that the clustering already placed in
         fast islands (Kmeans/WC).
+    ladder:
+        DVFS ladder to assign from (the paper's 65 nm ladder by default;
+        the technology axis passes the target node's derived ladder).
     """
     utilization = np.asarray(utilization, dtype=float)
     tracer = get_tracer()
@@ -139,7 +144,9 @@ def design_vfi(
             problem, iterations=clustering_iterations, seed=seed
         )
     with tracer.wall_span("vfi.vf_assign", cat="vfi", pid="design-flow"):
-        vfi1 = assign_vf(utilization, clustering.assignment, num_islands)
+        vfi1 = assign_vf(
+            utilization, clustering.assignment, num_islands, ladder=ladder
+        )
     with tracer.wall_span("vfi.bottleneck", cat="vfi", pid="design-flow"):
         report = detect_bottlenecks(utilization)
     # Candidates are sorted by descending utilization; the decisive test
@@ -152,7 +159,7 @@ def design_vfi(
     if structurally_confirmed:
         with tracer.wall_span("vfi.reassign", cat="vfi", pid="design-flow"):
             vfi2 = reassign_for_bottlenecks(
-                vfi1, utilization, clustering.assignment, report
+                vfi1, utilization, clustering.assignment, report, ladder=ladder
             )
     else:
         vfi2 = vfi1

@@ -35,6 +35,7 @@ from repro.mapreduce.trace import JobTrace
 from repro.sim.config import SimulationParams
 from repro.sim.stats import SimulationResult
 from repro.sim.system import simulate
+from repro.tech.spec import TechSpec, normalize_tech
 from repro.telemetry import get_tracer
 from repro.utils.rng import spawn_seed
 
@@ -106,6 +107,7 @@ def run_app_study(
     use_cache: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    tech: Optional[TechSpec] = None,
 ) -> AppStudy:
     """Run the full paper pipeline for one application (memoized).
 
@@ -113,12 +115,19 @@ def run_app_study(
     under it (the same plan stresses all four systems), while the design
     flow still consumes a clean NVFI characterization: V/F islands are a
     design-time decision, faults are a runtime condition.
+
+    *tech* selects a technology configuration (node, scaling variant,
+    per-island core mix; see :class:`repro.tech.TechSpec`).  The paper's
+    65 nm homogeneous out-of-order default normalizes to ``None`` and
+    takes the exact legacy code path.
     """
     fault_plan = _normalize_fault_plan(fault_plan)
     plan_key = fault_plan.to_json() if fault_plan is not None else None
+    tech = normalize_tech(tech)
+    tech_key = tech.to_json() if tech is not None else None
     key = (
         app_name, scale, seed, num_workers, winoc_methodology, include_vfi1,
-        plan_key,
+        plan_key, tech_key,
     )
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
@@ -136,7 +145,7 @@ def run_app_study(
     # 1. NVFI-mesh characterization (always fault-free: it feeds the
     #    design flow).  With a fault plan, a second, degraded NVFI run is
     #    what gets stored and compared.
-    nvfi = build_nvfi_mesh(geometry)
+    nvfi = build_nvfi_mesh(geometry, tech=tech)
     with tracer.wall_span(
         "study.sim_nvfi", cat="study", pid="pipeline", app=app_name,
     ):
@@ -147,12 +156,16 @@ def run_app_study(
     with tracer.wall_span(
         "study.design", cat="study", pid="pipeline", app=app_name,
     ):
+        design_kwargs = {}
+        if tech is not None:
+            design_kwargs["ladder"] = tech.ladder()
         design = design_vfi(
             utilization=nvfi_result.utilization,
             traffic=traffic,
             num_islands=geometry.num_islands,
             seed=spawn_seed(seed, app_name, "clustering"),
             structural_workers=structural_bottleneck_workers(trace),
+            **design_kwargs,
         )
 
     results: Dict[str, SimulationResult] = {}
@@ -169,7 +182,9 @@ def run_app_study(
     # 3. VFI mesh systems (Eq. 3 stealing active).
     map_seed = spawn_seed(seed, app_name, "mapping")
     if include_vfi1:
-        vfi1_platform = build_vfi_mesh(design, "vfi1", geometry=geometry, seed=map_seed)
+        vfi1_platform = build_vfi_mesh(
+            design, "vfi1", geometry=geometry, seed=map_seed, tech=tech
+        )
         with tracer.wall_span(
             "study.sim_vfi1_mesh", cat="study", pid="pipeline", app=app_name,
         ):
@@ -180,7 +195,9 @@ def run_app_study(
                 stealing_policy=design.stealing_policy("vfi1"),
                 params=sim_params,
             )
-    vfi2_platform = build_vfi_mesh(design, "vfi2", geometry=geometry, seed=map_seed)
+    vfi2_platform = build_vfi_mesh(
+        design, "vfi2", geometry=geometry, seed=map_seed, tech=tech
+    )
     with tracer.wall_span(
         "study.sim_vfi2_mesh", cat="study", pid="pipeline", app=app_name,
     ):
@@ -201,6 +218,7 @@ def run_app_study(
         geometry=geometry,
         seed=spawn_seed(seed, app_name, "winoc"),
         traffic_rate_bps=rate_bps,
+        tech=tech,
     )
     with tracer.wall_span(
         "study.sim_vfi2_winoc", cat="study", pid="pipeline", app=app_name,
@@ -232,6 +250,7 @@ def store_study(
     winoc_methodology: str = "max_wireless",
     include_vfi1: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    tech: Optional[TechSpec] = None,
 ) -> None:
     """Pre-populate the in-process memo with an externally obtained study.
 
@@ -242,10 +261,12 @@ def store_study(
     """
     fault_plan = _normalize_fault_plan(fault_plan)
     plan_key = fault_plan.to_json() if fault_plan is not None else None
+    tech = normalize_tech(tech)
+    tech_key = tech.to_json() if tech is not None else None
     _STUDY_CACHE[
         (
             app_name, scale, seed, num_workers, winoc_methodology,
-            include_vfi1, plan_key,
+            include_vfi1, plan_key, tech_key,
         )
     ] = study
 

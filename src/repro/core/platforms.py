@@ -32,8 +32,10 @@ from repro.noc.routing import build_mesh_routing, build_routing_table
 from repro.noc.smallworld import SmallWorldConfig, build_small_world
 from repro.noc.topology import GridGeometry, build_mesh
 from repro.noc.wireless import WirelessSpec, assign_wireless_links
+from repro.energy.core_power import CorePowerParams
 from repro.sim.config import MemoryParams
 from repro.sim.platform import Platform
+from repro.tech.spec import TechSpec
 from repro.utils.rng import SeedLike, derive_rng, spawn_seed
 from repro.vfi.islands import NOMINAL, VfiLayout
 from repro.vfi.vf_assign import VfAssignment
@@ -108,6 +110,27 @@ def noc_params_for(die: DieGeometry) -> NocParams:
     return NocParams(dense_block_nodes=LARGE_DIE_BLOCK_NODES)
 
 
+def _tech_platform_kwargs(tech: Optional[TechSpec], num_islands: int) -> dict:
+    """Platform fields the technology axis adds.
+
+    Empty for ``tech=None`` (and builders pass the spec through
+    :func:`repro.tech.spec.normalize_tech` upstream), so the paper
+    platform is constructed with exactly the legacy arguments.
+    """
+    if tech is None:
+        return {}
+    node = tech.tech_node()
+    mix = tech.mix_for(num_islands)
+    return {
+        "dvfs_ladder": tech.ladder(),
+        "core_power_params": CorePowerParams.from_tech(node),
+        "island_core_power": tuple(
+            CorePowerParams.from_tech(node, name) for name in mix.types
+        ),
+        "perf_scales": mix.perf_scales(),
+    }
+
+
 def _check_design(design: VfiDesign, die: DieGeometry) -> None:
     if design.num_islands != die.num_islands:
         raise ValueError(
@@ -120,25 +143,28 @@ def _check_design(design: VfiDesign, die: DieGeometry) -> None:
 def build_nvfi_mesh(
     geometry: GeometryLike = None,
     name: str = "nvfi-mesh",
+    tech: Optional[TechSpec] = None,
 ) -> Platform:
     """Baseline: every island at nominal V/F, mesh NoC, identity mapping.
 
     The island layout is kept (it is physically there) but all islands
-    run 1.0 V / 2.5 GHz, so the platform behaves as a single
-    clock/voltage domain.
+    run the node's nominal point (1.0 V / 2.5 GHz at the default 65 nm),
+    so the platform behaves as a single clock/voltage domain.
     """
     die = as_die(geometry)
     layout = die.layout()
     mesh = build_mesh(die.grid())
+    nominal = tech.ladder()[-1] if tech is not None else NOMINAL
     return Platform(
         name=name,
         layout=layout,
-        vf_points=[NOMINAL] * layout.num_clusters,
+        vf_points=[nominal] * layout.num_clusters,
         topology=mesh,
         routing=build_mesh_routing(mesh),
         mapping=identity_mapping(die.num_cores),
         memory_params=memory_params_for(die),
         noc_params=noc_params_for(die),
+        **_tech_platform_kwargs(tech, layout.num_clusters),
     )
 
 
@@ -165,6 +191,7 @@ def build_vfi_mesh(
     mapping: Optional[ThreadMapping] = None,
     seed: SeedLike = None,
     name: Optional[str] = None,
+    tech: Optional[TechSpec] = None,
 ) -> Platform:
     """VFI 1 or VFI 2 system on the baseline mesh interconnect."""
     die = as_die(geometry, num_islands=design.num_islands)
@@ -185,6 +212,7 @@ def build_vfi_mesh(
         mapping=mapping,
         memory_params=memory_params_for(die),
         noc_params=noc_params_for(die),
+        **_tech_platform_kwargs(tech, layout.num_clusters),
     )
 
 
@@ -199,6 +227,7 @@ def build_vfi_winoc(
     seed: SeedLike = 11,
     traffic_rate_bps: Optional[np.ndarray] = None,
     name: Optional[str] = None,
+    tech: Optional[TechSpec] = None,
 ) -> Platform:
     """VFI system on the wireless small-world NoC (paper Secs. 5-6).
 
@@ -309,4 +338,5 @@ def build_vfi_winoc(
         wireless_spec=wireless_spec,
         memory_params=memory_params_for(die),
         noc_params=noc_params_for(die),
+        **_tech_platform_kwargs(tech, layout.num_clusters),
     )

@@ -3,7 +3,11 @@
 For an out-of-order x86-class core in 65 nm at the paper's nominal
 1.0 V / 2.5 GHz we use ~1.9 W peak dynamic and ~0.25 W leakage per core
 (64 cores = ~140 W chip at full tilt, consistent with McPAT numbers for
-this class of multicore).  Scaling:
+this class of multicore).  The nominal anchors live in
+:mod:`repro.tech.nodes` (``BASE_DYNAMIC_W`` / ``BASE_LEAKAGE_W``) and
+the defaults here are derived from the 65 nm table entry, so the energy
+model and the technology axis can never drift apart; other nodes and
+core types come in through :meth:`CorePowerParams.from_tech`.  Scaling:
 
 * dynamic:  P_dyn = P_dyn_nom * a * (V / V_nom)^2 * (f / f_nom)
   with activity ``a`` = 1 when busy, ``idle_activity`` when clock-gated;
@@ -17,19 +21,32 @@ Energy over an interval = busy_time * (P_dyn + P_leak)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
+from repro.tech.cores import CoreType, DEFAULT_CORE, get_core_type
+from repro.tech.nodes import (
+    BASE_DYNAMIC_W,
+    BASE_LEAKAGE_W,
+    TechNode,
+    nominal_point,
+    paper_node,
+)
 from repro.vfi.islands import NOMINAL, VfPoint
 from repro.utils.validation import check_positive, check_probability
+
+#: Defaults of the analytic model that are *not* per-node table entries.
+IDLE_ACTIVITY = 0.05
+LEAKAGE_GAMMA = 2.5
 
 
 @dataclass(frozen=True)
 class CorePowerParams:
-    dynamic_w_nominal: float = 1.9
-    leakage_w_nominal: float = 0.25
+    dynamic_w_nominal: float = BASE_DYNAMIC_W * paper_node().dynamic_scale
+    leakage_w_nominal: float = BASE_LEAKAGE_W * paper_node().leakage_scale
     #: Clock-gated idle dynamic activity factor.
-    idle_activity: float = 0.05
+    idle_activity: float = IDLE_ACTIVITY
     #: Leakage voltage exponent.
-    leakage_gamma: float = 2.5
+    leakage_gamma: float = LEAKAGE_GAMMA
     nominal: VfPoint = NOMINAL
 
     def __post_init__(self) -> None:
@@ -37,6 +54,37 @@ class CorePowerParams:
         check_positive("leakage_w_nominal", self.leakage_w_nominal, allow_zero=True)
         check_probability("idle_activity", self.idle_activity)
         check_positive("leakage_gamma", self.leakage_gamma)
+
+    @classmethod
+    def from_tech(
+        cls,
+        node: TechNode,
+        core_type: Union[str, CoreType, None] = None,
+        idle_activity: float = IDLE_ACTIVITY,
+        leakage_gamma: float = LEAKAGE_GAMMA,
+    ) -> "CorePowerParams":
+        """Parameters for one core of *core_type* at *node*'s nominal.
+
+        The node tables scale the 65 nm anchors; the core type then
+        multiplies dynamic/leakage on top (the out-of-order baseline is
+        the identity).  ``from_tech(paper_node())`` equals the default
+        ``CorePowerParams()`` bit for bit.
+        """
+        if core_type is None:
+            core_type = get_core_type(DEFAULT_CORE)
+        elif isinstance(core_type, str):
+            core_type = get_core_type(core_type)
+        return cls(
+            dynamic_w_nominal=(
+                BASE_DYNAMIC_W * node.dynamic_scale * core_type.dynamic_scale
+            ),
+            leakage_w_nominal=(
+                BASE_LEAKAGE_W * node.leakage_scale * core_type.leakage_scale
+            ),
+            idle_activity=idle_activity,
+            leakage_gamma=leakage_gamma,
+            nominal=nominal_point(node),
+        )
 
 
 class CorePowerModel:

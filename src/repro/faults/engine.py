@@ -46,7 +46,7 @@ from repro.faults.spec import (
 from repro.noc.routing import build_routing_table
 from repro.noc.wireless import channels_of
 from repro.telemetry import get_tracer
-from repro.vfi.islands import DVFS_LADDER, VfPoint, nearest_ladder_point
+from repro.vfi.islands import VfPoint, nearest_ladder_point
 
 if TYPE_CHECKING:  # runtime import is deferred: sim.config imports the
     # faults leaf modules, so importing the platform here at module scope
@@ -263,14 +263,15 @@ class FaultEngine:
                         self.tracer.counter_add(
                             "faults.bottleneck_reassignments", 1.0
                         )
+        ladder = self.base_platform.ladder
         points = []
         for island, point in enumerate(base_points):
             down = steps.get(island, 0)
             if down > 0:
-                ladder_index = DVFS_LADDER.index(
-                    nearest_ladder_point(point.frequency_hz)
+                ladder_index = ladder.index(
+                    nearest_ladder_point(point.frequency_hz, ladder)
                 )
-                point = DVFS_LADDER[max(ladder_index - down, 0)]
+                point = ladder[max(ladder_index - down, 0)]
             points.append(point)
         return tuple(points)
 
@@ -331,6 +332,9 @@ class FaultEngine:
             wireless_spec=base.wireless_spec,
             core_power_params=base.core_power_params,
             noc_energy_params=base.noc_energy_params,
+            dvfs_ladder=base.dvfs_ladder,
+            island_core_power=base.island_core_power,
+            perf_scales=base.perf_scales,
         )
         # Share the base static cache: epoch-aware keys keep degraded
         # tables separate while V/F-only degradations reuse the base
@@ -347,7 +351,7 @@ class FaultEngine:
         failure instant still run at full speed, and everything after it
         is excluded via :attr:`fail_time`, never via frequency.
         """
-        return np.array(platform.worker_frequencies()) / self.slowdown
+        return np.array(platform.effective_worker_frequencies()) / self.slowdown
 
     def effective_policy(self, base_policy, platform: Platform):
         """Stealing policy against the degraded frequency map.

@@ -24,12 +24,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.apps.registry import canonical_app_name
 from repro.core.geometry import DieGeometry
 from repro.faults import FaultPlan
+from repro.tech.spec import TechSpec, canonical_tech_json
 
 #: Bump whenever the serialized study document or the pipeline semantics
 #: change: a new version invalidates every previously cached result.
 #: v2: specs grew a ``fault_plan`` axis and study documents may carry a
 #: ``faults`` impact section.
-CACHE_SCHEMA_VERSION = 2
+#: v3: specs grew a ``tech`` axis (technology node x core mix).
+CACHE_SCHEMA_VERSION = 3
 
 WINOC_METHODOLOGIES = ("max_wireless", "min_hop")
 
@@ -72,6 +74,12 @@ class StudySpec:
     #: stays hashable and its cache key is a pure function of builtins;
     #: construction also accepts a ``FaultPlan`` and canonicalizes it.
     fault_plan: Optional[str] = None
+    #: Canonical JSON encoding of a :class:`repro.tech.TechSpec`, or
+    #: ``None`` for the paper's default technology (65 nm, homogeneous
+    #: out-of-order).  Same carrying convention as ``fault_plan``; the
+    #: default spec collapses to ``None`` so the paper unit keeps exactly
+    #: one identity.
+    tech: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", canonical_app_name(self.app))
@@ -82,6 +90,7 @@ class StudySpec:
         object.__setattr__(
             self, "fault_plan", _canonical_plan_json(self.fault_plan)
         )
+        object.__setattr__(self, "tech", canonical_tech_json(self.tech))
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale!r}")
         try:
@@ -113,6 +122,8 @@ class StudySpec:
         kwargs["app_name"] = kwargs.pop("app")
         if kwargs["fault_plan"] is not None:
             kwargs["fault_plan"] = FaultPlan.from_json(kwargs["fault_plan"])
+        if kwargs["tech"] is not None:
+            kwargs["tech"] = TechSpec.from_json(kwargs["tech"])
         return kwargs
 
     def plan(self) -> Optional[FaultPlan]:
@@ -120,6 +131,12 @@ class StudySpec:
         if self.fault_plan is None:
             return None
         return FaultPlan.from_json(self.fault_plan)
+
+    def tech_spec(self) -> Optional[TechSpec]:
+        """The decoded tech spec, or ``None`` for the paper default."""
+        if self.tech is None:
+            return None
+        return TechSpec.from_json(self.tech)
 
     def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
         """Stable content address of this spec.
@@ -151,6 +168,8 @@ class StudySpec:
             plan = self.plan()
             name = plan.name or "plan"
             parts.append(f"faults={name}({len(plan)})")
+        if self.tech is not None:
+            parts.append(f"tech={self.tech_spec().label}")
         return " ".join(parts)
 
     def run(self):
@@ -168,6 +187,7 @@ def expand_grid(
     winoc_methodologies: Iterable[str] = ("max_wireless",),
     include_vfi1: Iterable[bool] = (True,),
     fault_plans: Iterable[Union[None, str, FaultPlan]] = (None,),
+    tech: Iterable[Union[None, str, TechSpec]] = (None,),
 ) -> List[StudySpec]:
     """Cross-product a campaign grid into de-duplicated specs.
 
@@ -177,7 +197,9 @@ def expand_grid(
     :class:`StudySpec`, so ``("hist", "histogram")`` collapses to one unit.
     The ``fault_plans`` axis is the resilience sweep: pairing ``(None,
     plan)`` runs every configuration clean and degraded, which is how the
-    degradation report gets its baseline.
+    degradation report gets its baseline.  The ``tech`` axis sweeps
+    technology configurations (node x core mix); ``None`` entries are
+    the paper's 65 nm homogeneous default.
     """
     if not apps:
         raise ValueError("apps must be non-empty")
@@ -185,7 +207,7 @@ def expand_grid(
     seen = set()
     for combo in itertools.product(
         apps, scales, seeds, num_workers, winoc_methodologies,
-        include_vfi1, fault_plans,
+        include_vfi1, fault_plans, tech,
     ):
         spec = StudySpec(*combo)
         if spec not in seen:

@@ -215,8 +215,8 @@ class PhaseAdaptiveSimulator:
             busy = busy_by_points[points]
             total_busy += busy
             committed += sim._committed
-            power = platform.core_power
             for worker in range(num_workers):
+                power = platform.core_power_of(platform.island_of_worker(worker))
                 vf = platform.vf_of_worker(worker)
                 busy_s = float(min(busy[worker], elapsed))
                 idle_s = max(elapsed - busy_s, 0.0)
@@ -251,7 +251,7 @@ class PhaseAdaptiveSimulator:
             total_time_s=total_time,
             busy_s=total_busy,
             committed_instructions=committed,
-            worker_frequencies_hz=np.array(map_platform.worker_frequencies()),
+            worker_frequencies_hz=np.array(map_platform.effective_worker_frequencies()),
             issue_width=map_platform.core_params.issue_width,
             phases=phases,
             energy=breakdown,

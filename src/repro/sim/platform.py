@@ -15,7 +15,7 @@ the paper are all platforms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.energy.core_power import CorePowerModel, CorePowerParams
 from repro.mapping.thread_mapping import ThreadMapping, identity_mapping
@@ -25,7 +25,7 @@ from repro.noc.routing import RoutingTable, build_routing_table
 from repro.noc.topology import LinkKind, Topology
 from repro.noc.wireless import WirelessSpec
 from repro.sim.config import CoreParams, MemoryParams
-from repro.vfi.islands import VfPoint, VfiLayout
+from repro.vfi.islands import DVFS_LADDER, VfPoint, VfiLayout
 
 
 @dataclass
@@ -44,6 +44,16 @@ class Platform:
     wireless_spec: WirelessSpec = field(default_factory=WirelessSpec)
     core_power_params: CorePowerParams = field(default_factory=CorePowerParams)
     noc_energy_params: NocEnergyParams = field(default_factory=NocEnergyParams)
+    #: Technology axis (all default to ``None`` = the paper platform;
+    #: every accessor then takes the exact legacy code path, which is
+    #: what keeps the default configuration bit-for-bit identical).
+    #: The node's DVFS ladder (used for throttling / ladder lookups).
+    dvfs_ladder: Optional[Tuple[VfPoint, ...]] = None
+    #: Per-island core power params (heterogeneous core mixes).
+    island_core_power: Optional[Tuple[CorePowerParams, ...]] = None
+    #: Per-island core performance multipliers (IPC proxy for in-order
+    #: vs out-of-order cores; scales effective worker frequency).
+    perf_scales: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if len(self.vf_points) != self.layout.num_clusters:
@@ -58,7 +68,29 @@ class Platform:
                 f"mapping covers {self.mapping.num_workers} workers, "
                 f"platform has {self.num_cores} cores"
             )
+        if self.dvfs_ladder is not None:
+            self.dvfs_ladder = tuple(self.dvfs_ladder)
+        if self.island_core_power is not None:
+            self.island_core_power = tuple(self.island_core_power)
+            if len(self.island_core_power) != self.layout.num_clusters:
+                raise ValueError(
+                    f"{len(self.island_core_power)} island power params "
+                    f"for {self.layout.num_clusters} islands"
+                )
+        if self.perf_scales is not None:
+            self.perf_scales = tuple(float(s) for s in self.perf_scales)
+            if len(self.perf_scales) != self.layout.num_clusters:
+                raise ValueError(
+                    f"{len(self.perf_scales)} perf scales for "
+                    f"{self.layout.num_clusters} islands"
+                )
         self.core_power = CorePowerModel(self.core_power_params)
+        if self.island_core_power is None:
+            self._island_power_models = None
+        else:
+            self._island_power_models = tuple(
+                CorePowerModel(params) for params in self.island_core_power
+            )
         self.network = self.build_network()
 
     @property
@@ -127,6 +159,41 @@ class Platform:
         return [self.frequency_of_worker(w) for w in range(self.num_cores)]
 
     @property
+    def ladder(self) -> Tuple[VfPoint, ...]:
+        """This platform's DVFS ladder (the paper's 65 nm one unless a
+        technology node supplied its own)."""
+        return self.dvfs_ladder if self.dvfs_ladder is not None else DVFS_LADDER
+
+    def core_power_of(self, island: int) -> CorePowerModel:
+        """Core power model of *island* (shared model when homogeneous)."""
+        if self._island_power_models is None:
+            return self.core_power
+        return self._island_power_models[island]
+
+    def perf_scale_of_worker(self, worker: int) -> float:
+        if self.perf_scales is None:
+            return 1.0
+        return self.perf_scales[self.island_of_worker(worker)]
+
+    def effective_frequency_of_worker(self, worker: int) -> float:
+        """Island clock x core-type performance multiplier (IPC proxy).
+
+        On the homogeneous paper platform this IS the island clock --
+        heterogeneous mixes slow in-order islands' task throughput
+        without touching the NoC clocks, which stay at ``vf_points``.
+        """
+        if self.perf_scales is None:
+            return self.frequency_of_worker(worker)
+        return self.frequency_of_worker(worker) * self.perf_scale_of_worker(worker)
+
+    def effective_worker_frequencies(self) -> List[float]:
+        if self.perf_scales is None:
+            return self.worker_frequencies()
+        return [
+            self.effective_frequency_of_worker(w) for w in range(self.num_cores)
+        ]
+
+    @property
     def fmax_hz(self) -> float:
         return max(point.frequency_hz for point in self.vf_points)
 
@@ -145,6 +212,9 @@ class Platform:
             wireless_spec=self.wireless_spec,
             core_power_params=self.core_power_params,
             noc_energy_params=self.noc_energy_params,
+            dvfs_ladder=self.dvfs_ladder,
+            island_core_power=self.island_core_power,
+            perf_scales=self.perf_scales,
         )
 
     def with_power(
@@ -168,4 +238,11 @@ class Platform:
             wireless_spec=self.wireless_spec,
             core_power_params=core_power_params or self.core_power_params,
             noc_energy_params=noc_energy_params or self.noc_energy_params,
+            dvfs_ladder=self.dvfs_ladder,
+            # Overriding the shared power params (sensitivity analysis)
+            # supersedes any per-island table.
+            island_core_power=(
+                None if core_power_params is not None else self.island_core_power
+            ),
+            perf_scales=self.perf_scales,
         )

@@ -127,7 +127,9 @@ class SystemSimulator:
         self._worker_nodes = np.array(
             [platform.node_of_worker(w) for w in range(n)]
         )
-        self._worker_freqs = np.array(platform.worker_frequencies())
+        # Effective = island clock x per-island core perf multiplier; on
+        # the homogeneous paper platform this is worker_frequencies().
+        self._worker_freqs = np.array(platform.effective_worker_frequencies())
         # Fault injection: an empty plan is normalized to "no plan" so the
         # two are indistinguishable everywhere (results, caches, traces).
         self._locality = locality
@@ -899,7 +901,7 @@ class SystemSimulator:
             point = platform.vf_of_worker(worker)
             busy_s = float(min(busy[worker], total_time))
             idle_s = max(total_time - busy_s, 0.0)
-            power = platform.core_power
+            power = platform.core_power_of(platform.island_of_worker(worker))
             breakdown.core_dynamic_j += (
                 power.dynamic_power_w(point, 1.0) * busy_s
                 + power.dynamic_power_w(point, power.params.idle_activity) * idle_s
@@ -921,7 +923,7 @@ class SystemSimulator:
             total_time_s=total_time,
             busy_s=busy,
             committed_instructions=self._committed.copy(),
-            worker_frequencies_hz=np.array(platform.worker_frequencies()),
+            worker_frequencies_hz=np.array(platform.effective_worker_frequencies()),
             issue_width=platform.core_params.issue_width,
             phases=phases,
             energy=breakdown,
@@ -962,8 +964,8 @@ class SystemSimulator:
         bits = hops_bits = wireless = dynamic = static = 0.0
         for platform, elapsed, segment_busy in segments:
             elapsed = max(float(elapsed), 0.0)
-            power = platform.core_power
             for worker in range(num_workers):
+                power = platform.core_power_of(platform.island_of_worker(worker))
                 point = platform.vf_of_worker(worker)
                 busy_s = float(min(segment_busy[worker], elapsed))
                 idle_s = max(elapsed - busy_s, 0.0)
@@ -996,7 +998,7 @@ class SystemSimulator:
             total_time_s=total_time,
             busy_s=busy,
             committed_instructions=self._committed.copy(),
-            worker_frequencies_hz=np.array(base.worker_frequencies()),
+            worker_frequencies_hz=np.array(base.effective_worker_frequencies()),
             issue_width=base.core_params.issue_width,
             phases=phases,
             energy=breakdown,

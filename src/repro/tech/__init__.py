@@ -1,0 +1,83 @@
+"""Technology-node scaling and heterogeneous core types.
+
+This package turns the paper's single operating point (65 nm,
+homogeneous out-of-order cores at 1.0 V / 2.5 GHz) into a design-space
+axis: Lumos-style per-node technology tables (:mod:`repro.tech.nodes`),
+out-of-order vs in-order core types with per-island mixes
+(:mod:`repro.tech.cores`), chip power-budget / dark-silicon accounting
+(:mod:`repro.tech.budget`), and the canonical :class:`TechSpec`
+configuration unit (:mod:`repro.tech.spec`) that threads the axis
+through platform builders, studies, and cluster fleets.  The default
+spec is the paper's configuration and is bit-for-bit inert everywhere
+it is carried.
+"""
+
+from repro.tech.budget import (
+    active_core_ceiling,
+    budget_row,
+    chip_peak_power_w,
+    core_peak_power_w,
+    dark_fraction,
+    frontier,
+    throughput_proxy,
+)
+from repro.tech.cores import (
+    CORE_TYPES,
+    CoreMix,
+    CoreType,
+    DEFAULT_CORE,
+    MIX_PRESETS,
+    core_type_names,
+    get_core_type,
+    resolve_mix,
+)
+from repro.tech.nodes import (
+    BASE_DYNAMIC_W,
+    BASE_FREQ_GHZ,
+    BASE_LEAKAGE_W,
+    BASE_VDD_V,
+    NODES,
+    PAPER_NODE_NM,
+    TechNode,
+    VARIANTS,
+    dvfs_ladder,
+    get_node,
+    node_names,
+    nominal_point,
+    paper_node,
+)
+from repro.tech.spec import TechSpec, canonical_tech_json, normalize_tech
+
+__all__ = [
+    "BASE_DYNAMIC_W",
+    "BASE_FREQ_GHZ",
+    "BASE_LEAKAGE_W",
+    "BASE_VDD_V",
+    "CORE_TYPES",
+    "CoreMix",
+    "CoreType",
+    "DEFAULT_CORE",
+    "MIX_PRESETS",
+    "NODES",
+    "PAPER_NODE_NM",
+    "TechNode",
+    "TechSpec",
+    "VARIANTS",
+    "active_core_ceiling",
+    "budget_row",
+    "canonical_tech_json",
+    "chip_peak_power_w",
+    "core_peak_power_w",
+    "core_type_names",
+    "dark_fraction",
+    "dvfs_ladder",
+    "frontier",
+    "get_core_type",
+    "get_node",
+    "node_names",
+    "nominal_point",
+    "normalize_tech",
+    "paper_node",
+    "resolve_mix",
+    "throughput_proxy",
+]

@@ -1,0 +1,181 @@
+"""Heterogeneous core types and per-island core mixes.
+
+The paper simulates one x86-class out-of-order core everywhere.  This
+module adds the second axis of the Lumos design space: an in-order core
+that trades single-thread performance for a fraction of the power and
+area.  Multipliers are relative to the out-of-order baseline and follow
+the Lumos core tables (Niagara2-class in-order vs Nehalem-class
+out-of-order): roughly a third of the dynamic power and area for half
+the per-core performance.
+
+A :class:`CoreMix` assigns one :class:`CoreType` per VFI -- islands are
+the natural heterogeneity granularity on this platform, since a VFI
+already shares one clock/voltage domain.  ``"big_little"`` puts the
+out-of-order islands in the first half of the die and in-order islands
+in the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.utils.validation import check_positive
+
+#: Name of the paper's homogeneous baseline core.
+DEFAULT_CORE = "ooo"
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """One core microarchitecture, as multipliers on the OoO baseline."""
+
+    name: str
+    #: Single-thread performance relative to the OoO core at equal clock
+    #: (IPC proxy; scales effective task throughput).
+    perf_scale: float
+    #: Peak dynamic power multiplier at equal V/F.
+    dynamic_scale: float
+    #: Leakage power multiplier (shorter pipelines, smaller structures).
+    leakage_scale: float
+    #: Core area multiplier (drives how many fit a fixed-area die).
+    area_scale: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("core type needs a name")
+        check_positive("perf_scale", self.perf_scale)
+        check_positive("dynamic_scale", self.dynamic_scale)
+        check_positive("leakage_scale", self.leakage_scale)
+        check_positive("area_scale", self.area_scale)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "perf_scale": self.perf_scale,
+            "dynamic_scale": self.dynamic_scale,
+            "leakage_scale": self.leakage_scale,
+            "area_scale": self.area_scale,
+        }
+
+
+#: The core-type registry.  ``"ooo"`` is the identity (the paper core);
+#: multipliers of ``"io"`` follow the Lumos in-order/out-of-order ratios
+#: (power 6.14/19.83 ~ 0.31, area 7.65/26.48 ~ 0.29).
+CORE_TYPES: Dict[str, CoreType] = {
+    "ooo": CoreType(
+        "ooo", 1.0, 1.0, 1.0, 1.0,
+        "out-of-order x86-class core (the paper's baseline)",
+    ),
+    "io": CoreType(
+        "io", 0.55, 0.31, 0.35, 0.29,
+        "in-order core: ~55% per-core performance at ~31% dynamic power",
+    ),
+}
+
+#: Named per-island mix recipes (resolved against the island count).
+MIX_PRESETS = ("big_little",)
+
+
+def core_type_names() -> List[str]:
+    return sorted(CORE_TYPES)
+
+
+def get_core_type(name: str) -> CoreType:
+    if name not in CORE_TYPES:
+        raise ValueError(
+            f"unknown core type {name!r}; use one of {core_type_names()}"
+        )
+    return CORE_TYPES[name]
+
+
+@dataclass(frozen=True)
+class CoreMix:
+    """One core type per island (canonical, hashable)."""
+
+    types: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "types", tuple(str(t) for t in self.types))
+        if not self.types:
+            raise ValueError("core mix must cover at least one island")
+        for name in self.types:
+            get_core_type(name)
+
+    @classmethod
+    def homogeneous(cls, name: str, num_islands: int) -> "CoreMix":
+        get_core_type(name)
+        if num_islands < 1:
+            raise ValueError(f"num_islands must be >= 1, got {num_islands}")
+        return cls(types=(name,) * num_islands)
+
+    @classmethod
+    def big_little(
+        cls,
+        num_islands: int,
+        big: str = "ooo",
+        little: str = "io",
+    ) -> "CoreMix":
+        """OoO islands in the first half of the die, in-order after.
+
+        Odd island counts round the big half up -- the serial bottleneck
+        (master island) always lands on a big core.
+        """
+        if num_islands < 1:
+            raise ValueError(f"num_islands must be >= 1, got {num_islands}")
+        big_islands = (num_islands + 1) // 2
+        return cls(
+            types=(big,) * big_islands + (little,) * (num_islands - big_islands)
+        )
+
+    @property
+    def num_islands(self) -> int:
+        return len(self.types)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(set(self.types)) == 1
+
+    @property
+    def label(self) -> str:
+        if self.is_homogeneous:
+            return self.types[0]
+        return "+".join(self.types)
+
+    def core_type(self, island: int) -> CoreType:
+        return get_core_type(self.types[island])
+
+    def core_types(self) -> List[CoreType]:
+        return [get_core_type(name) for name in self.types]
+
+    def perf_scales(self) -> Tuple[float, ...]:
+        return tuple(get_core_type(name).perf_scale for name in self.types)
+
+
+def resolve_mix(
+    cores: Union[str, Sequence[str]], num_islands: int
+) -> CoreMix:
+    """Resolve a TechSpec ``cores`` field to a concrete per-island mix.
+
+    Accepts a core-type name (homogeneous), a mix preset name
+    (``"big_little"``), or an explicit per-island sequence whose length
+    must match the island count.
+    """
+    if isinstance(cores, str):
+        if cores in CORE_TYPES:
+            return CoreMix.homogeneous(cores, num_islands)
+        if cores == "big_little":
+            return CoreMix.big_little(num_islands)
+        raise ValueError(
+            f"unknown core mix {cores!r}; use a core type "
+            f"({core_type_names()}), a preset ({list(MIX_PRESETS)}) or an "
+            "explicit per-island sequence"
+        )
+    mix = CoreMix(types=tuple(cores))
+    if mix.num_islands != num_islands:
+        raise ValueError(
+            f"core mix {mix.label!r} covers {mix.num_islands} islands, "
+            f"die has {num_islands}"
+        )
+    return mix

@@ -1,0 +1,238 @@
+"""Per-node technology tables and parametric DVFS-ladder derivation.
+
+The paper's platform is pinned at one operating point: 65 nm,
+out-of-order cores, 1.0 V / 2.5 GHz nominal.  This module generalizes
+that point into a Lumos-style technology axis (Wang & Skadron's dark
+silicon modeling): every :class:`TechNode` carries the node's nominal
+supply, threshold voltage and freq/power/area scale factors **relative
+to the 65 nm paper node**, in two scaling variants:
+
+* ``"itrs"`` -- the optimistic ITRS roadmap trajectory (aggressive
+  frequency gains and dynamic-power reduction per node);
+* ``"cons"`` -- the conservative trajectory (modest frequency gains,
+  slower supply scaling), which is where dark silicon bites hardest.
+
+:func:`dvfs_ladder` derives a node's DVFS ladder the same way the
+paper's Table 2 grid is laid out: ``num_points`` evenly spaced supply
+rails between ``vmin`` and the node's nominal Vdd, with frequency
+scaling linearly in voltage (the classic f ~ V approximation above
+threshold).  ``vmin`` is the *paper's* 0.6 ratio bounded below by the
+near-threshold guard ``vth_guard * vth`` -- ladders never dip into the
+region where the :mod:`repro.energy.core_power` ``leakage_gamma`` model
+(subthreshold leakage superlinear in V) stops being meaningful.  Rails
+snap to a 0.1 mV voltage / 1 kHz frequency grid so derived ladders are
+canonical floats; the 65 nm derivation reproduces
+:data:`repro.vfi.islands.DVFS_LADDER` bit for bit (pinned by
+``tests/tech/test_nodes.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.utils.units import GHZ
+from repro.utils.validation import check_positive
+from repro.vfi.islands import VfPoint
+
+#: Technology-scaling variants (optimistic ITRS vs conservative).
+VARIANTS = ("itrs", "cons")
+
+#: The paper's node: every scale factor below is relative to it.
+PAPER_NODE_NM = 65
+
+#: Absolute anchors of the 65 nm out-of-order paper core -- the single
+#: source of truth for the nominal operating point.
+#: :class:`repro.energy.core_power.CorePowerParams` derives its default
+#: constants from these (they used to be duplicated literals there).
+BASE_FREQ_GHZ = 2.5
+BASE_VDD_V = 1.0
+BASE_DYNAMIC_W = 1.9
+BASE_LEAKAGE_W = 0.25
+
+#: Ladder shape of the paper platform: five rails, Vmin at 0.6 x Vdd.
+LADDER_POINTS = 5
+VMIN_RATIO = 0.6
+#: Near-threshold guard: rails stay at or above ``vth_guard * vth``.
+VTH_GUARD = 1.2
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology node under one scaling variant.
+
+    Scale factors are relative to the 65 nm paper node at its own
+    nominal point (``freq_scale`` multiplies the 2.5 GHz base clock,
+    ``dynamic_scale``/``leakage_scale`` multiply the per-core 1.9 W /
+    0.25 W anchors, ``area_scale`` multiplies the core footprint).
+    """
+
+    nm: int
+    variant: str
+    vdd_nominal_v: float
+    vth_v: float
+    freq_scale: float
+    dynamic_scale: float
+    leakage_scale: float
+    area_scale: float
+
+    def __post_init__(self) -> None:
+        check_positive("nm", self.nm)
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"variant must be one of {VARIANTS}, got {self.variant!r}"
+            )
+        check_positive("vdd_nominal_v", self.vdd_nominal_v)
+        check_positive("vth_v", self.vth_v)
+        if self.vth_v >= self.vdd_nominal_v:
+            raise ValueError(
+                f"vth {self.vth_v} V must stay below nominal Vdd "
+                f"{self.vdd_nominal_v} V"
+            )
+        check_positive("freq_scale", self.freq_scale)
+        check_positive("dynamic_scale", self.dynamic_scale)
+        check_positive("leakage_scale", self.leakage_scale)
+        check_positive("area_scale", self.area_scale)
+
+    @property
+    def name(self) -> str:
+        return f"{self.nm}nm"
+
+    @property
+    def frequency_nominal_hz(self) -> float:
+        """Nominal clock at this node (base 2.5 GHz scaled)."""
+        return round(BASE_FREQ_GHZ * self.freq_scale, 6) * GHZ
+
+    @property
+    def is_paper_node(self) -> bool:
+        return self.nm == PAPER_NODE_NM
+
+    def vmin_v(self, vth_guard: float = VTH_GUARD) -> float:
+        """Lowest usable supply rail: the paper's 0.6 ratio, bounded
+        below by the near-threshold guard."""
+        return round(
+            max(VMIN_RATIO * self.vdd_nominal_v, vth_guard * self.vth_v), 4
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "nm": self.nm,
+            "variant": self.variant,
+            "vdd_nominal_v": self.vdd_nominal_v,
+            "vth_v": self.vth_v,
+            "freq_scale": self.freq_scale,
+            "dynamic_scale": self.dynamic_scale,
+            "leakage_scale": self.leakage_scale,
+            "area_scale": self.area_scale,
+        }
+
+
+def _table(variant: str, rows) -> Dict[int, TechNode]:
+    return {
+        nm: TechNode(nm, variant, *fields) for nm, fields in rows.items()
+    }
+
+
+#: Per-variant node tables.  Columns: vdd_nominal_v, vth_v, freq_scale,
+#: dynamic_scale, leakage_scale, area_scale (relative to 65 nm).  The
+#: 65 nm row is the identity in both variants so the paper configuration
+#: is variant-independent.  Trends follow the Lumos tables (ITRS
+#: 2009-2010 FEP device sheets): supply and dynamic power fall with the
+#: node, ITRS frequency gains outpace the conservative track, leakage
+#: density worsens as vth drops, and area halves per node.
+NODES: Dict[str, Dict[int, TechNode]] = {
+    "itrs": _table("itrs", {
+        90: (1.20, 0.40, 0.78, 1.45, 0.80, 1.92),
+        65: (1.00, 0.35, 1.00, 1.00, 1.00, 1.00),
+        45: (0.90, 0.32, 1.35, 0.71, 1.08, 0.48),
+        32: (0.84, 0.30, 1.47, 0.47, 1.22, 0.24),
+        22: (0.76, 0.27, 2.20, 0.38, 1.42, 0.12),
+        16: (0.68, 0.24, 2.95, 0.27, 1.66, 0.06),
+    }),
+    "cons": _table("cons", {
+        90: (1.20, 0.40, 0.85, 1.38, 0.82, 1.92),
+        65: (1.00, 0.35, 1.00, 1.00, 1.00, 1.00),
+        45: (0.93, 0.32, 1.10, 0.74, 1.05, 0.48),
+        32: (0.87, 0.30, 1.21, 0.53, 1.15, 0.24),
+        22: (0.82, 0.27, 1.31, 0.42, 1.28, 0.12),
+        16: (0.78, 0.24, 1.38, 0.32, 1.44, 0.06),
+    }),
+}
+
+#: Nodes available in every variant, largest geometry first.
+NODE_NMS: Tuple[int, ...] = tuple(sorted(NODES["itrs"], reverse=True))
+
+
+def node_names() -> List[str]:
+    """All node names, largest geometry first (``["90nm", ..., "16nm"]``)."""
+    return [f"{nm}nm" for nm in NODE_NMS]
+
+
+def get_node(node: Union[int, str], variant: str = "itrs") -> TechNode:
+    """Look up a node by ``65``, ``"65"`` or ``"65nm"`` under *variant*."""
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown technology variant {variant!r}; use one of {VARIANTS}"
+        )
+    raw = node
+    if isinstance(node, str):
+        node = node.strip().lower()
+        if node.endswith("nm"):
+            node = node[:-2]
+        try:
+            node = int(node)
+        except ValueError:
+            raise ValueError(
+                f"unknown technology node {raw!r}; use one of {node_names()}"
+            ) from None
+    table = NODES[variant]
+    if node not in table:
+        raise ValueError(
+            f"unknown technology node {raw!r}; use one of {node_names()}"
+        )
+    return table[node]
+
+
+def paper_node() -> TechNode:
+    """The 65 nm node the paper's constants are anchored at."""
+    return NODES["itrs"][PAPER_NODE_NM]
+
+
+def dvfs_ladder(
+    node: TechNode,
+    num_points: int = LADDER_POINTS,
+    vth_guard: float = VTH_GUARD,
+) -> Tuple[VfPoint, ...]:
+    """Derive *node*'s DVFS ladder, slowest to fastest (nominal last).
+
+    ``num_points`` supply rails are spaced evenly between
+    :meth:`TechNode.vmin_v` and the node's nominal Vdd; each rail's
+    frequency scales linearly with its voltage from the node's nominal
+    clock.  Rails are snapped to a 0.1 mV / 1 kHz grid, which makes the
+    derivation canonical: the 65 nm ladder equals the paper's
+    :data:`repro.vfi.islands.DVFS_LADDER` bit for bit.
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    check_positive("vth_guard", vth_guard)
+    vdd = node.vdd_nominal_v
+    vmin = node.vmin_v(vth_guard)
+    if vmin >= vdd:
+        raise ValueError(
+            f"{node.name}/{node.variant}: vmin {vmin} V (guard "
+            f"{vth_guard} x vth {node.vth_v} V) reaches nominal Vdd "
+            f"{vdd} V; no ladder headroom"
+        )
+    fnom_ghz = round(BASE_FREQ_GHZ * node.freq_scale, 6)
+    step = (vdd - vmin) / (num_points - 1)
+    points = []
+    for index in range(num_points):
+        voltage = round(vmin + index * step, 4)
+        frequency = round(fnom_ghz * voltage / vdd, 6) * GHZ
+        points.append(VfPoint(frequency, voltage))
+    return tuple(points)
+
+
+def nominal_point(node: TechNode) -> VfPoint:
+    """The node's nominal operating point (top of its DVFS ladder)."""
+    return dvfs_ladder(node)[-1]

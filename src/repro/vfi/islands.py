@@ -36,7 +36,11 @@ class VfPoint:
         return self.label
 
 
-#: The platform's DVFS ladder, slowest to fastest (nominal last).
+#: The paper platform's 65 nm DVFS ladder, slowest to fastest (nominal
+#: last).  Kept as literals -- this is the golden-pinned default; the
+#: technology axis (:func:`repro.tech.nodes.dvfs_ladder`) derives this
+#: exact tuple for the 65 nm node and different ladders for other nodes,
+#: which flow in through the ``ladder`` parameters below.
 DVFS_LADDER: Tuple[VfPoint, ...] = (
     VfPoint(1.50 * GHZ, 0.6),
     VfPoint(1.75 * GHZ, 0.7),
@@ -48,18 +52,25 @@ DVFS_LADDER: Tuple[VfPoint, ...] = (
 NOMINAL = DVFS_LADDER[-1]
 
 
-def nearest_ladder_point(frequency_hz: float) -> VfPoint:
+def nearest_ladder_point(
+    frequency_hz: float, ladder: Sequence[VfPoint] = DVFS_LADDER
+) -> VfPoint:
     """Ladder point with frequency nearest to *frequency_hz*."""
     check_positive("frequency_hz", frequency_hz)
-    return min(DVFS_LADDER, key=lambda p: abs(p.frequency_hz - frequency_hz))
+    if not ladder:
+        raise ValueError("ladder must be non-empty")
+    return min(ladder, key=lambda p: abs(p.frequency_hz - frequency_hz))
 
 
-def ladder_step_up(point: VfPoint, steps: int = 1) -> VfPoint:
+def ladder_step_up(
+    point: VfPoint, steps: int = 1, ladder: Sequence[VfPoint] = DVFS_LADDER
+) -> VfPoint:
     """Raise *point* by *steps* ladder positions (saturating at nominal)."""
-    if point not in DVFS_LADDER:
+    ladder = tuple(ladder)
+    if point not in ladder:
         raise ValueError(f"{point} is not on the DVFS ladder")
-    index = DVFS_LADDER.index(point)
-    return DVFS_LADDER[min(index + steps, len(DVFS_LADDER) - 1)]
+    index = ladder.index(point)
+    return ladder[min(index + steps, len(ladder) - 1)]
 
 
 @dataclass(frozen=True)

@@ -84,21 +84,28 @@ def assign_vf(
     assignment: Sequence[int],
     num_islands: int,
     u_full: float = 0.75,
+    ladder: Sequence[VfPoint] = DVFS_LADDER,
 ) -> VfAssignment:
     """Initial (VFI 1) per-island V/F from the NVFI utilization profile.
 
     ``u_full`` is the island utilization that warrants nominal frequency;
     islands above it stay at nominal, lower islands scale by the cube
-    root of their relative utilization and snap to the DVFS ladder.
+    root of their relative utilization and snap to the DVFS *ladder*
+    (the paper's 65 nm ladder by default; the tech axis passes a node's
+    derived ladder, whose last point is that node's nominal).
     """
     check_in_range("u_full", u_full, 0.0, 1.0, inclusive=False)
+    ladder = tuple(ladder)
+    if not ladder:
+        raise ValueError("ladder must be non-empty")
+    nominal = ladder[-1]
     means = island_utilizations(utilization, assignment, num_islands)
     u_ref = max(float(means.max()), u_full)
     points = []
     for mean in means:
         ratio = (mean / u_ref) ** (1.0 / 3.0) if u_ref > 0 else 1.0
-        target_hz = NOMINAL.frequency_hz * min(ratio, 1.0)
-        points.append(nearest_ladder_point(target_hz))
+        target_hz = nominal.frequency_hz * min(ratio, 1.0)
+        points.append(nearest_ladder_point(target_hz, ladder))
     return VfAssignment(
         points=tuple(points),
         island_utilization=tuple(float(m) for m in means),
@@ -110,6 +117,7 @@ def reassign_for_bottlenecks(
     utilization: Sequence[float],
     assignment: Sequence[int],
     report: BottleneckReport = None,
+    ladder: Sequence[VfPoint] = DVFS_LADDER,
 ) -> VfAssignment:
     """VFI 2: raise the V/F of islands hosting bottleneck cores.
 
@@ -128,7 +136,7 @@ def reassign_for_bottlenecks(
     points = list(initial.points)
     changed = []
     for island in affected:
-        raised = ladder_step_up(points[island])
+        raised = ladder_step_up(points[island], ladder=ladder)
         if raised != points[island]:
             points[island] = raised
             changed.append(island)

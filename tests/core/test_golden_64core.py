@@ -104,6 +104,22 @@ def test_telemetry_summaries_stable(golden, study_with_telemetry):
         _assert_matches(summary, want, f"island {want['island']}")
 
 
+def test_explicit_default_tech_bit_for_bit(golden):
+    # The tech axis must be invisible at its default: running with an
+    # explicit 65 nm homogeneous TechSpec reproduces the golden numbers
+    # exactly (the spec collapses to the legacy code path, not merely an
+    # equivalent one).
+    from repro.tech import TechSpec
+
+    study = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS,
+        use_cache=False, tech=TechSpec(),
+    )
+    assert set(study.results) == set(golden["configs"])
+    for name, expected in golden["configs"].items():
+        _assert_matches(_fingerprint(study.results[name]), expected, name)
+
+
 def test_faulted_configs_bit_for_bit(golden):
     faulted = run_app_study(
         APP, scale=SCALE, seed=SEED, num_workers=WORKERS,

@@ -70,3 +70,47 @@ def test_params_validation():
         CorePowerParams(dynamic_w_nominal=-1)
     with pytest.raises(ValueError):
         CorePowerParams(idle_activity=2.0)
+
+
+class TestFromTech:
+    """The default constants now derive from the 65 nm tech tables; these
+    regressions pin the derivation to the values that used to be
+    hardcoded literals here."""
+
+    def test_defaults_equal_the_historical_literals(self):
+        params = CorePowerParams()
+        assert params.dynamic_w_nominal == 1.9
+        assert params.leakage_w_nominal == 0.25
+        assert params.idle_activity == 0.05
+        assert params.leakage_gamma == 2.5
+        assert params.nominal == NOMINAL
+
+    def test_paper_node_derivation_matches_the_defaults(self):
+        from repro.tech.nodes import paper_node
+
+        assert CorePowerParams.from_tech(paper_node()) == CorePowerParams()
+
+    def test_node_and_core_multipliers_compose(self):
+        from repro.tech.cores import get_core_type
+        from repro.tech.nodes import get_node, nominal_point
+
+        node = get_node("32nm")
+        io = get_core_type("io")
+        params = CorePowerParams.from_tech(node, io)
+        assert params.dynamic_w_nominal == pytest.approx(
+            1.9 * node.dynamic_scale * io.dynamic_scale
+        )
+        assert params.leakage_w_nominal == pytest.approx(
+            0.25 * node.leakage_scale * io.leakage_scale
+        )
+        assert params.nominal == nominal_point(node)
+
+    def test_core_type_accepts_a_name(self):
+        from repro.tech.nodes import paper_node
+
+        by_name = CorePowerParams.from_tech(paper_node(), "io")
+        from repro.tech.cores import get_core_type
+
+        assert by_name == CorePowerParams.from_tech(
+            paper_node(), get_core_type("io")
+        )

@@ -52,7 +52,7 @@ class TestCanonicalization:
         assert "app" not in kwargs
         assert set(kwargs) == {
             "app_name", "scale", "seed", "num_workers",
-            "winoc_methodology", "include_vfi1", "fault_plan",
+            "winoc_methodology", "include_vfi1", "fault_plan", "tech",
         }
 
     def test_label_mentions_identity(self):

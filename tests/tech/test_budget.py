@@ -1,0 +1,117 @@
+"""Chip power budgets: peak pricing, active-core ceiling, frontier."""
+
+import pytest
+
+from repro.tech.budget import (
+    active_core_ceiling,
+    budget_row,
+    chip_peak_power_w,
+    core_peak_power_w,
+    dark_fraction,
+    frontier,
+    throughput_proxy,
+)
+from repro.tech.cores import CoreMix, get_core_type
+from repro.tech.nodes import get_node, paper_node
+
+OOO = get_core_type("ooo")
+IO = get_core_type("io")
+HOMOGENEOUS = CoreMix.homogeneous("ooo", 4)
+BIG_LITTLE = CoreMix.big_little(4)
+
+
+class TestPeakPower:
+    def test_paper_core_peak_is_dynamic_plus_leakage(self):
+        # 1.9 W busy dynamic + 0.25 W leakage at 1.0 V nominal.
+        assert core_peak_power_w(paper_node(), OOO) == pytest.approx(2.15)
+
+    def test_inorder_core_is_cheaper(self):
+        node = paper_node()
+        assert core_peak_power_w(node, IO) < core_peak_power_w(node, OOO) / 2
+
+    def test_chip_peak_sums_the_die(self):
+        node = paper_node()
+        assert chip_peak_power_w(node, HOMOGENEOUS, 64) == pytest.approx(
+            64 * core_peak_power_w(node, OOO)
+        )
+        hetero = chip_peak_power_w(node, BIG_LITTLE, 64)
+        assert hetero == pytest.approx(
+            32 * core_peak_power_w(node, OOO) + 32 * core_peak_power_w(node, IO)
+        )
+
+    def test_uneven_island_split_rejected(self):
+        with pytest.raises(ValueError, match="do not split evenly"):
+            chip_peak_power_w(paper_node(), BIG_LITTLE, 30)
+        with pytest.raises(ValueError, match="num_cores"):
+            chip_peak_power_w(paper_node(), HOMOGENEOUS, 0)
+
+
+class TestCeiling:
+    def test_uncapped_die_is_fully_lit(self):
+        node = paper_node()
+        peak = chip_peak_power_w(node, HOMOGENEOUS, 64)
+        assert active_core_ceiling(peak, node, HOMOGENEOUS, 64) == 64
+        assert dark_fraction(peak, node, HOMOGENEOUS, 64) == 0.0
+
+    def test_zero_cap_leaves_the_die_dark(self):
+        node = paper_node()
+        assert active_core_ceiling(0.0, node, HOMOGENEOUS, 64) == 0
+        assert active_core_ceiling(-5.0, node, HOMOGENEOUS, 64) == 0
+        assert dark_fraction(0.0, node, HOMOGENEOUS, 64) == 1.0
+
+    def test_homogeneous_ceiling_is_cap_over_core_power(self):
+        node = paper_node()
+        per_core = core_peak_power_w(node, OOO)
+        assert active_core_ceiling(40.0, node, HOMOGENEOUS, 64) == int(
+            40.0 / per_core
+        )
+
+    def test_heterogeneity_lifts_the_ceiling(self):
+        # Under a tight cap the cheap in-order cores light up first, so
+        # the mixed die always fits at least as many cores.
+        node = get_node("32nm")
+        for cap in (5.0, 10.0, 20.0, 40.0):
+            assert active_core_ceiling(
+                cap, node, BIG_LITTLE, 64
+            ) >= active_core_ceiling(cap, node, HOMOGENEOUS, 64)
+
+
+class TestThroughput:
+    def test_uncapped_throughput_counts_every_core(self):
+        node = paper_node()
+        peak = chip_peak_power_w(node, HOMOGENEOUS, 64)
+        assert throughput_proxy(peak, node, HOMOGENEOUS, 64) == pytest.approx(64.0)
+
+    def test_node_clock_scales_throughput(self):
+        node = get_node("45nm")
+        peak = chip_peak_power_w(node, HOMOGENEOUS, 64)
+        assert throughput_proxy(peak, node, HOMOGENEOUS, 64) == pytest.approx(
+            64 * node.frequency_nominal_hz / paper_node().frequency_nominal_hz
+        )
+
+    def test_dark_die_has_zero_throughput(self):
+        assert throughput_proxy(0.0, paper_node(), BIG_LITTLE, 64) == 0.0
+
+
+class TestFrontier:
+    def test_row_contents(self):
+        row = budget_row(40.0, paper_node(), HOMOGENEOUS, 64)
+        assert row["node"] == "65nm"
+        assert row["mix"] == "ooo"
+        assert row["cap_w"] == 40.0
+        assert row["active_cores"] == active_core_ceiling(
+            40.0, paper_node(), HOMOGENEOUS, 64
+        )
+        assert row["dark_fraction"] == pytest.approx(
+            1.0 - row["active_cores"] / 64
+        )
+
+    def test_node_major_order_and_size(self):
+        rows = frontier(["65nm", "45nm"], ["ooo", "big_little"], [40.0, 80.0])
+        assert len(rows) == 2 * 2 * 2
+        assert [r["node"] for r in rows[:4]] == ["65nm"] * 4
+        assert [r["node"] for r in rows[4:]] == ["45nm"] * 4
+
+    def test_accepts_resolved_objects(self):
+        rows = frontier([paper_node()], [BIG_LITTLE], [40.0], num_cores=16)
+        assert rows[0]["mix"] == "ooo+ooo+io+io"

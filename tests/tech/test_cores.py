@@ -1,0 +1,86 @@
+"""Core-type registry and per-island mixes."""
+
+import pytest
+
+from repro.tech.cores import (
+    CORE_TYPES,
+    DEFAULT_CORE,
+    MIX_PRESETS,
+    CoreMix,
+    core_type_names,
+    get_core_type,
+    resolve_mix,
+)
+
+
+class TestRegistry:
+    def test_default_core_is_the_identity(self):
+        core = get_core_type(DEFAULT_CORE)
+        assert core.perf_scale == 1.0
+        assert core.dynamic_scale == 1.0
+        assert core.leakage_scale == 1.0
+        assert core.area_scale == 1.0
+
+    def test_inorder_trades_perf_for_power(self):
+        io = get_core_type("io")
+        assert io.perf_scale < 1.0
+        assert io.dynamic_scale < io.perf_scale  # perf/W leads the OoO core
+        assert io.area_scale < 1.0
+
+    def test_names_sorted(self):
+        assert core_type_names() == sorted(CORE_TYPES)
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown core type"):
+            get_core_type("vliw")
+
+
+class TestCoreMix:
+    def test_homogeneous(self):
+        mix = CoreMix.homogeneous("ooo", 4)
+        assert mix.types == ("ooo",) * 4
+        assert mix.is_homogeneous
+        assert mix.label == "ooo"
+        assert mix.perf_scales() == (1.0, 1.0, 1.0, 1.0)
+
+    def test_big_little_splits_the_die(self):
+        mix = CoreMix.big_little(4)
+        assert mix.types == ("ooo", "ooo", "io", "io")
+        assert not mix.is_homogeneous
+        assert mix.label == "ooo+ooo+io+io"
+        assert mix.perf_scales() == (1.0, 1.0, 0.55, 0.55)
+
+    def test_big_little_rounds_the_big_half_up(self):
+        # The master island (island 0) must always land on a big core.
+        assert CoreMix.big_little(3).types == ("ooo", "ooo", "io")
+        assert CoreMix.big_little(1).types == ("ooo",)
+
+    def test_island_accessors(self):
+        mix = CoreMix.big_little(4)
+        assert mix.core_type(0).name == "ooo"
+        assert mix.core_type(3).name == "io"
+        assert [c.name for c in mix.core_types()] == list(mix.types)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one island"):
+            CoreMix(types=())
+        with pytest.raises(ValueError, match="unknown core type"):
+            CoreMix(types=("ooo", "vliw"))
+
+
+class TestResolveMix:
+    def test_type_name_resolves_homogeneous(self):
+        assert resolve_mix("io", 4) == CoreMix.homogeneous("io", 4)
+
+    def test_preset_resolves_against_island_count(self):
+        assert "big_little" in MIX_PRESETS
+        assert resolve_mix("big_little", 6) == CoreMix.big_little(6)
+
+    def test_explicit_sequence_must_match_island_count(self):
+        assert resolve_mix(("ooo", "io"), 2).types == ("ooo", "io")
+        with pytest.raises(ValueError, match="covers 2 islands"):
+            resolve_mix(("ooo", "io"), 4)
+
+    def test_unknown_mix_name(self):
+        with pytest.raises(ValueError, match="unknown core mix"):
+            resolve_mix("medium_little", 4)

@@ -1,0 +1,96 @@
+"""The tech axis must not perturb the paper's default pipeline.
+
+An explicit default :class:`TechSpec` (65 nm, ITRS, homogeneous OoO)
+must collapse to the *same identity* as passing no tech at all -- same
+memoized study object, same platform objects -- and a non-default spec
+must actually change the physics.  The 64-core default path is pinned
+bit-for-bit against the golden file in
+``tests/core/test_golden_64core.py``; this module covers the identity
+rules at the cheap 16-core size.
+"""
+
+import pytest
+
+from repro.core.experiment import VFI2_WINOC, run_app_study
+from repro.core.platforms import build_nvfi_mesh, build_vfi_mesh, geometry_for
+from repro.energy.core_power import CorePowerParams
+from repro.tech import TechSpec
+from repro.vfi.islands import DVFS_LADDER
+
+APP = "histogram"
+SCALE = 0.05
+SEED = 9
+WORKERS = 16
+
+
+def test_default_techspec_is_the_same_memoized_study():
+    plain = run_app_study(APP, scale=SCALE, seed=SEED, num_workers=WORKERS)
+    explicit = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS, tech=TechSpec()
+    )
+    # Not merely equal: the default spec collapses to None before the
+    # memo key, so both calls resolve to one cache entry.
+    assert explicit is plain
+
+
+def test_default_platform_carries_no_tech_state():
+    platform = build_nvfi_mesh(geometry_for(WORKERS))
+    assert platform.dvfs_ladder is None
+    assert platform.island_core_power is None
+    assert platform.perf_scales is None
+    assert platform.ladder == DVFS_LADDER
+    assert platform.core_power_of(0) is platform.core_power
+    assert platform.effective_worker_frequencies() == platform.worker_frequencies()
+
+
+def test_tech_platform_carries_ladder_mix_and_power():
+    tech = TechSpec(node="32nm", cores="big_little")
+    platform = build_nvfi_mesh(geometry_for(WORKERS), tech=tech)
+    assert platform.dvfs_ladder == tech.ladder()
+    assert platform.ladder == tech.ladder()
+    num_islands = platform.layout.num_clusters
+    mix = tech.mix_for(num_islands)
+    assert platform.perf_scales == mix.perf_scales()
+    assert len(platform.island_core_power) == num_islands
+    node = tech.tech_node()
+    assert platform.core_power_of(0).params == CorePowerParams.from_tech(
+        node, "ooo"
+    )
+    assert platform.core_power_of(num_islands - 1).params == (
+        CorePowerParams.from_tech(node, "io")
+    )
+    # Little islands run at a perf discount: effective < physical clock.
+    little_worker = next(
+        w for w in range(WORKERS)
+        if platform.island_of_worker(w) == num_islands - 1
+    )
+    assert platform.effective_frequency_of_worker(
+        little_worker
+    ) == pytest.approx(platform.frequency_of_worker(little_worker) * 0.55)
+
+
+def test_non_default_tech_changes_the_measured_physics():
+    plain = run_app_study(APP, scale=SCALE, seed=SEED, num_workers=WORKERS)
+    shrunk = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS,
+        tech=TechSpec(node="32nm"),
+    )
+    base = plain.result(VFI2_WINOC)
+    scaled = shrunk.result(VFI2_WINOC)
+    # 32 nm: faster clock -> shorter makespan; less dynamic power -> and
+    # the energy drops even further.
+    assert scaled.total_time_s < base.total_time_s
+    assert scaled.total_energy_j < base.total_energy_j
+
+
+def test_big_little_trades_time_for_energy():
+    plain = run_app_study(APP, scale=SCALE, seed=SEED, num_workers=WORKERS)
+    mixed = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS,
+        tech=TechSpec(cores="big_little"),
+    )
+    base = plain.result(VFI2_WINOC)
+    hetero = mixed.result(VFI2_WINOC)
+    # In-order islands slow the run but cut core power.
+    assert hetero.total_time_s > base.total_time_s
+    assert hetero.total_energy_j < base.total_energy_j

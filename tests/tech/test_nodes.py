@@ -1,0 +1,132 @@
+"""Technology-node tables and DVFS-ladder derivation."""
+
+import pytest
+
+from repro.tech.nodes import (
+    BASE_DYNAMIC_W,
+    BASE_FREQ_GHZ,
+    BASE_LEAKAGE_W,
+    BASE_VDD_V,
+    NODES,
+    PAPER_NODE_NM,
+    VARIANTS,
+    TechNode,
+    dvfs_ladder,
+    get_node,
+    node_names,
+    nominal_point,
+    paper_node,
+)
+from repro.utils.units import GHZ
+from repro.vfi.islands import DVFS_LADDER, NOMINAL
+
+
+class TestTables:
+    def test_every_variant_has_every_node(self):
+        names = node_names()
+        assert names == ["90nm", "65nm", "45nm", "32nm", "22nm", "16nm"]
+        for variant in VARIANTS:
+            assert sorted(NODES[variant]) == sorted(
+                int(n[:-2]) for n in names
+            )
+
+    def test_paper_node_is_the_identity(self):
+        for variant in VARIANTS:
+            node = get_node(PAPER_NODE_NM, variant)
+            assert node.vdd_nominal_v == BASE_VDD_V
+            assert node.freq_scale == 1.0
+            assert node.dynamic_scale == 1.0
+            assert node.leakage_scale == 1.0
+            assert node.area_scale == 1.0
+            assert node.is_paper_node
+
+    def test_area_halves_per_node(self):
+        areas = [get_node(nm).area_scale for nm in (65, 45, 32, 22, 16)]
+        for bigger, smaller in zip(areas, areas[1:]):
+            assert smaller == pytest.approx(bigger / 2, rel=0.05)
+
+    def test_supply_falls_with_the_node(self):
+        for variant in VARIANTS:
+            vdds = [get_node(name, variant).vdd_nominal_v for name in node_names()]
+            assert vdds == sorted(vdds, reverse=True)
+
+    def test_itrs_clocks_outpace_conservative(self):
+        for name in ("45nm", "32nm", "22nm", "16nm"):
+            assert (
+                get_node(name, "itrs").freq_scale
+                > get_node(name, "cons").freq_scale
+            )
+
+
+class TestLookup:
+    @pytest.mark.parametrize("key", [65, "65", "65nm", " 65NM "])
+    def test_accepts_int_and_string_forms(self, key):
+        assert get_node(key) is paper_node()
+
+    def test_unknown_node_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown technology node"):
+            get_node("14nm")
+        with pytest.raises(ValueError, match="unknown technology node"):
+            get_node("bogus")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown technology variant"):
+            get_node(65, "optimistic")
+
+    def test_vth_must_stay_below_vdd(self):
+        with pytest.raises(ValueError, match="vth"):
+            TechNode(65, "itrs", 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestLadder:
+    def test_65nm_ladder_reproduces_the_paper_ladder_bit_for_bit(self):
+        # The golden pin of the whole tech axis: deriving the paper
+        # node's ladder from the tables must give the exact literal
+        # DVFS_LADDER the simulator has always used.
+        assert dvfs_ladder(paper_node()) == DVFS_LADDER
+        assert nominal_point(paper_node()) == NOMINAL
+
+    def test_ladder_shape(self):
+        for variant in VARIANTS:
+            for name in node_names():
+                node = get_node(name, variant)
+                ladder = dvfs_ladder(node)
+                assert len(ladder) == 5
+                assert ladder[-1].voltage_v == node.vdd_nominal_v
+                assert ladder[-1].frequency_hz == pytest.approx(
+                    node.frequency_nominal_hz
+                )
+
+    def test_frequency_scales_linearly_with_voltage(self):
+        node = get_node("45nm")
+        ladder = dvfs_ladder(node)
+        for point in ladder:
+            assert point.frequency_hz == pytest.approx(
+                node.frequency_nominal_hz * point.voltage_v / node.vdd_nominal_v,
+                rel=1e-4,
+            )
+
+    def test_vmin_bounded_by_threshold_guard(self):
+        node = get_node("16nm")
+        # 0.6 * 0.68 = 0.408 > 1.2 * 0.24 = 0.288: the paper ratio wins.
+        assert node.vmin_v() == pytest.approx(0.408)
+        # A harsher guard lifts vmin above the paper ratio.
+        assert node.vmin_v(vth_guard=2.0) == pytest.approx(0.48)
+        assert dvfs_ladder(node, vth_guard=2.0)[0].voltage_v == pytest.approx(0.48)
+
+    def test_no_headroom_is_refused(self):
+        node = get_node("16nm")
+        with pytest.raises(ValueError, match="no ladder headroom"):
+            dvfs_ladder(node, vth_guard=node.vdd_nominal_v / node.vth_v)
+
+    def test_num_points_validated(self):
+        with pytest.raises(ValueError, match="num_points"):
+            dvfs_ladder(paper_node(), num_points=1)
+
+
+def test_base_anchors_match_the_paper_constants():
+    assert BASE_FREQ_GHZ == 2.5
+    assert BASE_VDD_V == 1.0
+    assert BASE_DYNAMIC_W == 1.9
+    assert BASE_LEAKAGE_W == 0.25
+    assert paper_node().frequency_nominal_hz == 2.5 * GHZ

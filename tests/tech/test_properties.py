@@ -1,0 +1,84 @@
+"""Property tests: ladder and power-budget invariants.
+
+For *any* node, variant, ladder shape and guard, the derived DVFS
+ladder must be a physically sensible grid: voltages strictly rising
+within [max(vmin-ratio, guard x vth), Vdd], frequencies nondecreasing in
+voltage, nominal on top.  For *any* cap, the active-core ceiling must be
+monotone in the cap and bounded by the die -- tightening a power budget
+can never light more cores.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech.budget import active_core_ceiling, chip_peak_power_w
+from repro.tech.cores import CoreMix
+from repro.tech.nodes import (
+    VMIN_RATIO,
+    dvfs_ladder,
+    get_node,
+    node_names,
+)
+
+nodes = st.sampled_from(node_names())
+variants = st.sampled_from(("itrs", "cons"))
+mixes = st.sampled_from(
+    (
+        CoreMix.homogeneous("ooo", 4),
+        CoreMix.homogeneous("io", 4),
+        CoreMix.big_little(4),
+        CoreMix.big_little(8),
+    )
+)
+
+
+@given(
+    node=nodes,
+    variant=variants,
+    num_points=st.integers(min_value=2, max_value=12),
+    vth_guard=st.floats(min_value=0.5, max_value=1.6),
+)
+@settings(max_examples=200, deadline=None)
+def test_ladder_grid_invariants(node, variant, num_points, vth_guard):
+    resolved = get_node(node, variant)
+    ladder = dvfs_ladder(resolved, num_points=num_points, vth_guard=vth_guard)
+
+    assert len(ladder) == num_points
+    voltages = [p.voltage_v for p in ladder]
+    frequencies = [p.frequency_hz for p in ladder]
+
+    # Voltages strictly rise to the nominal rail; frequencies follow.
+    assert voltages == sorted(voltages)
+    assert len(set(voltages)) == num_points
+    assert frequencies == sorted(frequencies)
+
+    # Every rail stays inside [vmin bound, Vdd] (snapping tolerance).
+    lower = max(VMIN_RATIO * resolved.vdd_nominal_v, vth_guard * resolved.vth_v)
+    assert voltages[0] >= round(lower, 4) - 1e-9
+    assert voltages[-1] == resolved.vdd_nominal_v
+    # Rails never dip to the threshold region the leakage model cannot
+    # describe, whatever guard was requested.
+    assert voltages[0] > resolved.vth_v
+
+
+@given(
+    node=nodes,
+    variant=variants,
+    mix=mixes,
+    cap_a=st.floats(min_value=0.0, max_value=250.0),
+    cap_b=st.floats(min_value=0.0, max_value=250.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_ceiling_monotone_in_the_cap(node, variant, mix, cap_a, cap_b):
+    resolved = get_node(node, variant)
+    num_cores = mix.num_islands * 8
+    low, high = sorted((cap_a, cap_b))
+
+    ceiling_low = active_core_ceiling(low, resolved, mix, num_cores)
+    ceiling_high = active_core_ceiling(high, resolved, mix, num_cores)
+
+    # Loosening the cap never darkens cores; every ceiling is a count
+    # within the die; the whole-die peak always lights everything.
+    assert 0 <= ceiling_low <= ceiling_high <= num_cores
+    peak = chip_peak_power_w(resolved, mix, num_cores)
+    assert active_core_ceiling(peak, resolved, mix, num_cores) == num_cores
