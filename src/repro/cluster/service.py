@@ -62,6 +62,13 @@ class ClusterService:
         self.policy = policy
         self.max_queue_depth = int(max_queue_depth)
         self.cost_model = CostModel(cache)
+        # Residency is part of the SchedulingContext the policy observes
+        # (estimate/transfer_s/is_resident), so it must exist from
+        # construction -- policies probe costs before the first run()
+        # and between runs.  run() resets it: residency is per-trace.
+        self._resident: Dict[int, Set[str]] = {
+            chip.chip_id: set() for chip in self.fleet
+        }
 
     # ------------------------------------------------------------------ #
     # the SchedulingContext the policy observes
@@ -86,14 +93,14 @@ class ClusterService:
         records: Dict[int, JobRecord] = {}
         queue: List[ClusterJob] = []
         pending: List[ClusterJob] = list(trace.jobs)  # already sorted
+        next_arrival = 0  # cursor into pending: no O(n) pop(0) shifts
         #: (completion_s, chip_id, record) -- chip_id breaks float ties.
         busy: List[Tuple[float, int, JobRecord]] = []
         free: Dict[int, ChipSpec] = {
             chip.chip_id: chip for chip in self.fleet
         }
-        self._resident: Dict[int, Set[str]] = {
-            chip.chip_id: set() for chip in self.fleet
-        }
+        # Residency is per-trace: rebuild (also picks up fleet changes).
+        self._resident = {chip.chip_id: set() for chip in self.fleet}
 
         def admit(job: ClusterJob, now: float) -> None:
             if len(queue) >= self.max_queue_depth:
@@ -112,7 +119,15 @@ class ClusterService:
                 tracer.counter_add("cluster.admitted", 1.0)
 
         def dispatch(job: ClusterJob, chip: ChipSpec, now: float) -> None:
-            queue.remove(job)
+            # Remove the selected job *by identity*, not list.remove():
+            # ClusterJob is a frozen dataclass with field equality, so an
+            # equality-based remove on a queue holding equal duplicates
+            # would strip the first match -- possibly not the object the
+            # policy picked -- and corrupt the records/queue pairing.
+            for index, queued in enumerate(queue):
+                if queued is job:
+                    del queue[index]
+                    break
             del free[chip.chip_id]
             transfer = self.transfer_s(job, chip)
             estimate = self.cost_model.estimate(job, chip)
@@ -161,7 +176,8 @@ class ClusterService:
                 if pick is None:
                     break
                 job, chip = pick
-                if job not in queue or chip.chip_id not in free:
+                queued = any(queued is job for queued in queue)
+                if not queued or chip.chip_id not in free:
                     raise RuntimeError(
                         f"policy {self.policy.name!r} selected an invalid "
                         f"pair: {job.label} -> {chip.label}"
@@ -171,8 +187,8 @@ class ClusterService:
             times = []
             if busy:
                 times.append(busy[0][0])
-            if pending:
-                times.append(pending[0].arrival_s)
+            if next_arrival < len(pending):
+                times.append(pending[next_arrival].arrival_s)
             if not times:
                 break
             now = min(times)
@@ -181,8 +197,12 @@ class ClusterService:
             while busy and busy[0][0] <= now:
                 completion, _, record = heapq.heappop(busy)
                 complete(record, completion)
-            while pending and pending[0].arrival_s <= now:
-                admit(pending.pop(0), now)
+            while (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_s <= now
+            ):
+                admit(pending[next_arrival], now)
+                next_arrival += 1
 
         ordered = [records[job.job_id] for job in trace.jobs]
         report = slo_report(self.policy.name, ordered, self.fleet)

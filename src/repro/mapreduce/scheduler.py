@@ -192,6 +192,15 @@ class TaskQueueSet:
     def queue_length(self, worker: int) -> int:
         return len(self._queues[worker])
 
+    def own_queue_lengths(self) -> List[int]:
+        """All workers' own-queue lengths in one call.
+
+        The steal-epoch batched dispatch reads every queue length at the
+        top of each epoch to find the next possible steal time; one list
+        comprehension here beats ``num_workers`` :meth:`queue_length`
+        calls in the hot loop."""
+        return [len(queue) for queue in self._queues]
+
     def executed_count(self, worker: int) -> int:
         return self._executed[worker]
 
@@ -231,11 +240,13 @@ class TaskQueueSet:
         """Bulk-pop *count* tasks from the head of *worker*'s own queue.
 
         The epoch-batched map dispatch commits each worker's own-queue
-        prefix in one call instead of ping-ponging through
-        :meth:`next_task`.  Semantics match *count* consecutive
-        own-queue pops exactly: executed counts advance, stealing
-        counters and the policy are untouched (the Eq. 3 cap only gates
-        steals, never a worker's own queue).
+        run in one call per steal epoch instead of ping-ponging through
+        :meth:`next_task` -- mid-phase commits are fine: a worker's own
+        queue is always a contiguous run of its home allocation (head
+        pops advance the front, steals shorten the tail).  Semantics
+        match *count* consecutive own-queue pops exactly: executed
+        counts advance, stealing counters and the policy are untouched
+        (the Eq. 3 cap only gates steals, never a worker's own queue).
         """
         own = self._queues[worker]
         if count > len(own):

@@ -185,7 +185,7 @@ class DenseLatencyModel:
         O(n^2 * hops) Python lists of the exact builder.
         """
         from repro.noc.pathwalk import (
-            assemble_blocked_csr, edge_resource_tables, walk_steps,
+            assemble_blocked_csr, edge_resource_tables, walk_steps_block,
         )
 
         n = self.num_nodes
@@ -251,21 +251,31 @@ class DenseLatencyModel:
         raw_bottleneck = np.full((n, n), np.inf, dtype=np.float32)
 
         def block_entries(start, end):
+            # The whole block walks in lockstep: per step, each still-
+            # walking (src, dst) route appears exactly once, so the 2-D
+            # fancy-indexed += sees no duplicate indices and accumulates
+            # each route's hops in the same back-to-front order as the
+            # per-source walk -- float64 sums are bit-identical.
+            srcs = np.arange(start, end)
+            base = (srcs * n).astype(np.int32)
+            acc_head = np.zeros((end - start, n))
+            acc_cap = np.full((end - start, n), np.inf)
             rows_parts: List[np.ndarray] = []
             cols_parts: List[np.ndarray] = []
-            for src in range(start, end):
-                acc_head = np.zeros(n)
-                acc_cap = np.full(n, np.inf)
-                for dst, prev, cur in walk_steps(pred[src], src, n):
-                    acc_head[dst] += hop_head[prev, cur]
-                    acc_cap[dst] = np.minimum(acc_cap[dst], hop_cap[prev, cur])
-                    rows_parts.append((src * n + dst).astype(np.int32))
-                    cols_parts.append(billed_col[prev, cur])
-                # Ejection pipeline at every destination; the diagonal
-                # (zero hops) collapses to the local-port traversal.
-                acc_head += pipeline_s
-                head[src] = acc_head
-                raw_bottleneck[src] = acc_cap
+            for rows, dst, prev, cur in walk_steps_block(
+                pred[start:end], srcs, n
+            ):
+                acc_head[rows, dst] += hop_head[prev, cur]
+                acc_cap[rows, dst] = np.minimum(
+                    acc_cap[rows, dst], hop_cap[prev, cur]
+                )
+                rows_parts.append(base[rows] + dst.astype(np.int32))
+                cols_parts.append(billed_col[prev, cur])
+            # Ejection pipeline at every destination; the diagonal
+            # (zero hops) collapses to the local-port traversal.
+            acc_head += pipeline_s
+            head[start:end] = acc_head
+            raw_bottleneck[start:end] = acc_cap
             if not rows_parts:
                 empty = np.empty(0, dtype=np.int32)
                 return empty, empty
@@ -451,7 +461,7 @@ class PairwiseEnergy:
     def _build_static_blocked(model: FlowNetworkModel, bulk: bool):
         """Blocked float32 build: per-edge energy tables + lockstep walks
         (same quantities as the exact builder, no per-pair path lists)."""
-        from repro.noc.pathwalk import walk_steps
+        from repro.noc.pathwalk import walk_steps_block
 
         n = model.topology.num_nodes
         params = model.energy.params
@@ -475,19 +485,28 @@ class PairwiseEnergy:
         energy_per_bit = np.zeros((n, n), dtype=np.float32)
         hops = np.zeros((n, n), dtype=np.float32)
         wireless_links = np.zeros((n, n), dtype=np.float32)
-        for src in range(n):
-            acc_pj = np.zeros(n)
-            acc_hops = np.zeros(n)
-            acc_wireless = np.zeros(n)
-            for dst, prev, cur in walk_steps(pred[src], src, n):
-                acc_pj[dst] += hop_pj[prev, cur]
-                acc_hops[dst] += 1.0
-                acc_wireless[dst] += hop_wireless[prev, cur]
+        block = model.params.dense_block_nodes or n
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            srcs = np.arange(start, end)
+            acc_pj = np.zeros((end - start, n))
+            acc_hops = np.zeros((end - start, n))
+            acc_wireless = np.zeros((end - start, n))
+            # Lockstep over the whole block; each (src, dst) route shows
+            # up at most once per step, so the fancy-indexed += keeps the
+            # per-route hop order (and float64 bits) of the old
+            # one-source-at-a-time walk.
+            for rows, dst, prev, cur in walk_steps_block(
+                pred[start:end], srcs, n
+            ):
+                acc_pj[rows, dst] += hop_pj[prev, cur]
+                acc_hops[rows, dst] += 1.0
+                acc_wireless[rows, dst] += hop_wireless[prev, cur]
             # Ejection router on every non-trivial path (diagonal stays 0).
             acc_pj[acc_hops > 0] += params.router_pj_per_bit
-            energy_per_bit[src] = acc_pj * 1e-12
-            hops[src] = acc_hops
-            wireless_links[src] = acc_wireless
+            energy_per_bit[start:end] = acc_pj * 1e-12
+            hops[start:end] = acc_hops
+            wireless_links[start:end] = acc_wireless
         return energy_per_bit, hops, wireless_links
 
     def record(self, src: int, dst: int, bits: float) -> float:

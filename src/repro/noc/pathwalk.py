@@ -5,10 +5,18 @@ accumulate resource ids into Python lists -- at 256 cores that is ~65k
 path walks and hundreds of MB of transient ``int`` objects.  The blocked
 builders (:class:`repro.noc.dense.DenseLatencyModel` and
 :meth:`repro.noc.network.FlowNetworkModel._flow_usage` with
-``NocParams.dense_block_nodes`` set) instead walk every destination's
-predecessor chain in lockstep per source, reading dense per-edge lookup
-tables, so the transient state is a handful of length-``n`` arrays per
-source block.
+``NocParams.dense_block_nodes`` set) instead walk every (src, dst)
+route of a whole source block at once: :func:`walk_steps_block` advances
+all still-walking routes one predecessor hop per step over dense
+per-edge lookup tables, so the transient state is a handful of 1-D
+arrays whose length shrinks as routes reach their sources.  Per block
+that is ~diameter numpy steps instead of ~``block * diameter`` Python
+loop iterations, and consumers issue one ``np.concatenate`` per block.
+
+Per-route hop *order* is preserved: step ``k`` visits the ``k``-th hop
+counted backward from each destination, exactly as the per-source
+:func:`walk_steps` walk does, so float accumulations over the yielded
+hops are bit-identical to the scalar builders.
 """
 
 from __future__ import annotations
@@ -45,6 +53,34 @@ def edge_resource_tables(model) -> Tuple[np.ndarray, np.ndarray]:
     return link_col, chan_col
 
 
+def _describe_cycle(pred_row: np.ndarray, src: int, dst: int, n: int) -> str:
+    """Human-readable report of the cycle a predecessor walk fell into.
+
+    Retraces the chain from *dst* toward *src*, recording every node
+    until one repeats, and formats the closed cycle plus the hop count at
+    which the walk entered it.
+    """
+    seen = {int(dst): 0}
+    path = [int(dst)]
+    node = int(dst)
+    for _ in range(2 * n + 1):
+        node = int(pred_row[node])
+        if node < 0:
+            return f"chain from {dst} hits unroutable node after {len(path)} hops"
+        if node == src:
+            return f"chain from {dst} terminates (no cycle found)"
+        if node in seen:
+            cycle = path[seen[node]:] + [node]
+            arrows = " -> ".join(str(c) for c in reversed(cycle))
+            return (
+                f"route {src} -> {dst} enters the cycle [{arrows}] "
+                f"{len(path) - len(cycle) + 1} hop(s) before {dst}"
+            )
+        seen[node] = len(path)
+        path.append(node)
+    return f"chain from {dst} exceeds {2 * n} hops without repeating"
+
+
 def walk_steps(
     pred_row: np.ndarray, src: int, n: int
 ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
@@ -54,29 +90,93 @@ def walk_steps(
     still-walking destination ``dst``, the route's hop ``prev -> cur``
     (in forward, src-to-dst direction).  Iterating to exhaustion visits
     every hop of every route exactly once.
+
+    The walk is validated eagerly: a predecessor cycle or an unroutable
+    destination raises *before the first step is yielded*, so a consumer
+    accumulating per-destination sums is never left holding a partially
+    consumed walk.  The error names the offending route and the exact
+    cycle the chain fell into.
     """
+    steps = []
     destinations = np.arange(n)
     current = destinations.copy()
     alive = current != src
-    steps = 0
+    count = 0
     while alive.any():
-        steps += 1
-        if steps > 2 * n:
-            broken = destinations[alive]
-            raise RuntimeError(
-                f"predecessor chains from {src} do not terminate for "
-                f"destinations {broken[:8].tolist()}..."
-            )
+        count += 1
         dst = destinations[alive]
         cur = current[alive]
+        if count > 2 * n:
+            broken = int(dst[0])
+            raise RuntimeError(
+                f"predecessor chains from {src} do not terminate "
+                f"({alive.sum()} destination(s) affected): "
+                f"{_describe_cycle(pred_row, src, broken, n)}"
+            )
         prev = pred_row[cur]
         if (prev < 0).any():
+            missing = dst[prev < 0]
             raise RuntimeError(
-                f"no route from {src} to {dst[prev < 0][:8].tolist()}"
+                f"no route from {src} to destination(s) "
+                f"{missing[:8].tolist()}"
+                f"{'...' if len(missing) > 8 else ''}: predecessor chain "
+                f"breaks {count} hop(s) before the destination"
             )
-        yield dst, prev, cur
+        steps.append((dst, prev, cur))
         current[alive] = prev
         alive = current != src
+    return iter(steps)
+
+
+def walk_steps_block(
+    pred_rows: np.ndarray, srcs: np.ndarray, n: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Walk every (src, dst) route of a whole source block in lockstep.
+
+    ``pred_rows`` holds the predecessor rows of the block's sources
+    (``pred[srcs]``, shape ``(len(srcs), n)``).  Yields
+    ``(rows, dst, prev, cur)`` per step, flattened over the block:
+    ``rows`` indexes into *srcs*, and for each still-walking route the
+    step contributes the hop ``prev -> cur`` (forward direction).  Step
+    ``k`` carries the ``k``-th hop counted backward from each
+    destination -- the same per-route order as :func:`walk_steps` -- and
+    within one step every (src, dst) pair appears at most once, so
+    consumers may accumulate with plain fancy-indexed ``+=``.
+
+    Unlike the eager single-source walk, validation here is per step
+    (materializing a block's full walk would defeat the bounded-memory
+    contract of the blocked builders); a cycle still raises with the
+    offending route spelled out.
+    """
+    srcs = np.asarray(srcs)
+    block = len(srcs)
+    rows = np.repeat(np.arange(block), n)
+    dst = np.tile(np.arange(n), block)
+    cur = dst.copy()
+    keep = cur != srcs[rows]
+    rows, dst, cur = rows[keep], dst[keep], cur[keep]
+    steps = 0
+    while rows.size:
+        steps += 1
+        if steps > 2 * n:
+            row = int(rows[0])
+            raise RuntimeError(
+                f"predecessor chains do not terminate for {rows.size} "
+                f"route(s) in source block {srcs[0]}..{srcs[-1]}: "
+                f"{_describe_cycle(pred_rows[row], int(srcs[row]), int(dst[0]), n)}"
+            )
+        prev = pred_rows[rows, cur]
+        if (prev < 0).any():
+            bad = prev < 0
+            pairs = list(zip(srcs[rows[bad]][:8].tolist(), dst[bad][:8].tolist()))
+            raise RuntimeError(
+                f"no route for (src, dst) pair(s) {pairs}"
+                f"{'...' if bad.sum() > 8 else ''}: predecessor chain "
+                f"breaks {steps} hop(s) before the destination"
+            )
+        yield rows, dst, prev, cur
+        keep = prev != srcs[rows]
+        rows, dst, cur = rows[keep], dst[keep], prev[keep]
 
 
 def assemble_blocked_csr(block_entries, n: int, block: int, num_resources: int):
@@ -115,7 +215,9 @@ def flow_usage_blocked(model, bulk: bool, block: int, num_resources: int):
 
     Mirrors the legacy per-pair loop: one entry per directed-link hop
     (wire *and* wireless) plus one per wireless-channel crossing, with
-    duplicates summed into multiplicities.
+    duplicates summed into multiplicities.  The whole block walks in
+    vectorized lockstep (:func:`walk_steps_block`), so entry assembly is
+    ~diameter array appends and one concatenate per block.
     """
     n = model.topology.num_nodes
     routing = model.bulk_routing if bulk else model.routing
@@ -123,19 +225,19 @@ def flow_usage_blocked(model, bulk: bool, block: int, num_resources: int):
     link_col, chan_col = edge_resource_tables(model)
 
     def block_entries(start, end):
+        srcs = np.arange(start, end)
+        base = (srcs * n).astype(np.int32)
         rows_parts = []
         cols_parts = []
-        for src in range(start, end):
-            base = src * n
-            for dst, prev, cur in walk_steps(pred[src], src, n):
-                pair = (base + dst).astype(np.int32)
-                rows_parts.append(pair)
-                cols_parts.append(link_col[prev, cur])
-                wireless = chan_col[prev, cur]
-                on_channel = wireless >= 0
-                if on_channel.any():
-                    rows_parts.append(pair[on_channel])
-                    cols_parts.append(wireless[on_channel])
+        for rows, dst, prev, cur in walk_steps_block(pred[start:end], srcs, n):
+            pair = base[rows] + dst.astype(np.int32)
+            rows_parts.append(pair)
+            cols_parts.append(link_col[prev, cur])
+            wireless = chan_col[prev, cur]
+            on_channel = wireless >= 0
+            if on_channel.any():
+                rows_parts.append(pair[on_channel])
+                cols_parts.append(wireless[on_channel])
         if not rows_parts:
             empty = np.empty(0, dtype=np.int32)
             return empty, empty

@@ -84,6 +84,38 @@ class _Recovery:
         self.substitutions += other.substitutions
 
 
+@dataclass
+class _KvPlan:
+    """Phase-invariant index arrays for a barrier (reduce/merge) phase.
+
+    Everything here depends only on the records -- home workers, task
+    costs, and the flattened key-value source list (record row, source
+    node, stream bits) -- so it is built once per phase and reused by
+    every relaxation round's batched duration evaluation, the flow
+    registration, and the committed energy fold.  Only the latency
+    tables change between rounds.
+
+    ``kv_*`` arrays are flattened over all records' sources in record
+    order (the exact order the scalar path iterates); ``kv_bounds`` is
+    the CSR-style record boundary, and ``kv_slot`` each source's
+    position within its record (for scattering per-source terms into
+    the zero-padded per-record summation rows).
+    """
+
+    home: np.ndarray
+    nodes: np.ndarray
+    instructions: np.ndarray
+    l2: np.ndarray
+    mem: np.ndarray
+    kv_rec: np.ndarray
+    kv_src: np.ndarray
+    kv_slot: np.ndarray
+    kv_bits: np.ndarray
+    kv_minbits: np.ndarray
+    kv_bounds: np.ndarray
+    width: int
+
+
 class SystemSimulator:
     """Simulates one trace on one platform.
 
@@ -250,12 +282,22 @@ class SystemSimulator:
             self._trace_tasks([item], Phase.LIB_INIT)
         return item.end_s
 
-    def _relax_phase(self, schedule_fn, start: float, kv: bool, legacy_rounds: int):
+    def _relax_phase(
+        self,
+        schedule_fn,
+        start: float,
+        kv: bool,
+        legacy_rounds: int,
+        plan: Optional[_KvPlan] = None,
+    ):
         """Drive one phase to its latency/traffic fixed point.
 
         ``schedule_fn`` reschedules the phase under the current latency
         estimate and returns a tuple whose first two entries are
         ``(schedule, end)``; the committed result tuple is returned.
+        ``plan`` (barrier kv phases, fault-free) lets flow registration
+        reuse the phase-invariant index arrays instead of re-walking the
+        schedule.
 
         Adaptive mode (``relaxation_rtol`` set) iterates until the phase
         end time moves by less than ``rtol`` relative to the phase
@@ -271,7 +313,7 @@ class SystemSimulator:
                 result = schedule_fn()
                 schedule, end = result[0], result[1]
                 self._register_phase_flows(
-                    schedule, max(end - start, 1e-12), kv=kv
+                    schedule, max(end - start, 1e-12), kv=kv, plan=plan
                 )
                 self.memory.refresh_latencies()
             # Final schedule under converged latencies.
@@ -283,7 +325,9 @@ class SystemSimulator:
         prev_busy = self._schedule_busy(result[0]) if residual_mode else None
         for _ in range(params.max_relaxation_iterations):
             schedule, end = result[0], result[1]
-            self._register_phase_flows(schedule, max(end - start, 1e-12), kv=kv)
+            self._register_phase_flows(
+                schedule, max(end - start, 1e-12), kv=kv, plan=plan
+            )
             self.memory.refresh_latencies()
             result = schedule_fn()
             iterations += 1
@@ -437,10 +481,10 @@ class SystemSimulator:
 
         ``tasks``/``row_of``/``dispatch`` are the phase-invariant
         structures :meth:`_run_map` hoists out of the relaxation loop;
-        when ``dispatch`` is present and no faults are armed, the
-        own-queue epoch before the first steal is dispatched in one
-        vectorized batch (:meth:`_dispatch_own_prologue`) and only the
-        stealing tail runs event by event.
+        when ``dispatch`` is present and no faults are armed, the whole
+        phase is dispatched in steal-epoch batches
+        (:meth:`_dispatch_epochs`) and only the steal *decisions* run
+        event by event.
 
         Under fault injection, an execution that would cross its worker's
         failure instant is killed: the burnt interval is recorded, the
@@ -468,44 +512,47 @@ class SystemSimulator:
         recovery = _Recovery() if faults is not None else None
         batched = faults is None and dispatch is not None
         if batched:
-            schedule, end, heap = self._dispatch_own_prologue(
-                start, durations, queues, dispatch
+            schedule, end = self._dispatch_epochs(
+                start, durations, queues, dispatch, row_of
             )
+            # The epochs append per-worker batch runs interleaved with
+            # boundary pops; the event loop's pop order is (time, worker)
+            # lexicographic, so a stable sort restores it exactly (energy
+            # accounting folds floats in schedule order, so order is part
+            # of the golden contract).
+            schedule.sort(key=lambda item: (item.start_s, item.worker))
         else:
             heap = [(start, w) for w in range(num_workers)]
             heapq.heapify(heap)
             schedule = []
             end = start
-        while heap and queues.remaining > 0:
-            now, worker = heapq.heappop(heap)
-            if fail_time is not None and fail_time[worker] <= now:
-                # Dead core: drops out of the event loop for good.
-                continue
-            task = queues.next_task(worker)
-            if task is None:
-                # Capped out or nothing to steal: this core is done.
-                continue
-            record: TaskRecord = task.payload
-            duration = float(durations[row_of[id(record)], worker])
-            if fail_time is not None and now + duration > fail_time[worker]:
-                # Killed mid-execution (now < fail strictly, see above).
-                fail = float(fail_time[worker])
-                recovery.lost.append(
-                    (worker, now, fail - now, record.task_id)
-                )
-                recovery.reexecutions += 1
-                queues.requeue(worker, task)
-                end = max(end, fail)
-                continue
-            schedule.append(_ScheduledTask(record, worker, now, duration))
-            end = max(end, now + duration)
-            heapq.heappush(heap, (now + duration, worker))
-        if batched:
-            # The prologue appends per-worker runs; the event loop's pop
-            # order is (time, worker) lexicographic, so a stable sort
-            # restores it exactly (energy accounting folds floats in
-            # schedule order, so order is part of the golden contract).
-            schedule.sort(key=lambda item: (item.start_s, item.worker))
+            while heap and queues.remaining > 0:
+                now, worker = heapq.heappop(heap)
+                if fail_time is not None and fail_time[worker] <= now:
+                    # Dead core: drops out of the event loop for good.
+                    continue
+                task = queues.next_task(worker)
+                if task is None:
+                    # Capped out or nothing to steal: this core is done.
+                    continue
+                record: TaskRecord = task.payload
+                duration = float(durations[row_of[id(record)], worker])
+                if (
+                    fail_time is not None
+                    and now + duration > fail_time[worker]
+                ):
+                    # Killed mid-execution (now < fail strictly, see above).
+                    fail = float(fail_time[worker])
+                    recovery.lost.append(
+                        (worker, now, fail - now, record.task_id)
+                    )
+                    recovery.reexecutions += 1
+                    queues.requeue(worker, task)
+                    end = max(end, fail)
+                    continue
+                schedule.append(_ScheduledTask(record, worker, now, duration))
+                end = max(end, now + duration)
+                heapq.heappush(heap, (now + duration, worker))
         if queues.remaining > 0:
             # Every worker is capped (possible only with a user-supplied
             # fmax above all cores) or the survivors exited before a killed
@@ -529,58 +576,127 @@ class SystemSimulator:
             end = now
         return schedule, end, queues, recovery
 
-    def _dispatch_own_prologue(
+    def _dispatch_epochs(
         self,
         start: float,
         durations: np.ndarray,
         queues: TaskQueueSet,
         dispatch: Tuple[np.ndarray, ...],
-    ) -> Tuple[List[_ScheduledTask], float, List[Tuple[float, int]]]:
-        """Epoch-batched own-queue dispatch (fault-free fast path).
+        row_of: dict,
+    ) -> Tuple[List[_ScheduledTask], float]:
+        """Steal-epoch batched map dispatch (fault-free fast path).
 
-        Until the first worker drains its own queue (``t*``, the minimum
-        per-worker drain time), every event-loop pop is an own-queue pop
-        that stealing cannot perturb: steals only remove victims' *tail*
-        tasks and only occur at event times ``>= t*``.  So each worker's
-        own-queue prefix with start time strictly below ``t*`` commits
-        in one batch.  Start times come from one ``np.add.accumulate``
-        over a zero-padded ``(workers, max_queue + 1)`` duration matrix
-        -- a strictly sequential float64 recurrence per row that
-        reproduces the event loop's ``now + duration`` arithmetic
-        bit-for-bit (unlike pairwise ``np.sum``; trailing zero pads are
-        exact no-ops).
+        Between steals, every event-loop pop is an own-queue pop that
+        stealing cannot perturb: steals only remove victims' *tail*
+        tasks, and the earliest time any steal can happen is
 
-        Returns the committed partial schedule (grouped by worker; the
-        caller re-sorts into event order), the phase end so far, and the
-        seeded ``(next_event_time, worker)`` heap for the stealing tail.
+            ``t_steal = min`` over alive workers of the own-queue drain
+            time (the next event time, for a worker whose queue is
+            already empty -- its next pop is a steal attempt).
+
+        So each epoch batch-commits every own-queue pop whose start time
+        is strictly below ``t_steal``.  Start times come from one
+        ``np.add.accumulate`` over a zero-padded duration matrix of the
+        workers still holding own tasks -- a strictly sequential float64
+        recurrence per row that reproduces the event loop's
+        ``now + duration`` arithmetic bit-for-bit (unlike pairwise
+        ``np.sum``; trailing zero pads are exact no-ops).  The event
+        loop then handles only the epoch boundary: tie pops at exactly
+        ``t_steal`` and the next steal decision.  A successful steal
+        (some victim's queue changed) or a retiring worker (capped out /
+        nothing to steal -- it never pops again, so the min above loses
+        a contributor) ends the boundary and re-enters batching; only
+        the steal *decisions* ever run event by event.
+
+        Bookkeeping invariant: a worker's own queue is always the
+        contiguous slot run ``[head, head + queue_length)`` of its home
+        allocation -- commits and own pops advance the head while steals
+        shorten the tail -- so each epoch gathers remaining durations
+        with one slice per holder.
+
+        Returns the schedule (batch runs grouped by worker, boundary
+        pops in event order; the caller re-sorts into event order) and
+        the phase end so far.
         """
         order, lengths, owner, slot = dispatch
         num_workers = self.platform.num_cores
         width = int(lengths.max()) if len(order) else 0
-        pad = np.zeros((num_workers, width + 1))
-        pad[:, 0] = start
-        pad[owner, slot + 1] = durations[order, owner]
-        chain = np.add.accumulate(pad, axis=1)
-        workers = np.arange(num_workers)
-        t_star = chain[workers, lengths].min()
-        # Padded tail entries repeat the drain time (>= t*), so the full-
-        # row count equals the count over the worker's real queue prefix.
-        committed = (chain[:, :-1] < t_star).sum(axis=1)
+        dur_rows = np.zeros((num_workers, width))
+        if len(order):
+            dur_rows[owner, slot] = durations[order, owner]
+        head = [0] * num_workers
+        now_w = [float(start)] * num_workers
+        alive = [True] * num_workers
         schedule: List[_ScheduledTask] = []
-        heap: List[Tuple[float, int]] = []
-        for w in range(num_workers):
-            k = int(committed[w])
-            row = chain[w]
-            for j, task in enumerate(queues.commit_own(w, k)):
-                schedule.append(
-                    _ScheduledTask(
-                        task.payload, w, float(row[j]), float(pad[w, j + 1])
-                    )
-                )
-            heap.append((float(row[k]), w))
-        end = max(start, float(chain[workers, committed].max()))
-        heapq.heapify(heap)
-        return schedule, end, heap
+        end = start
+        while queues.remaining > 0:
+            # --- batch: commit own-queue runs strictly below t_steal ---
+            qlen = queues.own_queue_lengths()
+            holders = [w for w in range(num_workers) if alive[w] and qlen[w]]
+            waiting = [
+                now_w[w] for w in range(num_workers)
+                if alive[w] and not qlen[w]
+            ]
+            t_steal = min(waiting) if waiting else np.inf
+            if holders:
+                counts = np.array([qlen[w] for w in holders])
+                pad = np.zeros((len(holders), int(counts.max()) + 1))
+                pad[:, 0] = [now_w[w] for w in holders]
+                for i, w in enumerate(holders):
+                    pad[i, 1 : 1 + qlen[w]] = dur_rows[
+                        w, head[w] : head[w] + qlen[w]
+                    ]
+                chain = np.add.accumulate(pad, axis=1)
+                drains = chain[np.arange(len(holders)), counts]
+                t_steal = min(t_steal, float(drains.min()))
+                # Padded tail entries repeat the drain time (>= t_steal),
+                # so the full-row count equals the count over the
+                # worker's real queue run.
+                committed = (chain[:, :-1] < t_steal).sum(axis=1)
+                for i, w in enumerate(holders):
+                    k = int(committed[i])
+                    if not k:
+                        continue
+                    row = chain[i]
+                    for j, task in enumerate(queues.commit_own(w, k)):
+                        schedule.append(
+                            _ScheduledTask(
+                                task.payload, w, float(row[j]),
+                                float(pad[i, j + 1]),
+                            )
+                        )
+                    head[w] += k
+                    now_w[w] = float(row[k])
+                    end = max(end, now_w[w])
+            # --- boundary: tie pops, then the next steal decision ---
+            heap = [(now_w[w], w) for w in range(num_workers) if alive[w]]
+            heapq.heapify(heap)
+            changed = False
+            while heap and queues.remaining > 0:
+                now, worker = heapq.heappop(heap)
+                own = queues.queue_length(worker) > 0
+                task = queues.next_task(worker)
+                if task is None:
+                    # Capped out or nothing to steal: this core retires,
+                    # which can only lift t_steal -- re-batch.
+                    alive[worker] = False
+                    changed = True
+                    break
+                record: TaskRecord = task.payload
+                duration = float(durations[row_of[id(record)], worker])
+                schedule.append(_ScheduledTask(record, worker, now, duration))
+                end = max(end, now + duration)
+                now_w[worker] = now + duration
+                heapq.heappush(heap, (now_w[worker], worker))
+                if not own:
+                    # Successful steal: the victim's queue shrank, so the
+                    # next epoch recomputes t_steal from the survivors.
+                    changed = True
+                    break
+                head[worker] += 1
+            if not changed:
+                break
+        return schedule, end
 
     def _run_reduce(
         self,
@@ -590,14 +706,16 @@ class SystemSimulator:
         phases: List[PhaseStats],
         iteration: int,
     ) -> float:
+        plan = self._kv_plan(records) if self.faults is None else None
         schedule, end, recovery = self._relax_phase(
-            lambda: self._schedule_parallel(records, start),
+            lambda: self._schedule_parallel(records, start, plan=plan),
             start, kv=True,
             legacy_rounds=self.params.relaxation_iterations,
+            plan=plan,
         )
         for item in schedule:
             busy[item.worker] += item.duration_s
-            self._record_task_energy(item.record, item.worker, kv=True)
+        self._record_kv_phase_energy(schedule, plan)
         self._fold_recovery(recovery, busy)
         phases.append(PhaseStats(Phase.REDUCE, iteration, start, end))
         if self.tracer.enabled:
@@ -616,13 +734,15 @@ class SystemSimulator:
     ) -> float:
         if not records:
             return start
+        plan = self._kv_plan(records) if self.faults is None else None
         schedule, end, recovery = self._relax_phase(
-            lambda: self._schedule_parallel(records, start),
+            lambda: self._schedule_parallel(records, start, plan=plan),
             start, kv=True, legacy_rounds=1,
+            plan=plan,
         )
         for item in schedule:
             busy[item.worker] += item.duration_s
-            self._record_task_energy(item.record, item.worker, kv=True)
+        self._record_kv_phase_energy(schedule, plan)
         self._fold_recovery(recovery, busy)
         phases.append(PhaseStats(Phase.MERGE, iteration, start, end))
         if self.tracer.enabled:
@@ -632,12 +752,21 @@ class SystemSimulator:
         return end
 
     def _schedule_parallel(
-        self, records: Sequence[TaskRecord], start: float
+        self,
+        records: Sequence[TaskRecord],
+        start: float,
+        plan: Optional[_KvPlan] = None,
     ) -> Tuple[List[_ScheduledTask], float, Optional[_Recovery]]:
         """One task per owning worker, all starting at the barrier.
 
+        With a :class:`_KvPlan` (fault-free runs) the whole phase is
+        evaluated in one vectorized pass; the scalar per-record loop is
+        kept as the reference path and for faulted phases.
+
         Under fault injection, a task whose home worker is dead (or dies
         mid-execution) runs on a policy-chosen substitute instead."""
+        if self.faults is None and plan is not None:
+            return self._schedule_parallel_batched(records, start, plan)
         schedule = []
         end = start
         if self.faults is None:
@@ -658,6 +787,105 @@ class SystemSimulator:
             schedule.append(item)
             end = max(end, item.end_s)
         return schedule, end, recovery
+
+    def _kv_plan(self, records: Sequence[TaskRecord]) -> _KvPlan:
+        """Build the phase-invariant :class:`_KvPlan` for *records*."""
+        count = len(records)
+        home = np.fromiter(
+            (r.home_worker for r in records), dtype=np.int64, count=count
+        )
+        instructions = np.array([r.cost.instructions for r in records])
+        l2 = np.array([r.cost.l2_accesses for r in records])
+        mem = np.array([r.cost.memory_accesses for r in records])
+        worker_nodes = self._worker_nodes
+        chunk_bytes = self.params.kv_chunk_bytes
+        kv_rec: List[int] = []
+        kv_src: List[int] = []
+        kv_slot: List[int] = []
+        kv_bits: List[float] = []
+        bounds = np.zeros(count + 1, dtype=np.int64)
+        for row, record in enumerate(records):
+            for slot, (src_worker, nbytes) in enumerate(
+                self._kv_sources(record)
+            ):
+                kv_rec.append(row)
+                kv_src.append(int(worker_nodes[src_worker]))
+                kv_slot.append(slot)
+                kv_bits.append(kv_stream_bits(nbytes, chunk_bytes))
+            bounds[row + 1] = len(kv_rec)
+        bits = np.array(kv_bits, dtype=float)
+        return _KvPlan(
+            home=home,
+            nodes=np.asarray(worker_nodes)[home],
+            instructions=instructions,
+            l2=l2,
+            mem=mem,
+            kv_rec=np.array(kv_rec, dtype=np.int64),
+            kv_src=np.array(kv_src, dtype=np.int64),
+            kv_slot=np.array(kv_slot, dtype=np.int64),
+            kv_bits=bits,
+            kv_minbits=np.minimum(bits, float(self._kv_chunk_bits)),
+            kv_bounds=bounds,
+            width=int(np.diff(bounds).max()) if count else 0,
+        )
+
+    def _schedule_parallel_batched(
+        self, records: Sequence[TaskRecord], start: float, plan: _KvPlan
+    ) -> Tuple[List[_ScheduledTask], float, None]:
+        """Vectorized barrier phase: one pass over the plan's arrays.
+
+        Bit-equal to the scalar loop by construction:
+
+        * compute/stall mirror :meth:`_task_time_parts`'s operation
+          order exactly (the same broadcast pattern
+          :meth:`_map_durations` pins against the scalar path);
+        * each source's head term divides in the latency table's own
+          dtype -- ``pyfloat / float32_scalar`` computes in float32
+          under NEP 50, so the gathered float32 rates must see float32
+          numerators to reproduce the scalar bits;
+        * per-record source sums run through one zero-padded
+          ``np.add.accumulate`` (sequential float64 recurrence ==
+          the scalar ``total += term`` loop; trailing zero pads are
+          exact no-ops for the non-negative terms).
+        """
+        if not len(records):
+            return [], start, None
+        core = self.platform.core_params
+        freqs = self._worker_freqs[plan.home]
+        compute = (plan.instructions / core.ipc) / freqs
+        round_trip = self.memory.l2_round_trip_all_s()[plan.nodes]
+        extra = self.memory.memory_extra_all_s()[plan.nodes]
+        stall = (plan.l2 * round_trip + plan.mem * extra) / core.mlp_overlap
+        task_time = compute + stall
+        if len(plan.kv_rec):
+            memory = self.memory
+            base = memory.bulk_base_latency_s
+            raw = memory.bulk_raw_bottleneck_bps
+            effective = memory.bulk_capacity_bps
+            dst = plan.nodes[plan.kv_rec]
+            raw_g = raw[plan.kv_src, dst]
+            cap_g = effective[plan.kv_src, dst]
+            minbits = plan.kv_minbits.astype(raw_g.dtype, copy=False)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                head_ser = np.where(
+                    np.isfinite(raw_g), minbits / raw_g, 0.0
+                )
+                streaming = np.where(
+                    np.isfinite(cap_g), plan.kv_bits / cap_g, 0.0
+                )
+            terms = (base[plan.kv_src, dst] + head_ser) + streaming
+            pad = np.zeros((len(records), plan.width))
+            pad[plan.kv_rec, plan.kv_slot] = terms
+            totals = np.add.accumulate(pad, axis=1)[:, -1]
+            durations = task_time + totals
+        else:
+            durations = task_time + 0.0
+        schedule = [
+            _ScheduledTask(record, record.home_worker, start, float(durations[i]))
+            for i, record in enumerate(records)
+        ]
+        end = max(start, float((start + durations).max()))
+        return schedule, end, None
 
     def _execute_with_substitution(
         self, record: TaskRecord, start: float, kv: bool
@@ -844,14 +1072,31 @@ class SystemSimulator:
         schedule: Sequence[_ScheduledTask],
         phase_duration: float,
         kv: bool = False,
+        plan: Optional[_KvPlan] = None,
     ) -> None:
         """Convert a phase schedule into sustained flows on the NoC.
 
         Miss traffic is registered with one batched mat-vec over every
         node's accumulated access rate; key-value streams are registered
-        with one batched ``add_flows`` call."""
+        with one batched ``add_flows`` call.  With a :class:`_KvPlan`
+        (barrier phases, fault-free -- where the schedule is the record
+        list in order) both inputs come straight from the plan's flat
+        arrays, in the same accumulation order as the schedule walk.
+        """
         network = self.platform.network
         network.reset_flows()
+        if plan is not None and self.faults is None:
+            accesses_per_node = np.zeros(self.platform.num_cores)
+            np.add.at(accesses_per_node, plan.nodes, plan.l2)
+            self.memory.add_miss_flows_batch(accesses_per_node / phase_duration)
+            if kv:
+                network.add_flows(
+                    plan.kv_src,
+                    plan.nodes[plan.kv_rec],
+                    plan.kv_bits / phase_duration,
+                    bulk=True,
+                )
+            return
         accesses_per_node = np.zeros(self.platform.num_cores)
         for item in schedule:
             node = self._worker_nodes[item.worker]
@@ -883,6 +1128,35 @@ class SystemSimulator:
                 src = self.platform.node_of_worker(src_worker)
                 bits = kv_stream_bits(nbytes, self.params.kv_chunk_bytes)
                 self._bulk_energy.record(src, node, bits)
+
+    def _record_kv_phase_energy(
+        self,
+        schedule: List[_ScheduledTask],
+        plan: Optional[_KvPlan],
+    ) -> None:
+        """Fold a kv phase's committed work and energy counters.
+
+        With a plan the committed-instruction fold is one ``np.add.at``
+        (element order == record order == the scalar loop's accumulation
+        order) and the kv source lists / stream-bit computations are
+        reused instead of rebuilt per record.  The miss-energy and
+        kv-transfer recordings stay *interleaved per record*: both feed
+        the same pairwise energy counters, so splitting them into two
+        bulk passes would reorder the float accumulation.
+        """
+        if plan is None:
+            for item in schedule:
+                self._record_task_energy(item.record, item.worker, kv=True)
+            return
+        np.add.at(self._committed, plan.home, plan.instructions)
+        record_miss = self.memory.record_miss_energy
+        record_bulk = self._bulk_energy.record
+        bounds = plan.kv_bounds
+        for i in range(len(plan.home)):
+            node = int(plan.nodes[i])
+            record_miss(node, plan.l2[i], plan.mem[i])
+            for f in range(bounds[i], bounds[i + 1]):
+                record_bulk(int(plan.kv_src[f]), node, float(plan.kv_bits[f]))
 
     # ------------------------------------------------------------------ #
 

@@ -225,6 +225,68 @@ class TestPolicyMisbehavior:
         with pytest.raises(RuntimeError, match="invalid"):
             service.run(smoke_trace)
 
+    def test_equal_copy_is_not_the_queued_job(
+        self, smoke_trace, small_fleet, study_cache
+    ):
+        # ClusterJob is a frozen dataclass with field equality, so a
+        # policy returning a *reconstructed* copy of a queued job used
+        # to slip past the equality-based membership check and remove.
+        # The dispatch contract is identity: the policy must hand back
+        # one of the exact objects it was given.
+        from dataclasses import replace
+
+        class CopyScheduler(ClusterScheduler):
+            name = "copy"
+
+            def select(self, now, queue, free_chips, ctx):
+                if not queue or not free_chips:
+                    return None
+                return replace(queue[0]), free_chips[0]
+
+        service = ClusterService(
+            small_fleet, CopyScheduler(), cache=study_cache
+        )
+        with pytest.raises(RuntimeError, match="invalid"):
+            service.run(smoke_trace)
+
+
+class TestContextBeforeRun:
+    def test_context_queries_work_before_first_run(
+        self, smoke_trace, small_fleet, study_cache
+    ):
+        # estimate/transfer_s/is_resident form the SchedulingContext a
+        # policy probes; they used to crash with AttributeError before
+        # the first run() because residency state was created lazily.
+        service = ClusterService(small_fleet, "fifo", cache=study_cache)
+        job = smoke_trace.jobs[0]
+        chip = next(iter(small_fleet))
+        assert service.is_resident(job, chip) is False
+        assert service.transfer_s(job, chip) == pytest.approx(
+            small_fleet.transfer_s(job.input_mb)
+        )
+        assert service.estimate(job, chip).service_s > 0.0
+
+    def test_residency_resets_between_runs(
+        self, smoke_trace, small_fleet, study_cache
+    ):
+        service = ClusterService(small_fleet, "fifo", cache=study_cache)
+        first = service.run(smoke_trace)
+        served = [r for r in first.records if r.status == COMPLETED]
+        # After a run the served datasets are resident on their chips...
+        assert any(
+            service.is_resident(r.job, small_fleet.chip(r.chip_id))
+            for r in served
+        )
+        # ...but a new run starts cold: stale residency must not leak
+        # into the second trace's transfer charges.
+        second = service.run(smoke_trace)
+        assert [r.transfer_s for r in second.records] == [
+            r.transfer_s for r in first.records
+        ]
+        assert [r.completed_s for r in second.records] == [
+            r.completed_s for r in first.records
+        ]
+
 
 class TestCompletionsBeforeArrivals:
     def test_freed_chip_visible_to_simultaneous_arrival(self, tmp_path):

@@ -11,6 +11,8 @@ schedule order.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.geometry import DieGeometry
 from repro.core.platforms import build_nvfi_mesh
@@ -150,6 +152,65 @@ def test_batched_handles_workers_without_tasks(simulator):
     rng = np.random.default_rng(0)
     durations = rng.uniform(1e-4, 5e-3, (10, num_workers))
     _assert_identical(*_run_both(simulator, records, durations))
+
+
+_SIMULATORS = {}
+
+
+def _simulator_for(num_cores):
+    if num_cores not in _SIMULATORS:
+        platform = build_nvfi_mesh(DieGeometry.for_cores(num_cores))
+        _SIMULATORS[num_cores] = SystemSimulator(platform, locality=0.6)
+    return _SIMULATORS[num_cores]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_property_batched_identical_to_event_loop(data):
+    """Schedule identity across random queue shapes, policies and sizes.
+
+    Draws worker counts, skewed home allocations (including every task
+    piled on one hot worker), tie-heavy quantized duration grids, and
+    capped vs greedy stealing policies; the epoch-batched dispatch must
+    match the pure event loop bit for bit on every one of them.
+    """
+    num_cores = data.draw(st.sampled_from([4, 16]), label="num_cores")
+    simulator = _simulator_for(num_cores)
+    seed = data.draw(st.integers(0, 2**16 - 1), label="rng_seed")
+    num_tasks = data.draw(st.integers(1, 150), label="num_tasks")
+    rng = np.random.default_rng(seed)
+    hot_worker = data.draw(st.integers(0, num_cores - 1), label="hot_worker")
+    hot_fraction = data.draw(
+        st.sampled_from([0.0, 0.5, 0.95, 1.0]), label="hot_fraction"
+    )
+    homes = np.where(
+        rng.random(num_tasks) < hot_fraction,
+        hot_worker,
+        rng.integers(0, num_cores, num_tasks),
+    )
+    records = [
+        TaskRecord(
+            task_id=i, phase=Phase.MAP,
+            cost=TaskCost(instructions=1000.0, l2_accesses=0.0,
+                          memory_accesses=0.0),
+            home_worker=int(homes[i]),
+        )
+        for i in range(num_tasks)
+    ]
+    durations = rng.uniform(1e-4, 5e-3, (num_tasks, num_cores))
+    if data.draw(st.booleans(), label="tie_heavy"):
+        # Snap to a coarse grid: many equal durations force exact float
+        # ties at epoch boundaries and simultaneous drain times.
+        durations = np.round(durations, 3) + 1e-4
+    if data.draw(st.booleans(), label="capped_policy"):
+        freqs = rng.choice([1.5e9, 2.0e9, 2.5e9], size=num_cores)
+        simulator.policy = CappedStealingPolicy(list(freqs), fmax_hz=2.5e9)
+    else:
+        simulator.policy = None
+    try:
+        _assert_identical(*_run_both(simulator, records, durations))
+    finally:
+        simulator.policy = None
 
 
 def test_commit_own_semantics():
