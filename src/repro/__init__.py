@@ -42,6 +42,7 @@ from repro.orchestrator import (
     expand_grid,
     run_campaign,
 )
+from repro.power import CapImpact, PowerCapSpec, run_cap_sweep
 from repro.sim import Platform, SystemSimulator, simulate
 from repro.tech import TechNode, TechSpec, get_node
 from repro.telemetry import (
@@ -52,7 +53,7 @@ from repro.telemetry import (
     use_tracer,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "APP_NAMES",
@@ -77,6 +78,9 @@ __all__ = [
     "TechNode",
     "TechSpec",
     "get_node",
+    "PowerCapSpec",
+    "CapImpact",
+    "run_cap_sweep",
     "NVFI_MESH",
     "VFI1_MESH",
     "VFI2_MESH",

@@ -350,6 +350,19 @@ def tech_section(
         )
         + "\n\n"
     )
+    if variant == "itrs":
+        write(
+            "The same frontier under conservative (post-Dennard) scaling: "
+            "leakage falls much more slowly with the node, so the dark "
+            "fraction grows faster than the ITRS projection above.\n\n"
+        )
+        write(
+            _md_table(
+                tech_frontier_rows(nodes, mixes, caps_w, num_cores, "cons"),
+                list(TECH_FRONTIER_COLUMNS),
+            )
+            + "\n\n"
+        )
     if tech_studies:
         first = next(iter(tech_studies.values()))
         write(f"### Measured sweep — {first.label}\n\n")
@@ -366,6 +379,134 @@ def tech_section(
     return out.getvalue()
 
 
+#: Column order of the measured power-cap frontier table (report + CLI).
+POWER_FRONTIER_COLUMNS = (
+    "cap (W)",
+    "time (ms)",
+    "throughput (/s)",
+    "energy (J)",
+    "EDP",
+    "peak power (W)",
+    "throttle events",
+    "throttled islands",
+    "throttled (s)",
+    "unmet",
+)
+
+
+def power_frontier_table(
+    power_studies: Mapping[Optional[float], AppStudy],
+    config: str = VFI2_WINOC,
+) -> list:
+    """Formatted cap-sweep frontier rows (shared by report and CLI).
+
+    *power_studies* maps the chip cap in watts (``None`` = uncapped
+    baseline) to the study run under it -- exactly what
+    :func:`repro.power.run_cap_sweep` returns.
+    """
+    from repro.power import frontier_rows
+
+    rows = []
+    for raw in frontier_rows(power_studies, config=config):
+        rows.append(
+            {
+                "cap (W)": (
+                    "uncapped" if raw["cap_w"] is None else f"{raw['cap_w']:g}"
+                ),
+                "time (ms)": f"{raw['time_s'] * 1e3:.1f}",
+                "throughput (/s)": f"{raw['throughput_per_s']:.4f}",
+                "energy (J)": f"{raw['energy_j']:.1f}",
+                "EDP": f"{raw['edp']:.3g}",
+                "peak power (W)": (
+                    "n/a"
+                    if raw["peak_power_w"] is None
+                    else f"{raw['peak_power_w']:.1f}"
+                ),
+                "throttle events": raw["throttle_events"],
+                "throttled islands": (
+                    ",".join(str(i) for i in raw["throttled_islands"]) or "-"
+                ),
+                "throttled (s)": f"{raw['throttled_s']:.2f}",
+                "unmet": raw["unmet_boundaries"],
+            }
+        )
+    return rows
+
+
+def power_residency_rows(
+    power_studies: Mapping[Optional[float], AppStudy],
+    config: str = VFI2_WINOC,
+) -> list:
+    """Island-seconds of DVFS-ladder residency per cap level.
+
+    One row per capped study; one column per ladder step observed in any
+    run (step indices ascend toward nominal).
+    """
+    impacts = []
+    for cap_w, study in power_studies.items():
+        if cap_w is None:
+            continue
+        impacts.append((cap_w, study.result(config).power))
+    impacts.sort(key=lambda item: -item[0])
+    steps = sorted({
+        step for _, impact in impacts if impact is not None
+        for step in impact.residency_s
+    })
+    rows = []
+    for cap_w, impact in impacts:
+        row = {"cap (W)": f"{cap_w:g}"}
+        for step in steps:
+            seconds = 0.0 if impact is None else impact.residency_s.get(step, 0.0)
+            row[f"step {step} (s)"] = f"{seconds:.2f}"
+        rows.append(row)
+    return rows
+
+
+def power_section(
+    power_studies: Mapping[Optional[float], AppStudy],
+    config: str = VFI2_WINOC,
+) -> str:
+    """Markdown "power-cap frontier" section: measured sweep + residency.
+
+    *power_studies* maps chip caps in watts (``None`` = uncapped) to
+    studies of the same app/scale/seed -- the
+    :func:`repro.power.run_cap_sweep` output.  The frontier table walks
+    the caps loosest-first, so throughput should read non-increasing
+    down the column; the residency table shows where the governor parked
+    each capped run on the DVFS ladder.
+    """
+    out = io.StringIO()
+    write = out.write
+    write("## Power-cap frontier — throughput/energy/EDP under caps\n\n")
+    if not power_studies:
+        write("No cap sweep recorded.\n\n")
+        return out.getvalue()
+    first = next(iter(power_studies.values()))
+    write(
+        f"Cap sweep of **{first.label}** ({config}): the governor "
+        "re-decides island V/F at every phase boundary, stepping the "
+        "cheapest-throughput-loss island down the ladder until the "
+        "estimated chip power fits the cap (master islands shielded), "
+        "and re-raising when activity headroom returns.\n\n"
+    )
+    write(
+        _md_table(
+            power_frontier_table(power_studies, config),
+            list(POWER_FRONTIER_COLUMNS),
+        )
+        + "\n\n"
+    )
+    residency = power_residency_rows(power_studies, config)
+    if residency:
+        columns = list(residency[0].keys())
+        write(
+            "DVFS-ladder residency per cap (island-seconds at each ladder "
+            "step; higher steps are faster):\n\n"
+        )
+        write(_md_table(residency, columns) + "\n\n")
+    return out.getvalue()
+
+
 def generate_report(
     studies: Optional[Mapping[str, AppStudy]] = None,
     scale: float = 1.0,
@@ -377,6 +518,7 @@ def generate_report(
     faulted_studies: Optional[Mapping[str, AppStudy]] = None,
     cluster_results=None,
     tech_studies: Optional[Mapping[str, AppStudy]] = None,
+    power_studies: Optional[Mapping[Optional[float], AppStudy]] = None,
 ) -> str:
     """Render the full reproduction report as markdown.
 
@@ -393,6 +535,10 @@ def generate_report(
     service policy-comparison section.  *tech_studies* (one app measured
     under several technology configurations, keyed by tech label)
     appends the technology-frontier / dark-silicon section.
+    *power_studies* (one app measured under a sweep of chip power caps,
+    keyed by the cap in watts with ``None`` for the uncapped baseline --
+    the :func:`repro.power.run_cap_sweep` output) appends the power-cap
+    frontier section.
     """
     if studies is None:
         studies = collect_studies(
@@ -551,4 +697,7 @@ def generate_report(
     if tech_studies:
         write("\n")
         write(tech_section(tech_studies))
+    if power_studies:
+        write("\n")
+        write(power_section(power_studies))
     return out.getvalue()

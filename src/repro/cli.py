@@ -44,6 +44,17 @@ Commands
 ``tech export [--output FILE] [--format {md,json}]``
     Export the node/core tables and the dark-silicon frontier as
     markdown or JSON.
+``power list``
+    Show the estimated uncapped chip peaks and the default cap ladders
+    per die size.
+``power sweep [--app APP] [--caps W ...] [--plan FILE]``
+    Run one app at the uncapped baseline plus several chip power caps
+    through the orchestrator (optionally composed with a fault plan),
+    print the measured throughput/energy/EDP frontier and optionally
+    write the markdown section and the campaign manifest.
+``power export [--output FILE] [--format {md,json}]``
+    Export the estimated peaks / default cap ladders as markdown or
+    JSON.
 ``topology <app>``
     Build the application's WiNoC and render it (die map, V/F floorplan,
     degrees, link histogram).
@@ -323,6 +334,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tech_export.add_argument(
         "--variant", choices=("itrs", "cons"), default="itrs"
+    )
+
+    power = sub.add_parser(
+        "power", help="power-cap axis (list/sweep/export)"
+    )
+    power_sub = power.add_subparsers(dest="power_command", required=True)
+
+    power_list = power_sub.add_parser(
+        "list", help="show estimated chip peaks and the default cap ladders"
+    )
+    power_list.add_argument(
+        "--num-workers", type=int, nargs="+", default=None, metavar="N",
+        help="die sizes to price (default: 16 64 256)",
+    )
+
+    power_sweep = power_sub.add_parser(
+        "sweep",
+        help="run an app at several chip power caps via the orchestrator",
+    )
+    power_sweep.add_argument("--app", default="histogram", choices=APP_NAMES)
+    power_sweep.add_argument(
+        "--caps", type=float, nargs="+", default=None, metavar="W",
+        help="chip caps in watts (default: 90/75/60/45%% of the "
+        "estimated uncapped chip peak)",
+    )
+    power_sweep.add_argument("--scale", type=float, default=1.0)
+    power_sweep.add_argument("--seed", type=int, default=7)
+    power_sweep.add_argument("--num-workers", type=int, default=64)
+    power_sweep.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="compose every cap level with this fault plan (canonical "
+        "JSON file), demonstrating the cap x fault product",
+    )
+    power_sweep.add_argument("--jobs", type=int, default=1)
+    power_sweep.add_argument("--cache-dir", default=None)
+    power_sweep.add_argument(
+        "--manifest", default=None,
+        help="save the campaign's run manifest (JSON) to this path; a "
+        "sibling .trace.json with the per-unit timeline is written too",
+    )
+    power_sweep.add_argument(
+        "--report", default=None,
+        help="write the markdown power-cap frontier section to this path",
+    )
+
+    power_export = power_sub.add_parser(
+        "export", help="export the default cap ladders as markdown or JSON"
+    )
+    power_export.add_argument(
+        "--output", default=None, help="write to file (default: stdout)"
+    )
+    power_export.add_argument(
+        "--format", choices=("md", "json"), default="md"
+    )
+    power_export.add_argument(
+        "--num-workers", type=int, nargs="+", default=None, metavar="N",
+        help="die sizes to price (default: 16 64 256)",
     )
 
     topology = sub.add_parser("topology", help="render an app's WiNoC")
@@ -916,6 +984,134 @@ def _cmd_tech(args) -> int:
     return handlers[args.tech_command](args)
 
 
+#: Die sizes the ``power list`` / ``power export`` ladders price.
+POWER_DIE_SIZES = (16, 64, 256)
+
+
+def _power_ladder_rows(sizes) -> list:
+    from repro.power import chip_peak_power_w, default_caps_w
+
+    rows = []
+    for workers in sizes:
+        peak = chip_peak_power_w(workers)
+        caps = default_caps_w(workers)
+        rows.append(
+            {
+                "cores": workers,
+                "est. peak (W)": f"{peak:.1f}",
+                "default caps (W)": " ".join(f"{cap:g}" for cap in caps),
+            }
+        )
+    return rows
+
+
+def _power_list(args) -> int:
+    from repro.power import DEFAULT_CAP_FRACTIONS
+
+    sizes = tuple(args.num_workers) if args.num_workers else POWER_DIE_SIZES
+    print(
+        "default sweep caps are fractions of the estimated uncapped chip "
+        "peak: " + " ".join(f"{f:g}" for f in DEFAULT_CAP_FRACTIONS)
+    )
+    print(format_table(_power_ladder_rows(sizes)))
+    return 0
+
+
+def _power_sweep(args) -> int:
+    from repro.analysis.report import power_frontier_table, power_section
+    from repro.power import default_caps_w, run_cap_sweep
+
+    fault_plan = None
+    if args.plan is not None:
+        from repro.faults import FaultPlan
+
+        with open(args.plan) as handle:
+            fault_plan = FaultPlan.from_json(handle.read())
+    caps = tuple(args.caps) if args.caps else default_caps_w(args.num_workers)
+    cap_studies, campaign = run_cap_sweep(
+        args.app, caps_w=caps, scale=args.scale, seed=args.seed,
+        num_workers=args.num_workers, fault_plan=fault_plan,
+        jobs=args.jobs, cache=args.cache_dir, progress=_print_progress,
+    )
+    composed = ", composed with fault plan" if fault_plan is not None else ""
+    print(
+        f"{args.app}: uncapped baseline + {len(caps)} cap levels "
+        f"({args.num_workers} cores{composed})"
+    )
+    print("\nPower-cap frontier (vfi2_winoc, loosest cap first):")
+    print(format_table(power_frontier_table(cap_studies)))
+
+    if args.report:
+        text = power_section(cap_studies)
+        with open(args.report, "w") as handle:
+            handle.write(text)
+        print(f"\npower report written to {args.report}")
+    if args.manifest:
+        import pathlib
+
+        manifest_path = pathlib.Path(args.manifest)
+        campaign.manifest.save(manifest_path)
+        trace_path = manifest_path.with_suffix(".trace.json")
+        campaign.manifest.save_trace(trace_path)
+        print(f"run manifest saved to {manifest_path} (+ {trace_path})")
+    return 0
+
+
+def _power_export(args) -> int:
+    from repro.power import DEFAULT_CAP_FRACTIONS
+
+    sizes = tuple(args.num_workers) if args.num_workers else POWER_DIE_SIZES
+    if args.format == "json":
+        import json
+
+        from repro.power import chip_peak_power_w, default_caps_w
+
+        payload = {
+            "cap_fractions": list(DEFAULT_CAP_FRACTIONS),
+            "dies": [
+                {
+                    "num_workers": workers,
+                    "estimated_peak_w": chip_peak_power_w(workers),
+                    "default_caps_w": list(default_caps_w(workers)),
+                }
+                for workers in sizes
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        from repro.analysis.report import _md_table
+
+        text = (
+            "## Power-cap ladders — estimated peaks and default sweep "
+            "caps\n\n"
+            "Default sweep fractions of the estimated uncapped chip "
+            "peak: "
+            + ", ".join(f"{f:g}" for f in DEFAULT_CAP_FRACTIONS)
+            + ".\n\n"
+            + _md_table(
+                _power_ladder_rows(sizes),
+                ["cores", "est. peak (W)", "default caps (W)"],
+            )
+            + "\n"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"power ladders written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    handlers = {
+        "list": _power_list,
+        "sweep": _power_sweep,
+        "export": _power_export,
+    }
+    return handlers[args.power_command](args)
+
+
 def _cmd_topology(args) -> int:
     from repro.core.experiment import NVFI_MESH
     from repro.core.platforms import build_vfi_winoc
@@ -950,6 +1146,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "cluster": _cmd_cluster,
     "tech": _cmd_tech,
+    "power": _cmd_power,
     "topology": _cmd_topology,
 }
 

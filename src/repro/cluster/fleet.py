@@ -22,6 +22,7 @@ from repro.core.experiment import NVFI_MESH, VFI1_MESH, VFI2_MESH, VFI2_WINOC
 from repro.core.geometry import DieGeometry
 from repro.faults import FaultPlan
 from repro.orchestrator.spec import WINOC_METHODOLOGIES, _canonical_plan_json
+from repro.power.spec import PowerCapSpec, canonical_cap_json
 from repro.tech.spec import TechSpec, canonical_tech_json
 from repro.utils.jsonutil import to_builtin
 
@@ -43,6 +44,10 @@ class ChipSpec:
     #: Canonical tech JSON (node x core mix), or ``None`` for the paper's
     #: 65 nm homogeneous default.  Accepts a TechSpec / JSON text.
     tech: Optional[str] = None
+    #: Canonical power-cap JSON enforced on every job this chip runs, or
+    #: ``None`` for an uncapped chip.  Accepts a PowerCapSpec / JSON
+    #: text / bare watts at construction (like StudySpec).
+    power_cap: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "chip_id", int(self.chip_id))
@@ -51,6 +56,9 @@ class ChipSpec:
             self, "fault_plan", _canonical_plan_json(self.fault_plan)
         )
         object.__setattr__(self, "tech", canonical_tech_json(self.tech))
+        object.__setattr__(
+            self, "power_cap", canonical_cap_json(self.power_cap)
+        )
         if self.chip_id < 0:
             raise ValueError(f"chip_id must be >= 0, got {self.chip_id}")
         if self.config not in CHIP_CONFIGS:
@@ -82,7 +90,7 @@ class ChipSpec:
         """Chips of the same class resolve a job to the same StudySpec."""
         return (
             self.num_workers, self.config, self.winoc_methodology,
-            self.fault_plan, self.tech,
+            self.fault_plan, self.tech, self.power_cap,
         )
 
     def plan(self) -> Optional[FaultPlan]:
@@ -96,6 +104,12 @@ class ChipSpec:
             return None
         return TechSpec.from_json(self.tech)
 
+    def cap(self) -> Optional[PowerCapSpec]:
+        """The decoded power cap, or ``None`` for an uncapped chip."""
+        if self.power_cap is None:
+            return None
+        return PowerCapSpec.from_json(self.power_cap)
+
     @property
     def label(self) -> str:
         parts = [f"chip{self.chip_id}", f"{self.num_workers}c", self.config]
@@ -104,6 +118,8 @@ class ChipSpec:
             parts.append(f"faults={plan.name or 'plan'}({len(plan)})")
         if self.tech is not None:
             parts.append(f"tech={self.tech_spec().label}")
+        if self.power_cap is not None:
+            parts.append(f"cap={self.cap().label}")
         return " ".join(parts)
 
     def to_dict(self) -> Dict:
@@ -114,6 +130,7 @@ class ChipSpec:
             "winoc_methodology": self.winoc_methodology,
             "fault_plan": self.fault_plan,
             "tech": self.tech,
+            "power_cap": self.power_cap,
         }
 
     @classmethod
@@ -128,6 +145,9 @@ class Fleet:
     chips: Tuple[ChipSpec, ...]
     #: Shared ingest bandwidth charged when staging non-resident inputs.
     interconnect_gbps: float = 1.0
+    #: Fleet-level power budget (watts) the ``power_aware`` scheduler
+    #: keeps the concurrently-busy chips under, or ``None`` (unbounded).
+    power_budget_w: Optional[float] = None
 
     def __post_init__(self) -> None:
         chips = tuple(
@@ -137,6 +157,10 @@ class Fleet:
         object.__setattr__(
             self, "interconnect_gbps", float(self.interconnect_gbps)
         )
+        if self.power_budget_w is not None:
+            object.__setattr__(
+                self, "power_budget_w", float(self.power_budget_w)
+            )
         if not chips:
             raise ValueError("fleet must contain at least one chip")
         ids = [chip.chip_id for chip in chips]
@@ -145,6 +169,10 @@ class Fleet:
         if self.interconnect_gbps <= 0.0:
             raise ValueError(
                 f"interconnect_gbps must be > 0, got {self.interconnect_gbps}"
+            )
+        if self.power_budget_w is not None and self.power_budget_w <= 0.0:
+            raise ValueError(
+                f"power_budget_w must be > 0, got {self.power_budget_w}"
             )
 
     def __len__(self) -> int:
@@ -164,10 +192,13 @@ class Fleet:
         return float(input_mb) * 8e6 / (self.interconnect_gbps * 1e9)
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "chips": [chip.to_dict() for chip in self.chips],
             "interconnect_gbps": self.interconnect_gbps,
         }
+        if self.power_budget_w is not None:
+            out["power_budget_w"] = self.power_budget_w
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Fleet":
@@ -175,6 +206,7 @@ class Fleet:
         return cls(
             chips=tuple(ChipSpec.from_dict(c) for c in data["chips"]),
             interconnect_gbps=data.get("interconnect_gbps", 1.0),
+            power_budget_w=data.get("power_budget_w"),
         )
 
 
@@ -185,6 +217,10 @@ def fleet_for(
     interconnect_gbps: float = 1.0,
     fault_plans: Union[None, Sequence[Union[None, str, FaultPlan]]] = None,
     tech: Union[None, str, TechSpec] = None,
+    power_caps: Union[
+        None, Sequence[Union[None, str, float, PowerCapSpec]]
+    ] = None,
+    power_budget_w: Optional[float] = None,
 ) -> Fleet:
     """Build a homogeneous fleet (optionally with per-chip fault plans).
 
@@ -193,6 +229,11 @@ def fleet_for(
     degrades part of the fleet while the rest serves at full speed.
     *tech* applies one technology configuration to every chip; build the
     fleet by hand (or with :func:`hetero_fleet`) for per-chip nodes.
+    *power_caps* mirrors *fault_plans*: one entry per chip (``None``
+    entries leave that chip uncapped; bare numbers are chip-level caps
+    in watts), which is how a scenario runs a power-tiered fleet.
+    *power_budget_w* is the fleet-level budget the ``power_aware``
+    scheduler enforces over concurrently-busy chips.
     """
     if num_chips < 1:
         raise ValueError(f"num_chips must be >= 1, got {num_chips}")
@@ -200,9 +241,14 @@ def fleet_for(
         raise ValueError(
             f"fault_plans must have {num_chips} entries, got {len(fault_plans)}"
         )
+    if power_caps is not None and len(power_caps) != num_chips:
+        raise ValueError(
+            f"power_caps must have {num_chips} entries, got {len(power_caps)}"
+        )
     chips = []
     for chip_id in range(num_chips):
         plan = fault_plans[chip_id] if fault_plans is not None else None
+        cap = power_caps[chip_id] if power_caps is not None else None
         chips.append(
             ChipSpec(
                 chip_id=chip_id,
@@ -210,9 +256,14 @@ def fleet_for(
                 config=config,
                 fault_plan=plan,
                 tech=tech,
+                power_cap=cap,
             )
         )
-    return Fleet(chips=tuple(chips), interconnect_gbps=interconnect_gbps)
+    return Fleet(
+        chips=tuple(chips),
+        interconnect_gbps=interconnect_gbps,
+        power_budget_w=power_budget_w,
+    )
 
 
 def hetero_fleet(

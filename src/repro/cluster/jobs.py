@@ -96,6 +96,7 @@ class ClusterJob:
             include_vfi1=chip.needs_vfi1,
             fault_plan=chip.fault_plan,
             tech=chip.tech,
+            power_cap=chip.power_cap,
         )
 
     def to_dict(self) -> Dict:

@@ -30,6 +30,12 @@ Built-in policies:
     Transfer-cost-aware: prefers (job, chip) pairs whose dataset is
     already resident on the chip (zero staging); falls back to the
     cheapest transfer for the head job.
+``power_aware``
+    Cap-aware: deadline jobs land on the highest-effective-cap chips
+    (uncapped first), best-effort jobs soak up the capped ones, and a
+    fleet-level power budget (:attr:`repro.cluster.fleet.Fleet.
+    power_budget_w`) holds back dispatches that would push the
+    concurrently-busy chips' combined caps over budget.
 """
 
 from __future__ import annotations
@@ -167,6 +173,80 @@ class LocalityScheduler(ClusterScheduler):
         return job, chip
 
 
+class PowerAwareScheduler(ClusterScheduler):
+    """Cap-aware placement under an optional fleet power budget.
+
+    Deadline jobs (EDF order) land on the free chip with the *highest*
+    effective cap -- uncapped chips first, so tight deadlines never eat
+    governor throttling -- while best-effort jobs soak up the capped
+    chips (lowest effective cap first).  When the fleet carries a
+    ``power_budget_w``, a dispatch that would push the busy chips'
+    combined effective caps over budget is held back until completions
+    return headroom; with the whole fleet idle the cheapest chip runs
+    anyway (a job the budget can never admit must not starve).
+    """
+
+    def _chip_power_w(self, chip: ChipSpec) -> float:
+        """The chip's effective worst-case draw: its chip-level cap when
+        set, else the estimated uncapped peak for its die and node."""
+        from repro.power.frontier import chip_peak_power_w
+
+        cap = chip.cap()
+        if cap is not None and cap.chip_cap_w is not None:
+            return float(cap.chip_cap_w)
+        return chip_peak_power_w(chip.num_workers, tech=chip.tech_spec())
+
+    def select(self, now, queue, free_chips, ctx):
+        if not queue or not free_chips:
+            return None
+        candidates = list(free_chips)
+        fleet = getattr(ctx, "fleet", None)
+        budget = getattr(fleet, "power_budget_w", None)
+        all_idle = True
+        if budget is not None and fleet is not None:
+            free_ids = {chip.chip_id for chip in free_chips}
+            drawn = sum(
+                self._chip_power_w(chip)
+                for chip in fleet
+                if chip.chip_id not in free_ids
+            )
+            all_idle = drawn == 0.0
+            headroom = budget - drawn
+            affordable = [
+                chip for chip in candidates
+                if self._chip_power_w(chip) <= headroom
+            ]
+            if affordable:
+                candidates = affordable
+            elif not all_idle:
+                return None  # wait for completions to return headroom
+            else:
+                candidates = [
+                    min(candidates, key=lambda c: (self._chip_power_w(c), c.chip_id))
+                ]
+        job = min(
+            queue,
+            key=lambda j: (
+                j.deadline_s if j.deadline_s is not None else math.inf,
+            ) + _fifo_key(j),
+        )
+        def effective_cap(chip: ChipSpec) -> float:
+            cap = chip.cap()
+            if cap is None or cap.chip_cap_w is None:
+                return math.inf
+            return float(cap.chip_cap_w)
+
+        if job.deadline_s is not None:
+            chip = min(
+                candidates, key=lambda c: (-effective_cap(c), c.chip_id)
+            )
+        else:
+            chip = min(
+                candidates, key=lambda c: (effective_cap(c), c.chip_id)
+            )
+        return job, chip
+
+
 #: The pluggable policy registry (ray-scheduler-prototype style).
 SCHEDULERS: Dict[str, Type[ClusterScheduler]] = {}
 
@@ -187,6 +267,7 @@ register_scheduler("priority", PriorityScheduler)
 register_scheduler("edf", DeadlineScheduler)
 register_scheduler("least_edp", LeastEdpScheduler)
 register_scheduler("locality", LocalityScheduler)
+register_scheduler("power_aware", PowerAwareScheduler)
 
 
 def create_scheduler(name: str) -> ClusterScheduler:

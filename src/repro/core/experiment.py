@@ -32,6 +32,7 @@ from repro.core.platforms import (
 from repro.core.traffic import total_node_traffic
 from repro.faults import FaultPlan, ResiliencePolicy
 from repro.mapreduce.trace import JobTrace
+from repro.power.spec import PowerCapSpec, normalize_cap
 from repro.sim.config import SimulationParams
 from repro.sim.stats import SimulationResult
 from repro.sim.system import simulate
@@ -108,6 +109,7 @@ def run_app_study(
     fault_plan: Optional[FaultPlan] = None,
     resilience: Optional[ResiliencePolicy] = None,
     tech: Optional[TechSpec] = None,
+    power_cap: Optional[PowerCapSpec] = None,
 ) -> AppStudy:
     """Run the full paper pipeline for one application (memoized).
 
@@ -120,19 +122,28 @@ def run_app_study(
     per-island core mix; see :class:`repro.tech.TechSpec`).  The paper's
     65 nm homogeneous out-of-order default normalizes to ``None`` and
     takes the exact legacy code path.
+
+    *power_cap* is a runtime power budget enforced by the cap governor
+    in every stored configuration; like faults, it is a runtime
+    condition, so the design flow still sees the clean NVFI
+    characterization.  The unbounded spec normalizes to ``None``.
     """
     fault_plan = _normalize_fault_plan(fault_plan)
     plan_key = fault_plan.to_json() if fault_plan is not None else None
     tech = normalize_tech(tech)
     tech_key = tech.to_json() if tech is not None else None
+    power_cap = normalize_cap(power_cap)
+    cap_key = power_cap.to_json() if power_cap is not None else None
     key = (
         app_name, scale, seed, num_workers, winoc_methodology, include_vfi1,
-        plan_key, tech_key,
+        plan_key, tech_key, cap_key,
     )
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
 
-    sim_params = SimulationParams(fault_plan=fault_plan, resilience=resilience)
+    sim_params = SimulationParams(
+        fault_plan=fault_plan, resilience=resilience, power_cap=power_cap
+    )
     tracer = get_tracer()
     app = create_app(app_name, scale=scale, seed=seed)
     locality = app.profile.l2_locality
@@ -169,7 +180,7 @@ def run_app_study(
         )
 
     results: Dict[str, SimulationResult] = {}
-    if fault_plan is None:
+    if fault_plan is None and power_cap is None:
         results[NVFI_MESH] = nvfi_result
     else:
         with tracer.wall_span(
@@ -251,6 +262,7 @@ def store_study(
     include_vfi1: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     tech: Optional[TechSpec] = None,
+    power_cap: Optional[PowerCapSpec] = None,
 ) -> None:
     """Pre-populate the in-process memo with an externally obtained study.
 
@@ -263,10 +275,12 @@ def store_study(
     plan_key = fault_plan.to_json() if fault_plan is not None else None
     tech = normalize_tech(tech)
     tech_key = tech.to_json() if tech is not None else None
+    power_cap = normalize_cap(power_cap)
+    cap_key = power_cap.to_json() if power_cap is not None else None
     _STUDY_CACHE[
         (
             app_name, scale, seed, num_workers, winoc_methodology,
-            include_vfi1, plan_key, tech_key,
+            include_vfi1, plan_key, tech_key, cap_key,
         )
     ] = study
 

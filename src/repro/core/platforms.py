@@ -23,6 +23,7 @@ from repro.mapping.thread_mapping import (
     wireless_centric_mapping,
 )
 from repro.noc.calibration import calibrate_wireless_routing
+from repro.noc.energy import NocEnergyParams
 from repro.noc.network import NocParams
 from repro.noc.placement import (
     center_wireless_placement,
@@ -121,6 +122,7 @@ def _tech_platform_kwargs(tech: Optional[TechSpec], num_islands: int) -> dict:
         return {}
     node = tech.tech_node()
     mix = tech.mix_for(num_islands)
+    defaults = NocEnergyParams()
     return {
         "dvfs_ladder": tech.ladder(),
         "core_power_params": CorePowerParams.from_tech(node),
@@ -128,6 +130,18 @@ def _tech_platform_kwargs(tech: Optional[TechSpec], num_islands: int) -> dict:
             CorePowerParams.from_tech(node, name) for name in mix.types
         ),
         "perf_scales": mix.perf_scales(),
+        # The NoC shrinks with the cores: per-bit dynamic energy follows
+        # the node's C*V^2 trajectory, switch leakage its leakage one.
+        "noc_energy_params": NocEnergyParams(
+            router_pj_per_bit=defaults.router_pj_per_bit * node.dynamic_scale,
+            wire_pj_per_bit_per_mm=(
+                defaults.wire_pj_per_bit_per_mm * node.dynamic_scale
+            ),
+            wireless_pj_per_bit=(
+                defaults.wireless_pj_per_bit * node.dynamic_scale
+            ),
+            switch_leakage_w=defaults.switch_leakage_w * node.leakage_scale,
+        ),
     }
 
 

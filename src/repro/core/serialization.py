@@ -33,6 +33,7 @@ from repro.mapreduce.trace import (
     PhaseTrace,
     TaskRecord,
 )
+from repro.power.impact import CapImpact
 from repro.sim.stats import NetworkStats, PhaseStats, SimulationResult
 from repro.vfi.bottleneck import BottleneckReport
 from repro.vfi.clustering import ClusteringResult
@@ -238,7 +239,8 @@ def result_to_dict(result: SimulationResult) -> Dict:
 
     Fault-free results omit the ``faults`` key entirely, keeping their
     serialized form byte-identical to documents written before the fault
-    subsystem existed (and to cache entries of no-fault runs).
+    subsystem existed (and to cache entries of no-fault runs); uncapped
+    results omit the ``power`` key under the same rule.
     """
     out = {
         "app_name": result.app_name,
@@ -277,6 +279,8 @@ def result_to_dict(result: SimulationResult) -> Dict:
     }
     if result.faults is not None:
         out["faults"] = result.faults.to_dict()
+    if result.power is not None:
+        out["power"] = result.power.to_dict()
     return out
 
 
@@ -308,6 +312,11 @@ def result_from_dict(data: Dict) -> SimulationResult:
         faults=(
             FaultImpact.from_dict(data["faults"])
             if "faults" in data
+            else None
+        ),
+        power=(
+            CapImpact.from_dict(data["power"])
+            if "power" in data
             else None
         ),
     )

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.apps.registry import canonical_app_name
 from repro.core.geometry import DieGeometry
 from repro.faults import FaultPlan
+from repro.power.spec import PowerCapSpec, canonical_cap_json
 from repro.tech.spec import TechSpec, canonical_tech_json
 
 #: Bump whenever the serialized study document or the pipeline semantics
@@ -31,7 +32,9 @@ from repro.tech.spec import TechSpec, canonical_tech_json
 #: v2: specs grew a ``fault_plan`` axis and study documents may carry a
 #: ``faults`` impact section.
 #: v3: specs grew a ``tech`` axis (technology node x core mix).
-CACHE_SCHEMA_VERSION = 3
+#: v4: specs grew a ``power_cap`` axis and study documents may carry a
+#: ``power`` cap-impact section.
+CACHE_SCHEMA_VERSION = 4
 
 WINOC_METHODOLOGIES = ("max_wireless", "min_hop")
 
@@ -80,6 +83,12 @@ class StudySpec:
     #: default spec collapses to ``None`` so the paper unit keeps exactly
     #: one identity.
     tech: Optional[str] = None
+    #: Canonical JSON encoding of a
+    #: :class:`repro.power.PowerCapSpec`, or ``None`` for an uncapped
+    #: unit.  Same carrying convention as the other axes (the unbounded
+    #: spec collapses to ``None``); construction also accepts a bare
+    #: number as a chip-level cap in watts.
+    power_cap: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", canonical_app_name(self.app))
@@ -91,6 +100,9 @@ class StudySpec:
             self, "fault_plan", _canonical_plan_json(self.fault_plan)
         )
         object.__setattr__(self, "tech", canonical_tech_json(self.tech))
+        object.__setattr__(
+            self, "power_cap", canonical_cap_json(self.power_cap)
+        )
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale!r}")
         try:
@@ -124,6 +136,8 @@ class StudySpec:
             kwargs["fault_plan"] = FaultPlan.from_json(kwargs["fault_plan"])
         if kwargs["tech"] is not None:
             kwargs["tech"] = TechSpec.from_json(kwargs["tech"])
+        if kwargs["power_cap"] is not None:
+            kwargs["power_cap"] = PowerCapSpec.from_json(kwargs["power_cap"])
         return kwargs
 
     def plan(self) -> Optional[FaultPlan]:
@@ -137,6 +151,12 @@ class StudySpec:
         if self.tech is None:
             return None
         return TechSpec.from_json(self.tech)
+
+    def cap(self) -> Optional[PowerCapSpec]:
+        """The decoded power cap, or ``None`` for an uncapped unit."""
+        if self.power_cap is None:
+            return None
+        return PowerCapSpec.from_json(self.power_cap)
 
     def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
         """Stable content address of this spec.
@@ -170,6 +190,8 @@ class StudySpec:
             parts.append(f"faults={name}({len(plan)})")
         if self.tech is not None:
             parts.append(f"tech={self.tech_spec().label}")
+        if self.power_cap is not None:
+            parts.append(f"cap={self.cap().label}")
         return " ".join(parts)
 
     def run(self):
@@ -188,6 +210,7 @@ def expand_grid(
     include_vfi1: Iterable[bool] = (True,),
     fault_plans: Iterable[Union[None, str, FaultPlan]] = (None,),
     tech: Iterable[Union[None, str, TechSpec]] = (None,),
+    power_caps: Iterable[Union[None, str, float, PowerCapSpec]] = (None,),
 ) -> List[StudySpec]:
     """Cross-product a campaign grid into de-duplicated specs.
 
@@ -199,7 +222,10 @@ def expand_grid(
     plan)`` runs every configuration clean and degraded, which is how the
     degradation report gets its baseline.  The ``tech`` axis sweeps
     technology configurations (node x core mix); ``None`` entries are
-    the paper's 65 nm homogeneous default.
+    the paper's 65 nm homogeneous default.  The ``power_caps`` axis
+    sweeps runtime power budgets (``None`` = uncapped; bare numbers are
+    chip-level caps in watts), which is how cap-sweep frontiers pair
+    every capped unit with its uncapped baseline.
     """
     if not apps:
         raise ValueError("apps must be non-empty")
@@ -207,7 +233,7 @@ def expand_grid(
     seen = set()
     for combo in itertools.product(
         apps, scales, seeds, num_workers, winoc_methodologies,
-        include_vfi1, fault_plans, tech,
+        include_vfi1, fault_plans, tech, power_caps,
     ):
         spec = StudySpec(*combo)
         if spec not in seen:

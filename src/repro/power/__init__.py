@@ -1,0 +1,42 @@
+"""Runtime power management: caps, the governor, and cap-sweep frontiers.
+
+The power axis mirrors the fault and tech axes end to end:
+
+* :class:`PowerCapSpec` -- a canonical, content-addressable power
+  budget (chip-level and/or per-island caps); the unbounded default
+  collapses to ``None`` everywhere it is carried.
+* :class:`CapGovernor` -- deterministic phase-boundary enforcement
+  inside the simulator: per-island power estimation, cheapest-loss
+  ladder step-downs with the master-island shield, automatic
+  re-raising under returning headroom.
+* :class:`CapImpact` -- the plain-data accounting record a capped run
+  attaches to its :class:`repro.sim.stats.SimulationResult`.
+* :mod:`repro.power.frontier` -- cap-sweep drivers producing the
+  measured throughput/energy/EDP frontier.
+"""
+
+from repro.power.frontier import (
+    DEFAULT_CAP_FRACTIONS,
+    cap_sweep_specs,
+    chip_peak_power_w,
+    default_caps_w,
+    frontier_rows,
+    run_cap_sweep,
+)
+from repro.power.governor import CapGovernor
+from repro.power.impact import CapImpact
+from repro.power.spec import PowerCapSpec, canonical_cap_json, normalize_cap
+
+__all__ = [
+    "CapGovernor",
+    "CapImpact",
+    "DEFAULT_CAP_FRACTIONS",
+    "PowerCapSpec",
+    "canonical_cap_json",
+    "cap_sweep_specs",
+    "chip_peak_power_w",
+    "default_caps_w",
+    "frontier_rows",
+    "normalize_cap",
+    "run_cap_sweep",
+]

@@ -1,0 +1,79 @@
+"""Cap-enforcement accounting for one power-capped simulation run.
+
+:class:`CapImpact` is the plain-data record a power-capped
+:class:`repro.sim.system.SystemSimulator` run attaches to its
+:class:`repro.sim.stats.SimulationResult`.  It carries no simulator
+state -- only builtin types -- so it serializes to JSON alongside the
+result and survives the orchestrator's on-disk cache round trip.
+
+This module must stay import-light (no numpy, no simulator imports):
+``repro.sim.stats`` imports it, and the cap governor lives one layer
+above in :mod:`repro.power.governor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CapImpact:
+    """What a power cap did to one simulation run."""
+
+    #: The chip-level cap enforced (watts), or ``None`` when only
+    #: per-island caps were set.
+    cap_w: Optional[float] = None
+    #: Phase boundaries at which the governor polled island power.
+    boundaries_polled: int = 0
+    #: Boundaries where the cap stayed exceeded even with every
+    #: throttleable island at the ladder floor.
+    unmet_boundaries: int = 0
+    #: Governor decisions, in application order (each entry records the
+    #: boundary time, island, and the ladder move it made).
+    throttle_events: List[Dict] = field(default_factory=list)
+    #: Island-seconds of residency per DVFS-ladder index (nominal is the
+    #: highest index), summed over islands and keyed by ladder index.
+    residency_s: Dict[int, float] = field(default_factory=dict)
+    #: Island-seconds spent *below* the island's base operating point
+    #: (i.e. actually throttled by the governor; the per-index residency
+    #: above also counts islands' native below-nominal V/F designs).
+    throttled_s: float = 0.0
+    #: Islands that spent at least one boundary below their base point.
+    throttled_islands: List[int] = field(default_factory=list)
+    #: Largest estimated chip power the governor observed (watts),
+    #: measured *after* its throttle decision at each boundary.
+    peak_power_w: float = 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible encoding (builtins only)."""
+        return {
+            "cap_w": None if self.cap_w is None else float(self.cap_w),
+            "boundaries_polled": int(self.boundaries_polled),
+            "unmet_boundaries": int(self.unmet_boundaries),
+            "throttle_events": [dict(e) for e in self.throttle_events],
+            "residency_s": {
+                str(int(step)): float(seconds)
+                for step, seconds in sorted(self.residency_s.items())
+            },
+            "throttled_s": float(self.throttled_s),
+            "throttled_islands": [int(i) for i in self.throttled_islands],
+            "peak_power_w": float(self.peak_power_w),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CapImpact":
+        cap_w = data.get("cap_w")
+        return cls(
+            cap_w=None if cap_w is None else float(cap_w),
+            boundaries_polled=int(data.get("boundaries_polled", 0)),
+            unmet_boundaries=int(data.get("unmet_boundaries", 0)),
+            throttle_events=[dict(e) for e in data.get("throttle_events", [])],
+            residency_s={
+                int(step): float(seconds)
+                for step, seconds in data.get("residency_s", {}).items()
+            },
+            throttled_s=float(data.get("throttled_s", 0.0)),
+            throttled_islands=[int(i) for i in data.get("throttled_islands", [])],
+            peak_power_w=float(data.get("peak_power_w", 0.0)),
+        )

@@ -1,0 +1,159 @@
+"""The canonical power-cap unit: :class:`PowerCapSpec`.
+
+A PowerCapSpec names one runtime power budget -- a chip-level cap, an
+optional set of per-island caps, or both -- in canonical, hashable,
+JSON-round-trippable form, exactly like :class:`repro.faults.FaultPlan`
+does for the fault axis and :class:`repro.tech.spec.TechSpec` for the
+technology axis.  The unbounded configuration (no chip cap, no island
+caps) is the default and collapses to ``None`` wherever the spec is
+carried as an axis field (:class:`repro.orchestrator.spec.StudySpec`,
+:class:`repro.cluster.fleet.ChipSpec`): the uncapped study keeps
+exactly one identity, and its pipeline stays bit-for-bit the
+pre-power-axis computation.
+
+This module must stay import-light (no numpy, no simulator imports):
+``repro.sim.config`` imports it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from numbers import Real
+from typing import Dict, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class PowerCapSpec:
+    """One runtime power budget: chip cap and/or per-island caps."""
+
+    #: Chip-level budget in watts the governor enforces, or ``None``
+    #: for no chip-level bound.
+    chip_cap_w: Optional[float] = None
+    #: Per-island budgets as ``(island, watts)`` pairs (canonically
+    #: sorted by island); islands not named are unbounded.
+    island_caps_w: Tuple[Tuple[int, float], ...] = ()
+    #: Optional human-readable tag (carried through JSON, shown in
+    #: labels; does not affect enforcement).
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        chip_cap = self.chip_cap_w
+        if chip_cap is not None:
+            chip_cap = float(chip_cap)
+            if chip_cap <= 0.0:
+                raise ValueError(f"chip_cap_w must be > 0, got {chip_cap}")
+        object.__setattr__(self, "chip_cap_w", chip_cap)
+        caps = []
+        for island, watts in self.island_caps_w:
+            island = int(island)
+            watts = float(watts)
+            if island < 0:
+                raise ValueError(f"island must be >= 0, got {island}")
+            if watts <= 0.0:
+                raise ValueError(
+                    f"island {island} cap must be > 0 W, got {watts}"
+                )
+            caps.append((island, watts))
+        caps.sort()
+        islands = [island for island, _ in caps]
+        if len(set(islands)) != len(islands):
+            raise ValueError(f"duplicate island caps: {islands}")
+        object.__setattr__(self, "island_caps_w", tuple(caps))
+        if self.name is not None:
+            object.__setattr__(self, "name", str(self.name))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_default(self) -> bool:
+        """Is this the unbounded (no-cap) configuration?"""
+        return self.chip_cap_w is None and not self.island_caps_w
+
+    @property
+    def label(self) -> str:
+        if self.is_default:
+            return "uncapped"
+        parts = []
+        if self.chip_cap_w is not None:
+            parts.append(f"{self.chip_cap_w:g}W")
+        for island, watts in self.island_caps_w:
+            parts.append(f"isl{island}@{watts:g}W")
+        text = "+".join(parts)
+        if self.name:
+            text = f"{self.name}({text})"
+        return text
+
+    def island_cap(self, island: int) -> Optional[float]:
+        """The budget for *island*, or ``None`` when unbounded."""
+        for capped, watts in self.island_caps_w:
+            if capped == island:
+                return watts
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        return {
+            "chip_cap_w": self.chip_cap_w,
+            "island_caps_w": [
+                [island, watts] for island, watts in self.island_caps_w
+            ],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PowerCapSpec":
+        data = dict(data)
+        caps = data.get("island_caps_w", ())
+        data["island_caps_w"] = tuple(
+            (island, watts) for island, watts in caps
+        )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "PowerCapSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def canonical_cap_json(
+    cap: Union[None, str, Real, PowerCapSpec]
+) -> Optional[str]:
+    """Normalize a power-cap field to canonical JSON (or ``None``).
+
+    Accepts a :class:`PowerCapSpec`, a bare number (a chip-level cap in
+    watts -- the common sweep case), a JSON string (re-canonicalized
+    through a round trip, so key order and whitespace never split a
+    cache), or ``None``.  The unbounded spec collapses to ``None`` --
+    the uncapped configuration keeps exactly one identity, the same
+    rule the fault and tech axes apply to their defaults.
+    """
+    if cap is None:
+        return None
+    if isinstance(cap, Real) and not isinstance(cap, bool):
+        cap = PowerCapSpec(chip_cap_w=float(cap))
+    if isinstance(cap, str):
+        cap = PowerCapSpec.from_json(cap)
+    if not isinstance(cap, PowerCapSpec):
+        raise TypeError(
+            f"power_cap must be None, watts, JSON text or PowerCapSpec, "
+            f"got {cap!r}"
+        )
+    if cap.is_default:
+        return None
+    return cap.to_json()
+
+
+def normalize_cap(
+    cap: Union[None, str, Real, PowerCapSpec]
+) -> Optional[PowerCapSpec]:
+    """Decode a power-cap field to a :class:`PowerCapSpec`, or ``None``
+    for the unbounded configuration (so uncapped runs take the exact
+    legacy code path)."""
+    text = canonical_cap_json(cap)
+    if text is None:
+        return None
+    return PowerCapSpec.from_json(text)

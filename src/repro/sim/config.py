@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 # faults engine can in turn import the platform without a cycle.
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.spec import FaultPlan
+from repro.power.spec import PowerCapSpec
 from repro.utils.validation import check_in_range, check_positive
 
 #: Valid adaptive-relaxation convergence criteria.
@@ -108,6 +109,10 @@ class SimulationParams:
     #: How the system reacts to injected faults; ``None`` selects the
     #: default :class:`repro.faults.policy.ResiliencePolicy`.
     resilience: Optional[ResiliencePolicy] = None
+    #: Runtime power budget the cap governor enforces at phase
+    #: boundaries; ``None`` (or the unbounded spec) is the bit-identical
+    #: uncapped simulator.
+    power_cap: Optional[PowerCapSpec] = None
 
     def __post_init__(self) -> None:
         check_positive("relaxation_iterations", self.relaxation_iterations)

@@ -10,6 +10,7 @@ import numpy as np
 from repro.energy.metrics import EnergyBreakdown, edp
 from repro.faults.impact import FaultImpact
 from repro.mapreduce.tasks import Phase
+from repro.power.impact import CapImpact
 
 
 @dataclass
@@ -59,6 +60,10 @@ class SimulationResult:
     #: case keeps its serialized form byte-identical to before faults
     #: existed).
     faults: Optional[FaultImpact] = None
+    #: Cap-enforcement accounting; ``None`` for uncapped runs (the
+    #: common case keeps its serialized form byte-identical to before
+    #: the power axis existed).
+    power: Optional[CapImpact] = None
 
     # ------------------------------------------------------------------ #
     # derived metrics

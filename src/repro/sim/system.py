@@ -47,6 +47,8 @@ from repro.mapreduce.scheduler import StealingPolicy, TaskQueueSet
 from repro.mapreduce.tasks import Phase, Task
 from repro.mapreduce.trace import JobTrace, TaskRecord
 from repro.noc.packets import kv_stream_bits
+from repro.power.governor import CapGovernor
+from repro.power.spec import normalize_cap
 from repro.sim.config import SimulationParams
 from repro.sim.memory import MemorySystem
 from repro.sim.platform import Platform
@@ -82,6 +84,26 @@ class _Recovery:
         self.lost.extend(other.lost)
         self.reexecutions += other.reexecutions
         self.substitutions += other.substitutions
+
+
+@dataclass
+class _Segment:
+    """One closed energy-accounting segment of a segmented run.
+
+    Network counters are captured when the segment closes (at the
+    platform switch), not at finalize: a run that revisits a platform
+    object -- the cap governor re-raising to the base assignment --
+    rebuilds that platform's network, which would otherwise lose the
+    earlier segment's accumulated energy."""
+
+    platform: Platform
+    elapsed_s: float
+    busy_s: np.ndarray
+    noc_dynamic_j: float
+    noc_static_j: float
+    bits_moved: float
+    bit_hops: float
+    wireless_bits: float
 
 
 @dataclass
@@ -175,6 +197,17 @@ class SystemSimulator:
             if plan is not None
             else None
         )
+        # Power capping: the unbounded spec is normalized to "no cap" so
+        # uncapped runs construct no governor and keep the legacy path.
+        cap = normalize_cap(params.power_cap)
+        self.governor: Optional[CapGovernor] = (
+            CapGovernor(platform, cap, tracer=self.tracer)
+            if cap is not None
+            else None
+        )
+        # The fault engine's current view; the governor's ladder steps
+        # stack on top of it.
+        self._fault_platform = platform
 
     # ------------------------------------------------------------------ #
     # public API
@@ -192,62 +225,121 @@ class SystemSimulator:
         now = 0.0
         if self.faults is not None:
             self.faults.begin(trace)
+        if self.governor is not None:
+            self.governor.begin(trace)
+        if self.faults is not None or self.governor is not None:
             # Segmented energy accounting: each platform change (throttle
-            # or fabric degradation) closes a (platform, elapsed, busy)
-            # segment, mirroring PhaseAdaptiveSimulator's bookkeeping.
-            self._segments: List[Tuple[Platform, float, np.ndarray]] = []
+            # or fabric degradation) closes a :class:`_Segment`,
+            # mirroring PhaseAdaptiveSimulator's bookkeeping.
+            self._segments: List[_Segment] = []
             self._segment_start = 0.0
             self._busy_snapshot = np.zeros(self.platform.num_cores)
             self._run_busy = busy
         for iteration in trace.iterations:
-            self._apply_pending_faults(now)
+            self._apply_boundary_controls(now)
             now = self._run_lib_init(iteration.lib_init, now, busy, phases, iteration.iteration)
-            self._apply_pending_faults(now)
+            self._apply_boundary_controls(now)
             now = self._run_map(
                 iteration.map_phase.tasks, now, busy, phases, iteration.iteration
             )
-            self._apply_pending_faults(now)
+            self._apply_boundary_controls(now)
             now = self._run_reduce(
                 iteration.reduce_phase.tasks, now, busy, phases, iteration.iteration
             )
             for stage in iteration.merge_stages:
-                self._apply_pending_faults(now)
+                self._apply_boundary_controls(now)
                 now = self._run_merge_stage(
                     stage.tasks, now, busy, phases, iteration.iteration
                 )
         total_time = now
         return self._finalize(trace, total_time, busy, phases)
 
-    def _apply_pending_faults(self, now: float) -> None:
-        """Phase-boundary fault hook: activate due events and refresh the
-        effective platform / frequency / policy views.  A no-op (zero
-        float operations) for fault-free runs."""
+    def _apply_boundary_controls(self, now: float) -> None:
+        """Phase-boundary control hook: activate due fault events, poll
+        the cap governor, and refresh the effective platform / frequency
+        / policy views.  A no-op (zero float operations) for clean runs.
+
+        Faults run first: the governor's ladder steps stack on top of
+        the fault engine's degraded view, never the other way around."""
         faults = self.faults
-        if faults is None:
+        governor = self.governor
+        if faults is None and governor is None:
             return
-        platform_dirty, freqs_dirty = faults.activate_due(now)
-        if platform_dirty:
-            new_platform = faults.effective_platform()
-            if new_platform is not self.platform:
-                self._segments.append(
-                    (
-                        self.platform,
-                        now - self._segment_start,
-                        (self._run_busy - self._busy_snapshot).copy(),
-                    )
-                )
-                self._busy_snapshot = self._run_busy.copy()
-                self._segment_start = now
-                self.platform = new_platform
-                new_platform.network = new_platform.build_network()
-                new_platform.network.trace_label = new_platform.name
-                self.memory = MemorySystem(new_platform, self._locality)
-                self._bulk_energy = self.memory.pairwise_bulk
-        if platform_dirty or freqs_dirty:
+        dirty = False
+        if faults is not None:
+            platform_dirty, freqs_dirty = faults.activate_due(now)
+            if platform_dirty:
+                fault_platform = faults.effective_platform()
+                if fault_platform is not self._fault_platform:
+                    self._fault_platform = fault_platform
+                    if governor is not None:
+                        governor.rebase(fault_platform)
+            dirty = platform_dirty or freqs_dirty
+        if governor is not None:
+            dirty = governor.poll(now, self._run_busy) or dirty
+        if not dirty:
+            return
+        effective = (
+            governor.effective_platform()
+            if governor is not None
+            else self._fault_platform
+        )
+        if effective is not self.platform:
+            self._switch_platform(effective, now)
+        self._refresh_speed_views()
+
+    def _switch_platform(self, new_platform: Platform, now: float) -> None:
+        """Close the current energy segment and install *new_platform*
+        (fresh network state, fresh memory view)."""
+        self._close_segment(now)
+        self.platform = new_platform
+        new_platform.network = new_platform.build_network()
+        new_platform.network.trace_label = new_platform.name
+        self.memory = MemorySystem(new_platform, self._locality)
+        self._bulk_energy = self.memory.pairwise_bulk
+
+    def _close_segment(self, now: float) -> None:
+        """Snapshot the outgoing platform's elapsed/busy/network state."""
+        elapsed = max(float(now - self._segment_start), 0.0)
+        network = self.platform.network
+        self._segments.append(
+            _Segment(
+                platform=self.platform,
+                elapsed_s=elapsed,
+                busy_s=(self._run_busy - self._busy_snapshot).copy(),
+                noc_dynamic_j=network.energy.dynamic_joules,
+                noc_static_j=network.static_energy(elapsed),
+                bits_moved=network.energy.bits_moved,
+                bit_hops=network.energy.bit_hops,
+                wireless_bits=network.energy.wireless_bits,
+            )
+        )
+        self._busy_snapshot = self._run_busy.copy()
+        self._segment_start = now
+
+    def _refresh_speed_views(self) -> None:
+        """Rebuild the frequency map and stealing policy for the current
+        effective platform."""
+        faults = self.faults
+        if faults is not None:
             self._worker_freqs = faults.effective_worker_freqs(self.platform)
             self.policy = faults.effective_policy(
                 self._base_policy, self.platform
             )
+            return
+        from repro.mapreduce.scheduler import CappedStealingPolicy
+
+        freqs = np.array(self.platform.effective_worker_frequencies())
+        self._worker_freqs = freqs
+        # Mirror FaultEngine.effective_policy: Eq. (3) caps track the
+        # throttled frequency map; other policy types pass through.
+        if isinstance(self._base_policy, CappedStealingPolicy):
+            self.policy = CappedStealingPolicy(
+                core_frequencies_hz=[float(f) for f in freqs],
+                fmax_hz=float(freqs.max()),
+            )
+        else:
+            self.policy = self._base_policy
 
     # ------------------------------------------------------------------ #
     # phases
@@ -1167,8 +1259,8 @@ class SystemSimulator:
         busy: np.ndarray,
         phases: List[PhaseStats],
     ) -> SimulationResult:
-        if self.faults is not None:
-            return self._finalize_faulted(trace, total_time, busy, phases)
+        if self.faults is not None or self.governor is not None:
+            return self._finalize_segmented(trace, total_time, busy, phases)
         platform = self.platform
         breakdown = EnergyBreakdown()
         for worker in range(platform.num_cores):
@@ -1204,44 +1296,41 @@ class SystemSimulator:
             network=stats,
         )
 
-    def _finalize_faulted(
+    def _finalize_segmented(
         self,
         trace: JobTrace,
         total_time: float,
         busy: np.ndarray,
         phases: List[PhaseStats],
     ) -> SimulationResult:
-        """Segmented energy accounting for fault-injected runs.
+        """Segmented energy accounting for faulted and/or capped runs.
 
         Each platform configuration the run passed through (throttles,
-        degraded fabrics) is one segment charged at its own V/F and with
-        its own network's accumulated dynamic energy -- the same
-        bookkeeping :class:`repro.sim.adaptive.PhaseAdaptiveSimulator`
-        uses for per-phase V/F switching.  Lost (killed) intervals were
-        folded into ``busy``, so wasted dynamic energy is charged; dead
-        cores keep burning idle and leakage power (a functional failure
-        is not a power-gated core).  The result reports the *base*
-        platform's name and frequencies so downstream normalization
-        compares degraded runs against their clean counterparts.
+        degraded fabrics, governor cap assignments) is one segment
+        charged at its own V/F and with its own network's accumulated
+        dynamic energy -- the same bookkeeping
+        :class:`repro.sim.adaptive.PhaseAdaptiveSimulator` uses for
+        per-phase V/F switching.  Lost (killed) intervals were folded
+        into ``busy``, so wasted dynamic energy is charged; dead cores
+        keep burning idle and leakage power (a functional failure is not
+        a power-gated core).  The result reports the *base* platform's
+        name and frequencies so downstream normalization compares
+        degraded runs against their clean counterparts.
         """
-        segments = list(self._segments)
-        segments.append(
-            (
-                self.platform,
-                total_time - self._segment_start,
-                busy - self._busy_snapshot,
-            )
-        )
+        if self.governor is not None:
+            self.governor.finish(total_time)
+        self._close_segment(total_time)
         base = self._base_platform
         num_workers = base.num_cores
         breakdown = EnergyBreakdown()
         bits = hops_bits = wireless = dynamic = static = 0.0
-        for platform, elapsed, segment_busy in segments:
-            elapsed = max(float(elapsed), 0.0)
+        for segment in self._segments:
+            platform = segment.platform
+            elapsed = segment.elapsed_s
             for worker in range(num_workers):
                 power = platform.core_power_of(platform.island_of_worker(worker))
                 point = platform.vf_of_worker(worker)
-                busy_s = float(min(segment_busy[worker], elapsed))
+                busy_s = float(min(segment.busy_s[worker], elapsed))
                 idle_s = max(elapsed - busy_s, 0.0)
                 breakdown.core_dynamic_j += (
                     power.dynamic_power_w(point, 1.0) * busy_s
@@ -1251,12 +1340,11 @@ class SystemSimulator:
                 breakdown.core_static_j += (
                     power.leakage_power_w(point) * elapsed
                 )
-            network = platform.network
-            dynamic += network.energy.dynamic_joules
-            static += network.static_energy(elapsed)
-            bits += network.energy.bits_moved
-            hops_bits += network.energy.bit_hops
-            wireless += network.energy.wireless_bits
+            dynamic += segment.noc_dynamic_j
+            static += segment.noc_static_j
+            bits += segment.bits_moved
+            hops_bits += segment.bit_hops
+            wireless += segment.wireless_bits
         breakdown.noc_dynamic_j = dynamic
         breakdown.noc_static_j = static
         stats = NetworkStats(
@@ -1277,7 +1365,8 @@ class SystemSimulator:
             phases=phases,
             energy=breakdown,
             network=stats,
-            faults=self.faults.impact(),
+            faults=self.faults.impact() if self.faults is not None else None,
+            power=self.governor.impact() if self.governor is not None else None,
         )
 
 

@@ -120,6 +120,23 @@ def test_explicit_default_tech_bit_for_bit(golden):
         _assert_matches(_fingerprint(study.results[name]), expected, name)
 
 
+def test_explicit_default_cap_bit_for_bit(golden):
+    # The power axis must be invisible at its default: an explicit
+    # unbounded PowerCapSpec collapses to the uncapped legacy code path
+    # and reproduces the golden numbers exactly.
+    from repro.power import PowerCapSpec
+
+    study = run_app_study(
+        APP, scale=SCALE, seed=SEED, num_workers=WORKERS,
+        use_cache=False, power_cap=PowerCapSpec(),
+    )
+    assert set(study.results) == set(golden["configs"])
+    for name, expected in golden["configs"].items():
+        result = study.results[name]
+        assert result.power is None
+        _assert_matches(_fingerprint(result), expected, name)
+
+
 def test_faulted_configs_bit_for_bit(golden):
     faulted = run_app_study(
         APP, scale=SCALE, seed=SEED, num_workers=WORKERS,

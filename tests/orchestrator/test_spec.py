@@ -53,6 +53,7 @@ class TestCanonicalization:
         assert set(kwargs) == {
             "app_name", "scale", "seed", "num_workers",
             "winoc_methodology", "include_vfi1", "fault_plan", "tech",
+            "power_cap",
         }
 
     def test_label_mentions_identity(self):

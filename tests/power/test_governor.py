@@ -1,0 +1,162 @@
+"""Property tests for the cap governor's boundary decisions.
+
+The governor is a pure function of (platform, cap, measured activity):
+these tests drive it directly with synthetic busy-time observations --
+no simulator -- and check the contracts the frontier rests on:
+determinism across replays, caps honored whenever they are honorable,
+and a tighter cap never buying more throughput.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.platforms import build_nvfi_mesh, geometry_for
+from repro.power import CapGovernor, PowerCapSpec
+
+PLATFORM = build_nvfi_mesh(geometry_for(16))
+NUM_ISLANDS = PLATFORM.layout.num_clusters
+ISLAND_WORKERS = tuple(
+    [w for w in range(PLATFORM.num_cores)
+     if PLATFORM.island_of_worker(w) == island]
+    for island in range(NUM_ISLANDS)
+)
+
+#: Per-boundary, per-island busy fractions driving the governor.
+activity_rows = st.lists(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=NUM_ISLANDS, max_size=NUM_ISLANDS,
+    ),
+    min_size=1, max_size=6,
+)
+
+#: Chip caps spanning deeply-binding to non-binding for the 16-core die
+#: (whose estimated uncapped peak is ~34 W).
+chip_caps = st.floats(min_value=4.0, max_value=40.0)
+
+
+def drive(cap: PowerCapSpec, rows) -> CapGovernor:
+    """Replay *rows* of island activity through a fresh governor, one
+    phase boundary per row (1 simulated second apart)."""
+    governor = CapGovernor(PLATFORM, cap)
+    busy = np.zeros(PLATFORM.num_cores)
+    for boundary, row in enumerate(rows):
+        for island, activity in enumerate(row):
+            for worker in ISLAND_WORKERS[island]:
+                busy[worker] += activity
+        governor.poll(float(boundary + 1), busy)
+    return governor
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=activity_rows, cap_w=chip_caps)
+def test_decisions_deterministic_across_replays(rows, cap_w):
+    cap = PowerCapSpec(chip_cap_w=cap_w)
+    first = drive(cap, rows)
+    second = drive(cap, rows)
+    assert first._steps == second._steps
+    assert first.impact().to_dict() == second.impact().to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=activity_rows, cap_w=chip_caps)
+def test_estimated_power_honors_an_honorable_cap(rows, cap_w):
+    governor = drive(PowerCapSpec(chip_cap_w=cap_w), rows)
+    impact = governor.impact()
+    assert impact.boundaries_polled == len(rows)
+    if impact.unmet_boundaries == 0:
+        # Every boundary's post-decision estimate fit the cap -- so the
+        # peak the governor observed did too.
+        assert impact.peak_power_w <= cap_w * (1.0 + 1e-9)
+        assert governor.estimated_chip_power_w() <= cap_w * (1.0 + 1e-9)
+    else:
+        # The cap was unmeetable at some boundary: the governor must at
+        # least have tried (throttle moves were recorded on the way to
+        # the ladder floor).
+        assert impact.throttle_events
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=activity_rows,
+    caps=st.tuples(chip_caps, chip_caps),
+)
+def test_tighter_cap_never_buys_throughput(rows, caps):
+    loose_w, tight_w = max(caps), min(caps)
+    loose = drive(PowerCapSpec(chip_cap_w=loose_w), rows)
+    tight = drive(PowerCapSpec(chip_cap_w=tight_w), rows)
+    assert tight.throughput_proxy_hz() <= loose.throughput_proxy_hz() * (
+        1.0 + 1e-12
+    )
+    # The tighter governor sits at or below the looser one, per island.
+    assert all(
+        t >= l for t, l in zip(tight._steps, loose._steps)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=activity_rows, cap_w=chip_caps)
+def test_master_islands_are_throttled_only_as_last_resort(rows, cap_w):
+    governor = CapGovernor(PLATFORM, PowerCapSpec(chip_cap_w=cap_w))
+    governor.master_workers = {0}
+    master = PLATFORM.island_of_worker(0)
+    busy = np.zeros(PLATFORM.num_cores)
+    for boundary, row in enumerate(rows):
+        for island, activity in enumerate(row):
+            for worker in ISLAND_WORKERS[island]:
+                busy[worker] += activity
+        governor.poll(float(boundary + 1), busy)
+        if governor._steps[master] > 0:
+            for island in range(NUM_ISLANDS):
+                if island == master:
+                    continue
+                assert (
+                    governor._base_indices[island]
+                    == governor._steps[island]
+                ), "master throttled while another island had headroom"
+
+
+def test_no_observations_assumes_full_activity():
+    governor = CapGovernor(PLATFORM, PowerCapSpec(chip_cap_w=10.0))
+    governor.poll(0.0, np.zeros(PLATFORM.num_cores))
+    assert governor._activities is not None
+    assert float(np.min(governor._activities)) == 1.0
+    assert any(step > 0 for step in governor._steps)
+
+
+def test_re_raises_when_headroom_returns():
+    governor = CapGovernor(PLATFORM, PowerCapSpec(chip_cap_w=20.0))
+    busy = np.zeros(PLATFORM.num_cores)
+    # Boundary 1: everyone flat out -> the cap binds.
+    busy += 1.0
+    governor.poll(1.0, busy)
+    assert any(step > 0 for step in governor._steps)
+    throttled = governor.effective_platform()
+    assert throttled is not PLATFORM
+    # Boundary 2: the chip goes idle -> the assignment relaxes back to
+    # base and the effective platform is the base object again.
+    governor.poll(2.0, busy)
+    assert governor._steps == [0] * NUM_ISLANDS
+    assert governor.effective_platform() is PLATFORM
+    up_moves = [
+        e for e in governor.impact().throttle_events
+        if e["to_step"] > e["from_step"]
+    ]
+    assert up_moves
+
+
+def test_island_cap_binds_locally():
+    cap = PowerCapSpec(island_caps_w=((1, 4.0),))
+    governor = CapGovernor(PLATFORM, cap)
+    governor.poll(0.0, np.zeros(PLATFORM.num_cores))
+    assert governor._steps[1] > 0
+    assert all(
+        governor._steps[i] == 0 for i in range(NUM_ISLANDS) if i != 1
+    )
+    # Islands beyond the die are tolerated (lenient, like fault plans).
+    lenient = CapGovernor(
+        PLATFORM, PowerCapSpec(island_caps_w=((99, 1.0),))
+    )
+    lenient.poll(0.0, np.zeros(PLATFORM.num_cores))
+    assert lenient._steps == [0] * NUM_ISLANDS

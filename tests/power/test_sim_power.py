@@ -1,0 +1,97 @@
+"""The power axis through the real simulator (cheap 16-core pipeline).
+
+The 64-core uncapped default is pinned bit-for-bit in
+``tests/core/test_golden_64core.py``; here the cheap 16-core pipeline
+covers the measured behavior of capped runs: identity of the no-cap
+default, the monotone cap frontier, cap x fault composition, and the
+serialization round trip of the ``power`` record.
+"""
+
+import pytest
+
+from repro.core.experiment import VFI2_WINOC, run_app_study
+from repro.core.serialization import result_from_dict, result_to_dict
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
+from repro.power import PowerCapSpec, default_caps_w
+
+APP = "histogram"
+KWARGS = dict(scale=0.05, seed=9, num_workers=16)
+
+
+def study_at(cap=None, **extra):
+    return run_app_study(APP, power_cap=cap, **KWARGS, **extra)
+
+
+def test_uncapped_run_carries_no_power_record():
+    result = study_at().result(VFI2_WINOC)
+    assert result.power is None
+    assert "power" not in result_to_dict(result)
+
+
+def test_default_cap_is_the_same_memoized_study():
+    # The unbounded spec collapses to None before the memo key: not
+    # merely an equal study -- the same object.
+    assert study_at(PowerCapSpec()) is study_at()
+
+
+def test_capped_run_records_impact_and_honors_the_cap():
+    cap_w = default_caps_w(16)[-1]  # the tightest default level
+    result = study_at(cap_w).result(VFI2_WINOC)
+    impact = result.power
+    assert impact is not None
+    assert impact.cap_w == cap_w
+    assert impact.boundaries_polled > 0
+    assert len(impact.throttle_events) > 0
+    assert impact.throttled_s > 0.0
+    assert impact.unmet_boundaries == 0
+    assert impact.peak_power_w <= cap_w * (1.0 + 1e-9)
+
+
+def test_cap_frontier_is_monotone_over_four_levels():
+    caps = default_caps_w(16)
+    assert len(caps) >= 4
+    times = []
+    throttled = []
+    for cap_w in (None,) + caps:
+        result = study_at(cap_w).result(VFI2_WINOC)
+        times.append(result.total_time_s)
+        impact = result.power
+        throttled.append(0.0 if impact is None else impact.throttled_s)
+    # Tighter cap: throughput never improves (makespan non-decreasing)
+    # and the governor throttles at least as much.
+    assert times == sorted(times)
+    assert throttled == sorted(throttled)
+    assert times[-1] > times[0]
+
+
+def test_power_record_round_trips_through_serialization():
+    result = study_at(default_caps_w(16)[-1]).result(VFI2_WINOC)
+    decoded = result_from_dict(result_to_dict(result))
+    assert decoded.power == result.power
+    assert decoded.total_time_s == result.total_time_s
+
+
+def test_cap_composes_with_faults():
+    plan = FaultPlan(
+        events=(
+            FaultSpec(FaultKind.CORE_FAILURE, 0.002, (13,)),
+            FaultSpec(FaultKind.ISLAND_THROTTLE, 0.001, (2,), magnitude=1),
+        ),
+        name="compose",
+    )
+    cap_w = default_caps_w(16)[-2]
+    both = study_at(cap_w, fault_plan=plan).result(VFI2_WINOC)
+    assert both.faults is not None
+    assert both.power is not None
+    assert len(both.faults.events_applied) > 0
+    assert both.power.boundaries_polled > 0
+    # The capped+faulted run is no faster than the faulted-only run.
+    faulted = study_at(fault_plan=plan).result(VFI2_WINOC)
+    assert both.total_time_s >= faulted.total_time_s
+    # And deterministic: rerunning reproduces the exact numbers.
+    again = run_app_study(
+        APP, power_cap=cap_w, fault_plan=plan, use_cache=False, **KWARGS
+    ).result(VFI2_WINOC)
+    assert again.total_time_s == both.total_time_s
+    assert again.total_energy_j == both.total_energy_j
+    assert again.power.to_dict() == both.power.to_dict()

@@ -1,0 +1,116 @@
+"""PowerCapSpec canonicalization, validation and round trips."""
+
+import json
+
+import pytest
+
+from repro.power import (
+    CapImpact,
+    PowerCapSpec,
+    canonical_cap_json,
+    normalize_cap,
+)
+
+
+class TestValidation:
+    def test_chip_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="chip_cap_w"):
+            PowerCapSpec(chip_cap_w=0.0)
+        with pytest.raises(ValueError, match="chip_cap_w"):
+            PowerCapSpec(chip_cap_w=-3.0)
+
+    def test_island_caps_must_be_positive(self):
+        with pytest.raises(ValueError, match="island 1 cap"):
+            PowerCapSpec(island_caps_w=((1, 0.0),))
+        with pytest.raises(ValueError, match="island must be >= 0"):
+            PowerCapSpec(island_caps_w=((-1, 5.0),))
+
+    def test_duplicate_islands_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PowerCapSpec(island_caps_w=((1, 5.0), (1, 6.0)))
+
+    def test_island_caps_canonically_sorted(self):
+        spec = PowerCapSpec(island_caps_w=((3, 5.0), (0, 9.0)))
+        assert spec.island_caps_w == ((0, 9.0), (3, 5.0))
+
+
+class TestIdentity:
+    def test_default_is_unbounded(self):
+        spec = PowerCapSpec()
+        assert spec.is_default
+        assert spec.label == "uncapped"
+        assert spec.island_cap(0) is None
+
+    def test_labels(self):
+        assert PowerCapSpec(chip_cap_w=96).label == "96W"
+        assert PowerCapSpec(island_caps_w=((1, 10),)).label == "isl1@10W"
+        assert (
+            PowerCapSpec(chip_cap_w=96, island_caps_w=((1, 10),)).label
+            == "96W+isl1@10W"
+        )
+        assert (
+            PowerCapSpec(chip_cap_w=50, name="tdp").label == "tdp(50W)"
+        )
+
+    def test_island_cap_accessor(self):
+        spec = PowerCapSpec(island_caps_w=((0, 9.0), (2, 4.0)))
+        assert spec.island_cap(0) == 9.0
+        assert spec.island_cap(1) is None
+        assert spec.island_cap(2) == 4.0
+
+
+class TestRoundTrip:
+    def test_dict_and_json(self):
+        spec = PowerCapSpec(
+            chip_cap_w=80.0, island_caps_w=((1, 12.5),), name="tdp"
+        )
+        assert PowerCapSpec.from_dict(spec.to_dict()) == spec
+        assert PowerCapSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_canonical(self):
+        spec = PowerCapSpec(chip_cap_w=80.0)
+        loose = json.dumps(spec.to_dict(), indent=2)
+        assert canonical_cap_json(loose) == spec.to_json()
+
+
+class TestCanonicalCapJson:
+    def test_none_and_default_collapse(self):
+        assert canonical_cap_json(None) is None
+        assert canonical_cap_json(PowerCapSpec()) is None
+        assert canonical_cap_json(PowerCapSpec().to_json()) is None
+
+    def test_bare_watts_become_a_chip_cap(self):
+        text = canonical_cap_json(96)
+        assert text == PowerCapSpec(chip_cap_w=96.0).to_json()
+        assert canonical_cap_json(96.0) == text
+
+    def test_bool_is_not_a_cap(self):
+        with pytest.raises(TypeError):
+            canonical_cap_json(True)
+
+    def test_normalize_cap_decodes(self):
+        assert normalize_cap(None) is None
+        assert normalize_cap(PowerCapSpec()) is None
+        assert normalize_cap(64.0) == PowerCapSpec(chip_cap_w=64.0)
+
+
+class TestCapImpact:
+    def test_round_trip_with_string_residency_keys(self):
+        impact = CapImpact(
+            cap_w=50.0,
+            boundaries_polled=9,
+            unmet_boundaries=1,
+            throttle_events=[
+                {"t_s": 1.0, "island": 2, "from_step": 4, "to_step": 3,
+                 "from_hz": 2.5e9, "to_hz": 2.1e9},
+            ],
+            residency_s={4: 12.0, 3: 2.5},
+            throttled_s=2.5,
+            throttled_islands=[2],
+            peak_power_w=49.0,
+        )
+        encoded = impact.to_dict()
+        # JSON object keys are strings; the decode restores ints.
+        assert set(encoded["residency_s"]) == {"3", "4"}
+        decoded = CapImpact.from_dict(json.loads(json.dumps(encoded)))
+        assert decoded == impact

@@ -1,0 +1,51 @@
+"""NoC energy follows the technology node (and stays put by default).
+
+The ``tech=None`` path is pinned bit-for-bit by the 64-core golden
+tests; here we check the platform-construction rule directly: no tech
+means the stock :class:`NocEnergyParams`, a tech node scales the per-bit
+dynamic constants by its C*V^2 trajectory and the switch leakage by its
+leakage trajectory.
+"""
+
+import pytest
+
+from repro.core.experiment import VFI2_WINOC, run_app_study
+from repro.core.platforms import build_nvfi_mesh, geometry_for
+from repro.noc.energy import NocEnergyParams
+from repro.tech import TechSpec, get_node
+
+
+def test_default_platform_keeps_stock_noc_params():
+    platform = build_nvfi_mesh(geometry_for(16))
+    assert platform.noc_energy_params == NocEnergyParams()
+
+
+@pytest.mark.parametrize("node_name", ["45nm", "32nm", "22nm"])
+def test_tech_platform_scales_noc_params_with_the_node(node_name):
+    node = get_node(node_name)
+    platform = build_nvfi_mesh(
+        geometry_for(16), tech=TechSpec(node=node_name)
+    )
+    stock = NocEnergyParams()
+    params = platform.noc_energy_params
+    assert params.router_pj_per_bit == pytest.approx(
+        stock.router_pj_per_bit * node.dynamic_scale
+    )
+    assert params.wire_pj_per_bit_per_mm == pytest.approx(
+        stock.wire_pj_per_bit_per_mm * node.dynamic_scale
+    )
+    assert params.wireless_pj_per_bit == pytest.approx(
+        stock.wireless_pj_per_bit * node.dynamic_scale
+    )
+    assert params.switch_leakage_w == pytest.approx(
+        stock.switch_leakage_w * node.leakage_scale
+    )
+
+
+def test_shrunk_node_measures_less_noc_energy():
+    kwargs = dict(scale=0.05, seed=9, num_workers=16)
+    base = run_app_study("histogram", **kwargs).result(VFI2_WINOC)
+    shrunk = run_app_study(
+        "histogram", tech=TechSpec(node="32nm"), **kwargs
+    ).result(VFI2_WINOC)
+    assert shrunk.energy.noc_dynamic_j < base.energy.noc_dynamic_j
