@@ -1,0 +1,179 @@
+"""Cluster engine at scale: 100k arrivals under a wall-clock budget.
+
+Two guards against the failure modes a smoke trace cannot see:
+
+* ``test_dispatch_overhead_scales_linearly`` drives the event loop with
+  scripted costs at two trace sizes and bounds the per-arrival wall
+  time ratio -- a regression back to the O(jobs x chips) per-dispatch
+  scan shows up here long before the big run times out;
+* ``test_100k_arrival_replay_within_budget`` serves and byte-identically
+  replays a 100k-arrival trace against the real cost model (cold batch
+  fan-out first, then a warm cache-only pass) inside generous wall-clock
+  budgets, and commits the reference numbers to
+  ``results/cluster_scale.json``.
+
+The budgets hold roughly 10x headroom over a warm local run (the
+engine clears 100k arrivals in ~4 s): they catch superlinear blowups,
+not scheduler jitter on a busy CI runner.
+"""
+
+import hashlib
+import json
+import time
+
+from conftest import write_result
+
+from repro.cluster import (
+    ClusterService,
+    CostModel,
+    JobEstimate,
+    fleet_for,
+    generate_trace,
+)
+from repro.cluster.record import replay, verify_replay
+from repro.orchestrator.cache import StudyCache
+
+RESULT_NAME = "cluster_scale.json"
+SEED = 7
+NUM_JOBS = 100_000
+CHIPS = 8
+QUEUE_DEPTH = 64
+PREFETCH_JOBS = 4
+RUN_BUDGET_S = 60.0
+REPLAY_BUDGET_S = 90.0
+
+#: Measurements from the micro guard, folded into the committed
+#: baseline by the 100k test (pytest runs this module top to bottom).
+_MICRO = {}
+
+
+class ScriptedCostModel(CostModel):
+    """Deterministic estimates without simulation, for pure engine
+    timing: the micro guard must measure dispatch overhead, not the
+    (cached) cost of resolving studies."""
+
+    def __init__(self):
+        super().__init__(None)
+
+    def estimate(self, job, chip):
+        key = f"{job.app}|{job.scale:g}|{job.seed}|{chip.num_workers}"
+        digest = hashlib.sha256(key.encode()).digest()
+        return JobEstimate(
+            service_s=1.0 + digest[0] / 16.0,
+            energy_j=50.0 + digest[1] * 2.0,
+        )
+
+
+def _scale_trace(num_jobs):
+    # Sustained overload: the queue sits at depth, every arrival walks
+    # the admission path, and the heap never drains between instants.
+    return generate_trace(
+        "scale",
+        seed=SEED,
+        num_jobs=num_jobs,
+        mean_gap_s=0.2,
+        deadline_fraction=0.25,
+        priority_levels=3,
+    )
+
+
+def _per_arrival_seconds(num_jobs):
+    trace = _scale_trace(num_jobs)
+    service = ClusterService(
+        fleet_for(CHIPS, num_workers=16),
+        "fifo",
+        max_queue_depth=QUEUE_DEPTH,
+        cost_model=ScriptedCostModel(),
+    )
+    start = time.perf_counter()
+    service.run(trace)
+    return (time.perf_counter() - start) / num_jobs
+
+
+def test_dispatch_overhead_scales_linearly():
+    _per_arrival_seconds(2_000)  # warm-up: imports and allocator churn
+    small = _per_arrival_seconds(10_000)
+    large = _per_arrival_seconds(40_000)
+    ratio = large / small
+    _MICRO.update(
+        per_arrival_us_10k=round(small * 1e6, 2),
+        per_arrival_us_40k=round(large * 1e6, 2),
+        ratio_40k_over_10k=round(ratio, 3),
+    )
+    # Near-constant per-arrival cost; a quadratic dispatch scan would
+    # push the ratio toward 4.
+    assert ratio < 2.5, _MICRO
+
+
+def test_100k_arrival_replay_within_budget(results_dir, tmp_path):
+    trace = _scale_trace(NUM_JOBS)
+    fleet = fleet_for(CHIPS, num_workers=16)
+    cache = StudyCache(tmp_path / "cache")
+
+    # Cold pass: the batched cost-model front fans every unique study
+    # out across worker processes before the event loop starts.
+    cold = ClusterService(
+        fleet,
+        "fifo",
+        max_queue_depth=QUEUE_DEPTH,
+        cache=cache,
+        prefetch_jobs=PREFETCH_JOBS,
+    ).run(trace)
+    cold_stats = cold.study_stats
+    assert cold_stats["batches"] >= 1
+    assert cold_stats["prefetched"] == cold_stats["unique_specs"]
+    assert cold_stats["computed"] == cold_stats["unique_specs"]
+
+    # Warm pass under the run budget: every study resolves from the
+    # shared cache, so the clock measures the event engine alone.
+    service = ClusterService(
+        fleet,
+        "fifo",
+        max_queue_depth=QUEUE_DEPTH,
+        cache=cache,
+        prefetch_jobs=PREFETCH_JOBS,
+    )
+    start = time.perf_counter()
+    result = service.run(trace)
+    run_wall_s = time.perf_counter() - start
+    assert run_wall_s < RUN_BUDGET_S
+    stats = result.study_stats
+    assert stats["computed"] == 0
+    assert stats["batches"] >= 1
+    assert result.replay_digest == cold.replay_digest
+    report = result.report
+    assert report.completed + report.rejected == len(trace)
+    assert report.completed > 0
+
+    start = time.perf_counter()
+    fresh = replay(result, cache=cache, prefetch_jobs=PREFETCH_JOBS)
+    assert verify_replay(result, fresh) is None
+    replay_wall_s = time.perf_counter() - start
+    assert replay_wall_s < REPLAY_BUDGET_S
+    assert fresh.study_stats["computed"] == 0
+
+    write_result(results_dir, RESULT_NAME, json.dumps({
+        "num_jobs": NUM_JOBS,
+        "seed": SEED,
+        "trace_key": trace.trace_key,
+        "fleet": {"chips": CHIPS, "num_workers": 16},
+        "policy": "fifo",
+        "max_queue_depth": QUEUE_DEPTH,
+        "replay_digest": result.replay_digest,
+        "study_stats": stats,
+        "report": {
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "deadlines_met": report.deadlines_met,
+            "makespan_s": round(report.makespan_s, 3),
+            "total_energy_j": round(report.total_energy_j, 3),
+        },
+        "wall_clock": {
+            "run_s": round(run_wall_s, 2),
+            "replay_s": round(replay_wall_s, 2),
+            "arrivals_per_s": round(NUM_JOBS / run_wall_s),
+            "run_budget_s": RUN_BUDGET_S,
+            "replay_budget_s": REPLAY_BUDGET_S,
+        },
+        "dispatch_micro": _MICRO or None,
+    }, indent=2))

@@ -53,7 +53,7 @@ from repro.telemetry import (
     use_tracer,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "APP_NAMES",

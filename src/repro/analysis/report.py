@@ -136,7 +136,9 @@ def degradation_section(
 CLUSTER_COLUMNS = (
     "policy",
     "done/rej",
+    "retry/preempt",
     "throughput (/ks)",
+    "goodput (/ks)",
     "latency p50/p95 (s)",
     "wait mean (s)",
     "deadline hit",
@@ -159,8 +161,16 @@ def cluster_rows(results) -> list:
             {
                 "policy": result.policy,
                 "done/rej": f"{report.completed}/{report.rejected}",
+                "retry/preempt": (
+                    f"{report.retries}/{report.preemptions}"
+                    if report.retries or report.preemptions
+                    else "-"
+                ),
                 "throughput (/ks)": (
                     f"{report.throughput_jobs_per_s * 1e3:.2f}"
+                ),
+                "goodput (/ks)": (
+                    f"{report.goodput_jobs_per_s * 1e3:.2f}"
                 ),
                 "latency p50/p95 (s)": (
                     f"{report.latency_p50_s:.1f}/{report.latency_p95_s:.1f}"

@@ -28,9 +28,12 @@ Commands
     Serve a seeded multi-job arrival trace on a fleet of simulated chips
     through one (or every) registered cluster scheduling policy; print
     the SLO table and optionally record the run as canonical JSON.
-``cluster replay --record FILE``
-    Re-run a recorded cluster run and verify the replay is
-    byte-identical (exit nonzero on divergence).
+    ``--source closed`` turns backpressure rejections into seeded
+    retry backoff; ``--jobs N`` prefetches the run's distinct studies
+    through N parallel orchestrator workers before the event loop.
+``cluster replay --record FILE [--jobs N]``
+    Re-run a recorded cluster run (same trace/policy/fleet/source) and
+    verify the replay is byte-identical (exit nonzero on divergence).
 ``cluster report --record FILE [FILE ...]``
     Render the markdown policy-comparison section from saved records.
 ``tech list``
@@ -257,12 +260,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export-trace", default=None,
         help="write the served arrival trace's canonical JSON to this path",
     )
+    cluster_run.add_argument(
+        "--source", choices=("open", "closed"), default="open",
+        help="arrival discipline: 'open' sheds backpressured jobs, "
+        "'closed' retries them with seeded exponential backoff",
+    )
+    cluster_run.add_argument(
+        "--retry-limit", type=int, default=3,
+        help="closed loop: re-submissions before a job gives up",
+    )
+    cluster_run.add_argument(
+        "--backoff-base", type=float, default=5.0,
+        help="closed loop: first-retry backoff (seconds, doubles per try)",
+    )
+    cluster_run.add_argument(
+        "--backoff-cap", type=float, default=120.0,
+        help="closed loop: backoff ceiling (seconds)",
+    )
+    cluster_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="prefetch the run's distinct studies through N parallel "
+        "orchestrator workers before the event loop starts",
+    )
 
     cluster_replay = cluster_sub.add_parser(
         "replay", help="re-run a recorded cluster run and verify it"
     )
     cluster_replay.add_argument("--record", required=True)
     cluster_replay.add_argument("--cache-dir", default=None)
+    cluster_replay.add_argument(
+        "--jobs", type=int, default=None,
+        help="prefetch the replay's distinct studies through N parallel "
+        "orchestrator workers before the event loop starts",
+    )
 
     cluster_report = cluster_sub.add_parser(
         "report", help="markdown policy comparison from saved records"
@@ -724,17 +754,32 @@ def _cluster_run(args) -> int:
         f"{args.num_workers}-core chips, queue bound {args.queue_depth}",
         file=sys.stderr,
     )
+    source_options = None
+    if args.source == "closed":
+        source_options = {
+            "retry_limit": args.retry_limit,
+            "backoff_base_s": args.backoff_base,
+            "backoff_cap_s": args.backoff_cap,
+        }
     results = []
     for policy in policies:
         result = run_workload(
             trace, fleet, policy=policy, cache=args.cache_dir,
             max_queue_depth=args.queue_depth,
+            source=args.source, source_options=source_options,
+            prefetch_jobs=args.jobs,
         )
         stats = result.study_stats
+        extras = ""
+        if result.report.retries or result.report.preemptions:
+            extras = (
+                f", {result.report.retries} retries, "
+                f"{result.report.preemptions} preemptions"
+            )
         print(
             f"{policy}: {result.report.completed} completed, "
             f"{stats['computed']} studies simulated, "
-            f"{stats['cache_hits']} cache hits "
+            f"{stats['cache_hits']} cache hits{extras} "
             f"(digest {result.replay_digest[:12]})",
             file=sys.stderr,
         )
@@ -765,18 +810,24 @@ def _cluster_replay(args) -> int:
     from repro.cluster.record import ClusterRunResult, replay, verify_replay
 
     record = ClusterRunResult.load(args.record)
-    replayed = replay(record, cache=args.cache_dir)
+    replayed = replay(record, cache=args.cache_dir, prefetch_jobs=args.jobs)
     divergence = verify_replay(record, replayed)
     stats = replayed.study_stats
     if divergence is not None:
         print(f"repro: error: {divergence}", file=sys.stderr)
         return 3
+    batched = ""
+    if stats.get("batches"):
+        batched = (
+            f", {stats['prefetched']} prefetched in "
+            f"{stats['batches']} batch(es)"
+        )
     print(
         f"replay byte-identical (digest {record.replay_digest[:12]}): "
         f"{record.policy} on {record.trace.name}, "
         f"{replayed.report.completed} jobs completed, "
         f"{stats['computed']} studies simulated, "
-        f"{stats['cache_hits']} cache hits"
+        f"{stats['cache_hits']} cache hits{batched}"
     )
     return 0
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union,
+)
 
 from repro.cluster.jobs import ClusterJob
 from repro.utils.jsonutil import canonical_json, to_builtin
@@ -237,6 +239,163 @@ def _heavy(seed: int) -> ArrivalTrace:
         dataset_seeds=(7, 9, 11),
     )
 
+
+# ---------------------------------------------------------------------- #
+# sources: how a trace meets the service
+# ---------------------------------------------------------------------- #
+
+
+class Source(Protocol):
+    """How jobs reach the cluster, and what happens on backpressure.
+
+    A source wraps one :class:`ArrivalTrace` and answers a single
+    question the engine asks when admission fails: *does this job come
+    back, and when?*  An open-loop source never re-submits (rejection is
+    terminal load shedding); a closed-loop source models clients that
+    retry with backoff.
+    """
+
+    trace: ArrivalTrace
+
+    def retry_at(
+        self, job: ClusterJob, now: float, attempts: int
+    ) -> Optional[float]:
+        """Next re-submission instant after a failed admission attempt
+        number *attempts*, or ``None`` when the job gives up."""
+        ...
+
+    def to_dict(self) -> Optional[Dict]:
+        """Canonical config for the run record (``None`` = open loop,
+        keeping pre-source records byte-identical)."""
+        ...
+
+
+@dataclass(frozen=True)
+class OpenLoopSource:
+    """The legacy discipline: a backpressured job is shed, terminally."""
+
+    trace: ArrivalTrace
+
+    def retry_at(self, job, now, attempts):
+        return None
+
+    def to_dict(self):
+        return None
+
+
+@dataclass(frozen=True)
+class ClosedLoopSource:
+    """Clients that re-submit backpressured jobs with capped, seeded
+    exponential backoff.
+
+    Attempt *k*'s backoff is ``min(cap, base * 2**(k-1))`` scaled by a
+    jitter factor in ``[1-jitter, 1+jitter]`` drawn from a stream keyed
+    on ``(seed, job_id, attempt)`` -- fully deterministic, and
+    independent of event order, so replays reproduce every retry instant
+    bit for bit.  After *retry_limit* failed re-submissions the job is
+    rejected terminally.
+    """
+
+    trace: ArrivalTrace
+    retry_limit: int = 3
+    backoff_base_s: float = 5.0
+    backoff_cap_s: float = 120.0
+    jitter: float = 0.5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "retry_limit", int(self.retry_limit))
+        object.__setattr__(self, "backoff_base_s", float(self.backoff_base_s))
+        object.__setattr__(self, "backoff_cap_s", float(self.backoff_cap_s))
+        object.__setattr__(self, "jitter", float(self.jitter))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.backoff_base_s <= 0.0:
+            raise ValueError(
+                f"backoff_base_s must be > 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s ({self.backoff_cap_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_s(self, job: ClusterJob, attempts: int) -> float:
+        """The (jittered, capped) backoff after attempt *attempts*."""
+        base = min(
+            self.backoff_cap_s, self.backoff_base_s * 2.0 ** (attempts - 1)
+        )
+        if self.jitter == 0.0:
+            return base
+        rng = derive_rng(
+            spawn_seed(self.seed, "retry", str(job.job_id), str(attempts))
+        )
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base * factor
+
+    def retry_at(self, job, now, attempts):
+        if attempts > self.retry_limit:
+            return None
+        return now + self.backoff_s(job, attempts)
+
+    def to_dict(self):
+        return {
+            "kind": "closed",
+            "retry_limit": self.retry_limit,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+def make_source(
+    trace: ArrivalTrace, source: Union[str, Source, None] = "open", **kwargs
+) -> Source:
+    """Build a source over *trace* from a name ('open'/'closed'), an
+    existing source (re-wrapped onto *trace*), or ``None`` (open)."""
+    if source is None or source == "open":
+        if kwargs:
+            raise ValueError(
+                f"open-loop sources take no options, got {sorted(kwargs)}"
+            )
+        return OpenLoopSource(trace)
+    if source == "closed":
+        return ClosedLoopSource(trace, **kwargs)
+    if isinstance(source, str):
+        raise ValueError(
+            f"unknown source kind {source!r}; use 'open' or 'closed'"
+        )
+    if kwargs:
+        raise ValueError("source options only apply to source names")
+    if source.trace is not trace and source.trace.trace_key != trace.trace_key:
+        raise ValueError("source wraps a different trace")
+    return source
+
+
+def source_from_dict(
+    trace: ArrivalTrace, data: Optional[Dict]
+) -> Source:
+    """Rebuild a run record's source over *trace* (``None`` = open)."""
+    if data is None:
+        return OpenLoopSource(trace)
+    data = dict(data)
+    kind = data.pop("kind", "open")
+    if kind == "open":
+        return OpenLoopSource(trace)
+    if kind == "closed":
+        return ClosedLoopSource(trace, **data)
+    raise ValueError(f"unknown source kind {kind!r} in record")
+
+
+# ---------------------------------------------------------------------- #
+# preset registry
+# ---------------------------------------------------------------------- #
 
 #: Preset workload registry: name -> seed -> ArrivalTrace.
 WORKLOADS: Dict[str, Callable[[int], ArrivalTrace]] = {

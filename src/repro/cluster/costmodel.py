@@ -13,7 +13,7 @@ prove it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.cluster.fleet import ChipSpec
 from repro.cluster.jobs import ClusterJob
@@ -34,6 +34,50 @@ class JobEstimate:
         return self.energy_j * self.service_s
 
 
+@dataclass(frozen=True)
+class SpeedStep:
+    """One DVFS operating point a speed-scaling policy may dispatch at.
+
+    Studies simulate at the chip's nominal point; a slower rail scales
+    the simulated outcome analytically: service time stretches with the
+    clock (``f_nom / f``) and energy shrinks with the square of the rail
+    voltage (dynamic energy ~ C V^2 per switched capacitance -- the work,
+    not the time, fixes the switching count; per arXiv:1402.2810 the
+    energy-per-work is what speed scaling trades against the deadline).
+    """
+
+    frequency_hz: float
+    voltage_v: float
+    nominal_frequency_hz: float
+    nominal_voltage_v: float
+
+    @property
+    def time_scale(self) -> float:
+        return self.nominal_frequency_hz / self.frequency_hz
+
+    @property
+    def energy_scale(self) -> float:
+        return (self.voltage_v / self.nominal_voltage_v) ** 2
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.frequency_hz == self.nominal_frequency_hz
+
+    @property
+    def label(self) -> str:
+        return f"{self.voltage_v:.2f}V/{self.frequency_hz / 1e9:g}GHz"
+
+
+def scale_estimate(estimate: JobEstimate, step: Optional[SpeedStep]) -> JobEstimate:
+    """*estimate* re-timed at DVFS *step* (``None`` = nominal)."""
+    if step is None or step.is_nominal:
+        return estimate
+    return JobEstimate(
+        service_s=estimate.service_s * step.time_scale,
+        energy_j=estimate.energy_j * step.energy_scale,
+    )
+
+
 class CostModel:
     """Resolve (job, chip) pairs to simulated studies, with dedup stats."""
 
@@ -48,6 +92,10 @@ class CostModel:
         self.cache_hits = 0
         #: Units served by the in-process memo (repeat jobs in one run).
         self.memo_hits = 0
+        #: Batched prefetch rounds run (the parallel cost-model front).
+        self.batches = 0
+        #: Units resolved through prefetch batches (subset of the above).
+        self.prefetched = 0
 
     # ------------------------------------------------------------------ #
 
@@ -86,10 +134,59 @@ class CostModel:
             energy_j=float(result.total_energy_j),
         )
 
-    def stats(self) -> Dict[str, int]:
+    def prefetch(
+        self,
+        specs: Iterable[StudySpec],
+        jobs: int = 1,
+        retries: int = 1,
+    ) -> Dict[str, int]:
+        """Resolve *specs* in one batch through the orchestrator fan-out.
+
+        The batch entry point of the parallel cost-model front: distinct
+        (study, chip-class) units the run will need are resolved through
+        :func:`repro.orchestrator.executor.resolve_studies` -- process
+        fan-out when ``jobs > 1`` -- and memoized, so the event loop's
+        per-dispatch estimates are pure dictionary lookups afterwards.
+        Counters fold into :meth:`stats` exactly as if the units had
+        resolved serially (computed / cache_hits), plus batch counters.
+        """
+        from repro.orchestrator.executor import resolve_studies
+
+        misses = []
+        seen = set()
+        for spec in specs:
+            if spec in self._memo or spec in seen:
+                continue
+            seen.add(spec)
+            misses.append(spec)
+        self.batches += 1
+        if not misses:
+            return {"batch_size": 0, "computed": 0, "cache_hits": 0}
+        studies, statuses = resolve_studies(
+            misses, jobs=jobs, cache=self.cache, retries=retries
+        )
+        computed = sum(1 for s in statuses.values() if s == "computed")
+        cached = len(misses) - computed
+        self.computed += computed
+        self.cache_hits += cached
+        self.prefetched += len(misses)
+        self._memo.update(studies)
         return {
+            "batch_size": len(misses),
+            "computed": computed,
+            "cache_hits": cached,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        out = {
             "computed": int(self.computed),
             "cache_hits": int(self.cache_hits),
             "memo_hits": int(self.memo_hits),
             "unique_specs": int(self.unique_specs),
         }
+        # Batch-front counters appear only once a prefetch ran, so
+        # pre-engine study_stats dictionaries keep their exact shape.
+        if self.batches:
+            out["batches"] = int(self.batches)
+            out["prefetched"] = int(self.prefetched)
+        return out

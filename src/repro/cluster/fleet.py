@@ -111,6 +111,31 @@ class ChipSpec:
         return PowerCapSpec.from_json(self.power_cap)
 
     @property
+    def node_nm(self) -> int:
+        """Feature size of the chip's technology node in nanometres
+        (65 for the paper default) -- the tech-aware routing key."""
+        spec = self.tech_spec()
+        if spec is None:
+            return 65
+        return int(spec.node[:-2]) if spec.node.endswith("nm") else int(spec.node)
+
+    @property
+    def core_class(self) -> str:
+        """The chip's core-mix name (``"ooo"`` homogeneous default,
+        ``"big_little"``/``"io"`` presets, ``"mixed"`` for explicit
+        per-island tuples)."""
+        spec = self.tech_spec()
+        if spec is None:
+            return "ooo"
+        return spec.cores if isinstance(spec.cores, str) else "mixed"
+
+    @property
+    def is_efficiency_class(self) -> bool:
+        """Whether the chip trades peak speed for efficiency (any core
+        mix other than the homogeneous out-of-order default)."""
+        return self.core_class != "ooo"
+
+    @property
     def label(self) -> str:
         parts = [f"chip{self.chip_id}", f"{self.num_workers}c", self.config]
         if self.fault_plan is not None:

@@ -26,9 +26,17 @@ from repro.utils.jsonutil import to_builtin
 if TYPE_CHECKING:
     from repro.cluster.fleet import ChipSpec
 
-#: Job lifecycle statuses.
+#: Job lifecycle statuses.  ``REJECTED`` and ``COMPLETED`` are the only
+#: terminal statuses; ``RETRYING`` (closed-loop backoff pending) and
+#: ``PREEMPTED`` (checkpointed and requeued) are transient and never
+#: survive to the end of a run.
 REJECTED = "rejected"
 COMPLETED = "completed"
+RETRYING = "retrying"
+PREEMPTED = "preempted"
+
+#: Statuses a finished run may leave on a record.
+TERMINAL_STATUSES = (COMPLETED, REJECTED)
 
 
 @dataclass(frozen=True)
@@ -136,6 +144,14 @@ class JobRecord:
     #: Simulated makespan of the job's study on its chip.
     service_s: float = 0.0
     energy_j: float = 0.0
+    #: Admission attempts made (1 = admitted or rejected on arrival;
+    #: closed-loop retries increment it).
+    attempts: int = 1
+    #: Times this job was checkpointed off a chip and requeued.
+    preemptions: int = 0
+    #: Staging time spent on transfers that a preemption cut short
+    #: (the only work a checkpoint cannot preserve).
+    wasted_transfer_s: float = 0.0
     extra: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -167,20 +183,29 @@ class JobRecord:
         return self.completed_s <= self.job.deadline_s
 
     def to_dict(self) -> Dict:
-        return to_builtin(
-            {
-                "job": self.job.to_dict(),
-                "status": self.status,
-                "chip_id": self.chip_id,
-                "admitted_s": self.admitted_s,
-                "dispatched_s": self.dispatched_s,
-                "completed_s": self.completed_s,
-                "transfer_s": self.transfer_s,
-                "service_s": self.service_s,
-                "energy_j": self.energy_j,
-                "extra": dict(self.extra),
-            }
-        )
+        out = {
+            "job": self.job.to_dict(),
+            "status": self.status,
+            "chip_id": self.chip_id,
+            "admitted_s": self.admitted_s,
+            "dispatched_s": self.dispatched_s,
+            "completed_s": self.completed_s,
+            "transfer_s": self.transfer_s,
+            "service_s": self.service_s,
+            "energy_j": self.energy_j,
+            "extra": dict(self.extra),
+        }
+        # Retry/preemption fields appeared after the v1 schema; they are
+        # omitted at their defaults so open-loop, non-preemptive runs
+        # (and their replay digests) stay byte-identical to records
+        # written before the event engine existed.
+        if self.attempts != 1:
+            out["attempts"] = self.attempts
+        if self.preemptions != 0:
+            out["preemptions"] = self.preemptions
+        if self.wasted_transfer_s != 0.0:
+            out["wasted_transfer_s"] = self.wasted_transfer_s
+        return to_builtin(out)
 
     @classmethod
     def from_dict(cls, data: Dict) -> "JobRecord":
@@ -195,5 +220,8 @@ class JobRecord:
             transfer_s=float(data["transfer_s"]),
             service_s=float(data["service_s"]),
             energy_j=float(data["energy_j"]),
+            attempts=int(data.get("attempts", 1)),
+            preemptions=int(data.get("preemptions", 0)),
+            wasted_transfer_s=float(data.get("wasted_transfer_s", 0.0)),
             extra=dict(data.get("extra", {})),
         )

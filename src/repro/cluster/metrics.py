@@ -62,6 +62,13 @@ class SloReport:
     fleet_edp: float = 0.0
     #: chip_id (as str, for JSON) -> busy fraction of the makespan.
     chip_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Closed-loop re-submissions across the run (attempts beyond the
+    #: first, whether the job eventually landed or gave up).
+    retries: int = 0
+    #: Checkpoint-and-requeue evictions across the run.
+    preemptions: int = 0
+    #: Staging time burned on transfers a preemption cut short.
+    wasted_transfer_s: float = 0.0
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -75,8 +82,17 @@ class SloReport:
             return 0.0
         return self.rejected / self.num_jobs
 
+    @property
+    def goodput_jobs_per_s(self) -> float:
+        """Completions that *met their obligations* per simulated second
+        (completed jobs minus deadline misses, over the makespan)."""
+        if self.makespan_s <= 0.0:
+            return 0.0
+        missed = self.deadlined - self.deadlines_met
+        return (self.completed - missed) / self.makespan_s
+
     def to_dict(self) -> Dict:
-        return to_builtin(
+        out = to_builtin(
             {
                 "policy": self.policy,
                 "num_jobs": self.num_jobs,
@@ -102,6 +118,17 @@ class SloReport:
                 "chip_utilization": dict(self.chip_utilization),
             }
         )
+        # Closed-loop / preemption aggregates appear only when the run
+        # exercised them, so open-loop non-preemptive reports (and the
+        # golden digests over them) keep their exact legacy bytes.
+        if self.retries:
+            out["retries"] = int(self.retries)
+        if self.preemptions:
+            out["preemptions"] = int(self.preemptions)
+            out["goodput_jobs_per_s"] = self.goodput_jobs_per_s
+        if self.wasted_transfer_s:
+            out["wasted_transfer_s"] = self.wasted_transfer_s
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SloReport":
@@ -118,6 +145,10 @@ def slo_report(
     done: List[JobRecord] = []
     busy: Dict[int, float] = {chip.chip_id: 0.0 for chip in fleet}
     for record in records:
+        if record.attempts > 1:
+            report.retries += record.attempts - 1
+        report.preemptions += record.preemptions
+        report.wasted_transfer_s += record.wasted_transfer_s
         if record.rejected:
             report.rejected += 1
             continue
@@ -127,7 +158,16 @@ def slo_report(
             report.completed += 1
             report.total_energy_j += record.energy_j
             report.transfer_total_s += record.transfer_s
-            if record.chip_id is not None:
+            segments = record.extra.get("segments")
+            if segments:
+                # A preempted job ran on several chips; attribute each
+                # executed segment (and its surviving transfer time)
+                # where it actually ran.
+                for segment in segments:
+                    busy[segment["chip_id"]] = busy.get(
+                        segment["chip_id"], 0.0
+                    ) + (segment["transfer_s"] + segment["service_s"])
+            elif record.chip_id is not None:
                 busy[record.chip_id] = busy.get(record.chip_id, 0.0) + (
                     record.transfer_s + record.service_s
                 )

@@ -41,9 +41,10 @@ Built-in policies:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Type
 
-from repro.cluster.costmodel import JobEstimate
+from repro.cluster.costmodel import JobEstimate, SpeedStep
 from repro.cluster.fleet import ChipSpec
 from repro.cluster.jobs import ClusterJob
 
@@ -64,8 +65,57 @@ class SchedulingContext(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class RunningJob:
+    """A preemption policy's view of one in-flight execution."""
+
+    job: ClusterJob
+    chip: ChipSpec
+    dispatched_s: float
+    #: When the input transfer finishes (== dispatched_s when resident).
+    transfer_end_s: float
+    completion_s: float
+    #: The engine forbids preempting an execution dispatched at the
+    #: current instant (it has made no progress; evicting it could only
+    #: thrash), so same-timestamp preemption cascades always terminate.
+    preemptable: bool
+    #: Engine handle identifying this execution (opaque to policies).
+    token: int
+
+    @property
+    def deadline_key(self) -> float:
+        d = self.job.deadline_s
+        return d if d is not None else math.inf
+
+
 def _fifo_key(job: ClusterJob) -> Tuple[float, int]:
     return (job.arrival_s, job.job_id)
+
+
+def _edf_key(job: ClusterJob) -> Tuple:
+    return (
+        job.deadline_s if job.deadline_s is not None else math.inf,
+    ) + _fifo_key(job)
+
+
+def speed_steps_for(chip: ChipSpec) -> Tuple[SpeedStep, ...]:
+    """The chip's DVFS ladder as dispatchable speed steps, slowest to
+    fastest (nominal last), derived from its technology node."""
+    from repro.tech import dvfs_ladder, get_node, paper_node
+
+    spec = chip.tech_spec()
+    node = get_node(spec.node, spec.variant) if spec is not None else paper_node()
+    ladder = dvfs_ladder(node)
+    nominal = ladder[-1]
+    return tuple(
+        SpeedStep(
+            frequency_hz=point.frequency_hz,
+            voltage_v=point.voltage_v,
+            nominal_frequency_hz=nominal.frequency_hz,
+            nominal_voltage_v=nominal.voltage_v,
+        )
+        for point in ladder
+    )
 
 
 class ClusterScheduler:
@@ -106,6 +156,32 @@ class ClusterScheduler:
         job = self.pick_job(now, queue, free_chips, ctx)
         chip = self.pick_chip(now, job, free_chips, ctx)
         return job, chip
+
+    # -- engine extension hooks (defaults keep legacy policies inert) -- #
+
+    def speed_for(
+        self,
+        now: float,
+        job: ClusterJob,
+        chip: ChipSpec,
+        queue: Sequence[ClusterJob],
+        ctx: SchedulingContext,
+    ) -> Optional[SpeedStep]:
+        """DVFS step to dispatch *job* at (``None`` = nominal).  Called
+        once per dispatch, after :meth:`select`; *queue* holds the jobs
+        left waiting."""
+        return None
+
+    def select_preemption(
+        self,
+        now: float,
+        queue: Sequence[ClusterJob],
+        running: Sequence[RunningJob],
+        ctx: SchedulingContext,
+    ) -> Optional[RunningJob]:
+        """An in-flight execution to checkpoint and requeue, or ``None``.
+        Consulted only when jobs are waiting and no chip is free."""
+        return None
 
 
 class FifoScheduler(ClusterScheduler):
@@ -247,6 +323,144 @@ class PowerAwareScheduler(ClusterScheduler):
         return job, chip
 
 
+class EdfPreemptScheduler(DeadlineScheduler):
+    """EDF with checkpoint-and-requeue preemption.
+
+    Dispatch order is plain EDF.  When deadline jobs are waiting and no
+    chip is free, the running job with the *latest* deadline (best-effort
+    jobs count as infinitely late) is checkpointed and requeued -- but
+    only when the waiting job would miss its deadline if it waited for
+    the earliest completion AND still meets it if dispatched now on the
+    victim's chip.  Checkpointing preserves service progress (partial
+    work resumes, energy is charged exactly once); an unfinished input
+    transfer is the only work a preemption discards.
+    """
+
+    def select_preemption(self, now, queue, running, ctx):
+        deadline_jobs = [j for j in queue if j.deadline_s is not None]
+        if not deadline_jobs:
+            return None
+        challenger = min(deadline_jobs, key=_edf_key)
+        candidates = [r for r in running if r.preemptable]
+        if not candidates:
+            return None
+        victim = max(
+            candidates,
+            key=lambda r: (r.deadline_key, r.completion_s, r.chip.chip_id),
+        )
+        if challenger.deadline_s >= victim.deadline_key:
+            return None  # never preempt a tighter (or equal) deadline
+        transfer = ctx.transfer_s(challenger, victim.chip)
+        service = ctx.estimate(challenger, victim.chip).service_s
+        meets_if_preempted = now + transfer + service <= challenger.deadline_s
+        earliest_free = min(r.completion_s for r in running)
+        misses_if_waiting = (
+            earliest_free + transfer + service > challenger.deadline_s
+        )
+        if meets_if_preempted and misses_if_waiting:
+            return victim
+        return None
+
+
+class SpeedScaleScheduler(ClusterScheduler):
+    """Deadline-driven speed scaling (after arXiv:1402.2810).
+
+    Job order is EDF over the *meetable* deadline jobs -- a job whose
+    deadline no free chip can meet even at nominal speed is demoted to
+    the best-effort pool instead of burning the fleet's fastest slot on
+    a lost cause (which is how this policy beats plain EDF's hit rate).
+    The chip pick minimizes nominal completion, and the dispatch runs at
+    the *slowest* DVFS rail of the chip's ladder that still meets the
+    deadline -- but only when no other deadline job is left waiting, so
+    stolen slack never cascades into someone else's miss.  Best-effort
+    and demoted jobs run FIFO at nominal on the energy-cheapest chip.
+    """
+
+    def _completion(self, now, job, chip, ctx) -> float:
+        return (
+            now
+            + ctx.transfer_s(job, chip)
+            + ctx.estimate(job, chip).service_s
+        )
+
+    def select(self, now, queue, free_chips, ctx):
+        if not queue or not free_chips:
+            return None
+        best = None
+        for job in sorted(
+            (j for j in queue if j.deadline_s is not None), key=_edf_key
+        ):
+            chip = min(
+                free_chips,
+                key=lambda c: (self._completion(now, job, c, ctx), c.chip_id),
+            )
+            if self._completion(now, job, chip, ctx) <= job.deadline_s:
+                best = (job, chip)
+                break
+        if best is not None:
+            return best
+        # Best-effort pool: no-deadline jobs and demoted (unmeetable)
+        # deadline jobs, FIFO, on the energy-cheapest free chip.
+        job = min(queue, key=_fifo_key)
+        chip = min(
+            free_chips,
+            key=lambda c: (ctx.estimate(job, c).energy_j, c.chip_id),
+        )
+        return job, chip
+
+    def speed_for(self, now, job, chip, queue, ctx):
+        if job.deadline_s is None:
+            return None
+        if any(j.deadline_s is not None for j in queue):
+            return None  # contended: leave the slack to the waiting jobs
+        transfer = ctx.transfer_s(job, chip)
+        service = ctx.estimate(job, chip).service_s
+        for step in speed_steps_for(chip):  # slowest first
+            if now + transfer + service * step.time_scale <= job.deadline_s:
+                return None if step.is_nominal else step
+        return None  # not meetable even at nominal: run flat out
+
+
+class TechAwareScheduler(ClusterScheduler):
+    """Route jobs by technology class over a heterogeneous fleet.
+
+    Deadline jobs (EDF order) land on the most advanced free node --
+    smallest feature size first, estimated completion breaking ties --
+    while best-effort jobs soak up the efficiency classes (big.LITTLE /
+    in-order mixes first, then older nodes), minimizing estimated
+    energy.  Over :func:`repro.cluster.fleet.hetero_fleet` this sends
+    deadline work to the 22 nm parts and background work to the
+    big.LITTLE 32 nm chips, per the hybrid job-driven discipline of
+    arXiv:1808.08040.
+    """
+
+    def pick_job(self, now, queue, free_chips, ctx):
+        deadline_jobs = [j for j in queue if j.deadline_s is not None]
+        if deadline_jobs:
+            return min(deadline_jobs, key=_edf_key)
+        return min(queue, key=_fifo_key)
+
+    def pick_chip(self, now, job, free_chips, ctx):
+        if job.deadline_s is not None:
+            return min(
+                free_chips,
+                key=lambda c: (
+                    c.node_nm,
+                    ctx.transfer_s(job, c) + ctx.estimate(job, c).service_s,
+                    c.chip_id,
+                ),
+            )
+        return min(
+            free_chips,
+            key=lambda c: (
+                0 if c.is_efficiency_class else 1,
+                -c.node_nm,
+                ctx.estimate(job, c).energy_j,
+                c.chip_id,
+            ),
+        )
+
+
 #: The pluggable policy registry (ray-scheduler-prototype style).
 SCHEDULERS: Dict[str, Type[ClusterScheduler]] = {}
 
@@ -268,6 +482,9 @@ register_scheduler("edf", DeadlineScheduler)
 register_scheduler("least_edp", LeastEdpScheduler)
 register_scheduler("locality", LocalityScheduler)
 register_scheduler("power_aware", PowerAwareScheduler)
+register_scheduler("edf_preempt", EdfPreemptScheduler)
+register_scheduler("speed_scale", SpeedScaleScheduler)
+register_scheduler("tech_aware", TechAwareScheduler)
 
 
 def create_scheduler(name: str) -> ClusterScheduler:

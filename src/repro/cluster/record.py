@@ -43,15 +43,21 @@ class ClusterRunResult:
     records: List[JobRecord]
     report: SloReport
     #: CostModel counters (computed / cache_hits / memo_hits /
-    #: unique_specs).  Excluded from the replay digest: a warm replay
-    #: differs here and nowhere else.
+    #: unique_specs, plus batches / prefetched when the parallel
+    #: cost-model front ran).  Excluded from the replay digest: a warm
+    #: replay differs here and nowhere else.
     study_stats: Dict[str, int] = field(default_factory=dict)
+    #: The source discipline the run was served under
+    #: (:meth:`~repro.cluster.arrivals.Source.to_dict`), or ``None``
+    #: for the legacy open loop.  Part of the replay digest -- a
+    #: closed-loop run replays under the same backoff parameters.
+    source: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
 
     def payload_dict(self) -> Dict:
         """The replay-deterministic portion of the record."""
-        return {
+        out = {
             "schema_version": RECORD_SCHEMA_VERSION,
             "trace": self.trace.to_dict(),
             "policy": self.policy,
@@ -60,6 +66,11 @@ class ClusterRunResult:
             "records": [record.to_dict() for record in self.records],
             "report": self.report.to_dict(),
         }
+        # Open-loop runs omit the key so pre-engine records (and their
+        # digests) remain byte-identical.
+        if self.source is not None:
+            out["source"] = to_builtin(dict(self.source))
+        return out
 
     def payload_json(self) -> str:
         """Canonical JSON of the replay-deterministic portion."""
@@ -93,6 +104,7 @@ class ClusterRunResult:
             records=[JobRecord.from_dict(r) for r in data["records"]],
             report=SloReport.from_dict(data["report"]),
             study_stats=dict(data.get("study_stats", {})),
+            source=data.get("source"),
         )
 
     def save(self, path: Union[str, Path]) -> None:
@@ -108,13 +120,19 @@ class ClusterRunResult:
 def replay(
     record: ClusterRunResult,
     cache=None,
+    prefetch_jobs: Optional[int] = None,
 ) -> ClusterRunResult:
-    """Re-run a recorded cluster run (same trace, policy, fleet).
+    """Re-run a recorded cluster run (same trace, policy, fleet, source).
 
     With a warm *cache* the replay resolves every per-job simulation from
     the StudyCache -- ``result.study_stats["computed"] == 0`` -- and must
     reproduce the record's :attr:`~ClusterRunResult.replay_digest`.
+    A closed-loop record replays under its recorded source parameters.
+    *prefetch_jobs* routes the replay's study resolutions through the
+    parallel cost-model front (the batch counters land in
+    ``study_stats`` and never touch the digest).
     """
+    from repro.cluster.arrivals import source_from_dict
     from repro.cluster.service import ClusterService
 
     service = ClusterService(
@@ -122,8 +140,9 @@ def replay(
         policy=record.policy,
         cache=cache,
         max_queue_depth=record.max_queue_depth,
+        prefetch_jobs=prefetch_jobs,
     )
-    return service.run(record.trace)
+    return service.run(source_from_dict(record.trace, record.source))
 
 
 def verify_replay(

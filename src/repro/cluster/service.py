@@ -1,45 +1,40 @@
-"""The cluster service: a deterministic multi-job discrete-event loop.
+"""The cluster service: the stable facade over the event engine.
 
-:class:`ClusterService` admits a stream of jobs from an
-:class:`~repro.cluster.arrivals.ArrivalTrace` onto a
-:class:`~repro.cluster.fleet.Fleet` of simulated chips:
+:class:`ClusterService` is the API surface a cluster run is driven
+through -- construct with a fleet / policy / cache, :meth:`run` a trace
+(or a closed-loop :class:`~repro.cluster.arrivals.Source`), get a
+:class:`~repro.cluster.record.ClusterRunResult` back.  The actual
+discrete-event mechanics live one layer down in
+:class:`~repro.cluster.engine.ClusterEngine`, which steps the typed
+event heap of :mod:`repro.cluster.events`; the service wires a fresh
+engine per run, carries the persistent pieces across runs (the
+:class:`~repro.cluster.costmodel.CostModel` memo and the policy), and
+folds the engine's records into the SLO report and run record.
 
-1. **Admission control** -- an arriving job is admitted while the bounded
-   queue has room; otherwise it is rejected on the spot (backpressure:
-   an open-loop source sees load shedding, a closed-loop source would
-   retry).  Admission, queueing, dispatch and completion each emit
-   telemetry spans/counters on the simulated cluster clock.
-2. **Scheduling** -- whenever chips are free and jobs are queued, the
-   pluggable policy (:mod:`repro.cluster.policies`) picks the next
-   (job, chip) dispatch.
-3. **Execution** -- the job's service time and energy are the *simulated*
-   makespan/energy of its :class:`~repro.orchestrator.spec.StudySpec` on
-   that chip, resolved through the :class:`~repro.cluster.costmodel.CostModel`
-   (memo -> StudyCache -> simulate), plus input staging time when the
-   dataset is not yet resident on the chip.  A chip carrying a
-   :class:`~repro.faults.FaultPlan` serves every job degraded.
-
-The loop is fully deterministic: events advance to exact float minima,
-completions at a timestamp are processed before arrivals at the same
-timestamp (a freed chip is visible to the job arriving "at" that
-instant), and every policy tie-break bottoms out on ids.  Same trace +
-same fleet + same policy => byte-identical records and metrics.
+Determinism contract (unchanged by the engine refactor): events advance
+to exact float minima, completions at a timestamp are applied before
+retries, retries before arrivals, and the scheduling round runs only
+after every simultaneous event -- so a chip freed "at" an instant is
+visible to the job arriving at that instant.  Same trace + same fleet +
+same policy + same source => byte-identical records and metrics; for
+open-loop sources and non-preemptive policies the records are
+bit-identical to the pre-engine loop (pinned by the golden record
+tests).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, Optional, Set, Union
 
-from repro.cluster.arrivals import ArrivalTrace
+from repro.cluster.arrivals import ArrivalTrace, Source, make_source
 from repro.cluster.costmodel import CostModel, JobEstimate
+from repro.cluster.engine import ClusterEngine
 from repro.cluster.fleet import ChipSpec, Fleet
-from repro.cluster.jobs import COMPLETED, REJECTED, ClusterJob, JobRecord
+from repro.cluster.jobs import ClusterJob
 from repro.cluster.metrics import slo_report
 from repro.cluster.policies import ClusterScheduler, create_scheduler
 from repro.cluster.record import ClusterRunResult
 from repro.orchestrator.cache import StudyCache
-from repro.telemetry import get_tracer
 
 
 class ClusterService:
@@ -51,6 +46,8 @@ class ClusterService:
         policy: Union[str, ClusterScheduler] = "fifo",
         cache: Optional[Union[StudyCache, str]] = None,
         max_queue_depth: int = 8,
+        cost_model: Optional[CostModel] = None,
+        prefetch_jobs: Optional[int] = None,
     ):
         if isinstance(policy, str):
             policy = create_scheduler(policy)
@@ -58,20 +55,31 @@ class ClusterService:
             raise ValueError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
             )
+        if prefetch_jobs is not None and prefetch_jobs < 1:
+            raise ValueError(
+                f"prefetch_jobs must be >= 1, got {prefetch_jobs}"
+            )
         self.fleet = fleet
         self.policy = policy
         self.max_queue_depth = int(max_queue_depth)
-        self.cost_model = CostModel(cache)
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(cache)
+        )
+        #: When set, each run resolves its distinct (study, chip-class)
+        #: units through one parallel orchestrator batch up front.
+        self.prefetch_jobs = prefetch_jobs
         # Residency is part of the SchedulingContext the policy observes
         # (estimate/transfer_s/is_resident), so it must exist from
         # construction -- policies probe costs before the first run()
-        # and between runs.  run() resets it: residency is per-trace.
+        # and between runs.  run() replaces it with the engine's view:
+        # residency is per-trace.
         self._resident: Dict[int, Set[str]] = {
             chip.chip_id: set() for chip in self.fleet
         }
 
     # ------------------------------------------------------------------ #
-    # the SchedulingContext the policy observes
+    # the SchedulingContext the policy observes (between runs; during a
+    # run the engine itself is the context)
     # ------------------------------------------------------------------ #
 
     def estimate(self, job: ClusterJob, chip: ChipSpec) -> JobEstimate:
@@ -87,145 +95,64 @@ class ClusterService:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, trace: ArrivalTrace) -> ClusterRunResult:
-        """Serve *trace* to completion and report the outcome."""
-        tracer = get_tracer()
-        records: Dict[int, JobRecord] = {}
-        queue: List[ClusterJob] = []
-        pending: List[ClusterJob] = list(trace.jobs)  # already sorted
-        next_arrival = 0  # cursor into pending: no O(n) pop(0) shifts
-        #: (completion_s, chip_id, record) -- chip_id breaks float ties.
-        busy: List[Tuple[float, int, JobRecord]] = []
-        free: Dict[int, ChipSpec] = {
-            chip.chip_id: chip for chip in self.fleet
-        }
-        # Residency is per-trace: rebuild (also picks up fleet changes).
-        self._resident = {chip.chip_id: set() for chip in self.fleet}
+    def run(
+        self,
+        trace: Union[ArrivalTrace, Source],
+        source: Union[str, Source] = "open",
+        source_options: Optional[Dict] = None,
+    ) -> ClusterRunResult:
+        """Serve *trace* to completion and report the outcome.
 
-        def admit(job: ClusterJob, now: float) -> None:
-            if len(queue) >= self.max_queue_depth:
-                records[job.job_id] = JobRecord(job=job, status=REJECTED)
-                if tracer.enabled:
-                    tracer.counter_add("cluster.rejected", 1.0)
-                    tracer.span(
-                        job.label, job.arrival_s, 0.0, cat="cluster",
-                        pid="cluster", tid="rejected",
-                    )
-                return
-            record = JobRecord(job=job, status=COMPLETED, admitted_s=now)
-            records[job.job_id] = record
-            queue.append(job)
-            if tracer.enabled:
-                tracer.counter_add("cluster.admitted", 1.0)
-
-        def dispatch(job: ClusterJob, chip: ChipSpec, now: float) -> None:
-            # Remove the selected job *by identity*, not list.remove():
-            # ClusterJob is a frozen dataclass with field equality, so an
-            # equality-based remove on a queue holding equal duplicates
-            # would strip the first match -- possibly not the object the
-            # policy picked -- and corrupt the records/queue pairing.
-            for index, queued in enumerate(queue):
-                if queued is job:
-                    del queue[index]
-                    break
-            del free[chip.chip_id]
-            transfer = self.transfer_s(job, chip)
-            estimate = self.cost_model.estimate(job, chip)
-            record = records[job.job_id]
-            record.chip_id = chip.chip_id
-            record.dispatched_s = now
-            record.transfer_s = transfer
-            record.service_s = estimate.service_s
-            record.energy_j = estimate.energy_j
-            completion = now + transfer + estimate.service_s
-            heapq.heappush(busy, (completion, chip.chip_id, record))
-            self._resident[chip.chip_id].add(job.dataset_key)
-            if tracer.enabled:
-                tracer.counter_add("cluster.dispatched", 1.0)
-                tracer.histogram_record(
-                    "cluster.queue_wait_s", record.queue_wait_s
-                )
-                if record.queue_wait_s > 0.0:
-                    tracer.span(
-                        job.label, record.admitted_s, record.queue_wait_s,
-                        cat="cluster", pid="cluster", tid="queue",
-                    )
-                tracer.span(
-                    job.label, now, transfer + estimate.service_s,
-                    cat="cluster", pid="cluster",
-                    tid=f"chip{chip.chip_id}",
-                    app=job.app, transfer_s=transfer,
-                    service_s=estimate.service_s,
-                )
-
-        def complete(record: JobRecord, when: float) -> None:
-            record.completed_s = when
-            free[record.chip_id] = self.fleet.chip(record.chip_id)
-            if tracer.enabled:
-                tracer.counter_add("cluster.completed", 1.0)
-                tracer.histogram_record("cluster.latency_s", record.latency_s)
-                if record.deadline_met is False:
-                    tracer.counter_add("cluster.deadline_misses", 1.0)
-
-        now = 0.0
-        while True:
-            # Dispatch everything the policy will place at `now`.
-            while queue and free:
-                free_chips = [free[cid] for cid in sorted(free)]
-                pick = self.policy.select(now, list(queue), free_chips, self)
-                if pick is None:
-                    break
-                job, chip = pick
-                queued = any(queued is job for queued in queue)
-                if not queued or chip.chip_id not in free:
-                    raise RuntimeError(
-                        f"policy {self.policy.name!r} selected an invalid "
-                        f"pair: {job.label} -> {chip.label}"
-                    )
-                dispatch(job, chip, now)
-
-            times = []
-            if busy:
-                times.append(busy[0][0])
-            if next_arrival < len(pending):
-                times.append(pending[next_arrival].arrival_s)
-            if not times:
-                break
-            now = min(times)
-            # Completions first: a chip freed at `now` is visible to the
-            # arrival (and dispatch round) at the same instant.
-            while busy and busy[0][0] <= now:
-                completion, _, record = heapq.heappop(busy)
-                complete(record, completion)
-            while (
-                next_arrival < len(pending)
-                and pending[next_arrival].arrival_s <= now
-            ):
-                admit(pending[next_arrival], now)
-                next_arrival += 1
-
-        ordered = [records[job.job_id] for job in trace.jobs]
+        *trace* may be a bare :class:`ArrivalTrace` (wrapped in a source
+        named by *source*: ``"open"`` sheds backpressured jobs,
+        ``"closed"`` retries them with seeded exponential backoff tuned
+        by *source_options*) or an already-built :class:`Source`.
+        """
+        if isinstance(trace, ArrivalTrace):
+            if isinstance(source, str):
+                src = make_source(trace, source, **(source_options or {}))
+            else:
+                src = source
+        else:
+            src = trace
+        engine = ClusterEngine(
+            self.fleet,
+            self.policy,
+            self.cost_model,
+            self.max_queue_depth,
+            prefetch_jobs=self.prefetch_jobs,
+        )
+        ordered = engine.run(src)
+        self._resident = engine.resident
         report = slo_report(self.policy.name, ordered, self.fleet)
         return ClusterRunResult(
-            trace=trace,
+            trace=src.trace,
             policy=self.policy.name,
             fleet=self.fleet,
             max_queue_depth=self.max_queue_depth,
             records=ordered,
             report=report,
             study_stats=self.cost_model.stats(),
+            source=src.to_dict(),
         )
 
 
 def run_workload(
-    trace: ArrivalTrace,
+    trace: Union[ArrivalTrace, Source],
     fleet: Fleet,
     policy: Union[str, ClusterScheduler] = "fifo",
     cache: Optional[Union[StudyCache, str]] = None,
     max_queue_depth: int = 8,
+    source: Union[str, Source] = "open",
+    source_options: Optional[Dict] = None,
+    prefetch_jobs: Optional[int] = None,
 ) -> ClusterRunResult:
     """One-shot convenience: build the service and serve *trace*."""
     service = ClusterService(
-        fleet, policy=policy, cache=cache, max_queue_depth=max_queue_depth
+        fleet,
+        policy=policy,
+        cache=cache,
+        max_queue_depth=max_queue_depth,
+        prefetch_jobs=prefetch_jobs,
     )
-    return service.run(trace)
+    return service.run(trace, source=source, source_options=source_options)

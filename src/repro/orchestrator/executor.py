@@ -63,6 +63,35 @@ class CampaignError(RuntimeError):
     """A campaign unit failed after exhausting its retries."""
 
 
+def resolve_studies(
+    specs: Iterable[StudySpec],
+    jobs: int = 1,
+    cache: Optional[Union[StudyCache, str]] = None,
+    retries: int = 1,
+    timeout_s: Optional[float] = None,
+) -> "tuple[Dict[StudySpec, AppStudy], Dict[StudySpec, str]]":
+    """Batch-resolve *specs* to studies; the cost-model entry point.
+
+    A thin strict front over :func:`run_campaign` for callers that want
+    *answers*, not a manifest: returns ``(studies, statuses)`` where
+    ``statuses[spec]`` is ``"cached"`` or ``"computed"``, and raises
+    :class:`CampaignError` if any unit failed -- an estimator cannot
+    price a job whose study is missing.  ``jobs > 1`` fans the cold
+    units out across worker processes, which is how a cluster run's
+    distinct (study, chip-class) estimates resolve at wall-clock speed
+    instead of serially at first use.
+    """
+    result = run_campaign(
+        specs, jobs=jobs, cache=cache, retries=retries, timeout_s=timeout_s
+    )
+    result.raise_failures()
+    statuses: Dict[StudySpec, str] = {}
+    for record in result.manifest.records:
+        spec = StudySpec.from_dict(record.spec)
+        statuses[spec] = record.status
+    return result.studies, statuses
+
+
 @dataclass
 class CampaignResult:
     """Studies plus the manifest of how each unit resolved."""

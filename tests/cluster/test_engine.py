@@ -1,0 +1,146 @@
+"""Event engine: golden replay pins, legacy round-trip, heap order.
+
+The golden records under ``tests/data/cluster_golden/`` were written by
+the pre-engine monolithic ``ClusterService.run`` loop.  Replaying them
+through the event engine must reproduce every byte -- that is the
+refactor's central contract -- and loading them at all pins the legacy
+schema (no ``attempts``/``preemptions``/``source`` keys) against the
+extended one.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster.events import (
+    ARRIVAL,
+    COMPLETE,
+    DISPATCH,
+    EVENT_RANK,
+    PREEMPT,
+    RETRY,
+    EventEngine,
+)
+from repro.cluster.jobs import TERMINAL_STATUSES
+from repro.cluster.record import ClusterRunResult, replay, verify_replay
+from repro.utils.jsonutil import canonical_json
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "data" / "cluster_golden"
+GOLDEN_POLICIES = ("fifo", "priority", "edf")
+
+
+class TestGoldenReplay:
+    """The engine reproduces pre-engine records byte for byte."""
+
+    @pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+    def test_golden_record_replays_byte_identical(self, policy, study_cache):
+        record = ClusterRunResult.load(GOLDEN_DIR / f"smoke_{policy}.json")
+        fresh = replay(record, cache=study_cache)
+        assert verify_replay(record, fresh) is None
+        assert fresh.payload_json() == record.payload_json()
+
+    def test_golden_trace_matches_record_traces(self):
+        with open(GOLDEN_DIR / "smoke.trace.json") as handle:
+            trace_dict = json.load(handle)
+        for policy in GOLDEN_POLICIES:
+            record = ClusterRunResult.load(GOLDEN_DIR / f"smoke_{policy}.json")
+            assert record.trace.to_dict() == trace_dict
+
+
+class TestLegacyRoundTrip:
+    """Pre-engine record files load, re-serialize and verify unchanged."""
+
+    @pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+    def test_load_reserialize_is_byte_identical(self, policy):
+        path = GOLDEN_DIR / f"smoke_{policy}.json"
+        record = ClusterRunResult.load(path)
+        with open(path) as handle:
+            on_disk = handle.read()
+        assert canonical_json(record.to_dict()) + "\n" == on_disk
+
+    @pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+    def test_stored_digest_matches_recomputed(self, policy):
+        path = GOLDEN_DIR / f"smoke_{policy}.json"
+        with open(path) as handle:
+            raw = json.load(handle)
+        record = ClusterRunResult.from_dict(raw)
+        assert record.replay_digest == raw["replay_digest"]
+
+    def test_legacy_records_read_schema_defaults(self):
+        record = ClusterRunResult.load(GOLDEN_DIR / "smoke_fifo.json")
+        assert record.source is None
+        for job_record in record.records:
+            assert job_record.attempts == 1
+            assert job_record.preemptions == 0
+            assert job_record.wasted_transfer_s == 0.0
+            assert job_record.status in TERMINAL_STATUSES
+
+    def test_legacy_payload_has_no_new_keys(self):
+        record = ClusterRunResult.load(GOLDEN_DIR / "smoke_fifo.json")
+        payload = record.payload_dict()
+        assert "source" not in payload
+        for job_record in payload["records"]:
+            assert "attempts" not in job_record
+            assert "preemptions" not in job_record
+            assert "wasted_transfer_s" not in job_record
+        assert "retries" not in payload["report"]
+        assert "preemptions" not in payload["report"]
+
+
+class TestEventEngine:
+    def test_rank_order_at_one_timestamp(self):
+        engine = EventEngine()
+        # Schedule in reverse application order; the heap must undo it.
+        engine.schedule(1.0, DISPATCH, tie=0, payload="d")
+        engine.schedule(1.0, PREEMPT, tie=0, payload="p")
+        engine.schedule(1.0, ARRIVAL, tie=5, payload="a")
+        engine.schedule(1.0, RETRY, tie=9, payload="r")
+        engine.schedule(1.0, COMPLETE, tie=3, payload="c")
+        seen = []
+        engine.run(lambda e: seen.append(e.payload), lambda now: False)
+        assert seen == ["c", "r", "a", "p", "d"]
+
+    def test_tie_breaks_on_domain_id_then_seq(self):
+        engine = EventEngine()
+        engine.schedule(2.0, COMPLETE, tie=7, payload="chip7")
+        engine.schedule(2.0, COMPLETE, tie=1, payload="chip1")
+        engine.schedule(2.0, ARRIVAL, tie=4, payload="job4")
+        engine.schedule(2.0, ARRIVAL, tie=2, payload="job2")
+        seen = []
+        engine.run(lambda e: seen.append(e.payload), lambda now: False)
+        assert seen == ["chip1", "chip7", "job2", "job4"]
+
+    def test_time_advances_only_when_round_is_quiet(self):
+        engine = EventEngine()
+        engine.schedule(0.0, ARRIVAL, tie=0)
+        engine.schedule(1.0, ARRIVAL, tie=1)
+        rounds = []
+
+        def round_fn(now):
+            rounds.append(now)
+            if now == 0.0 and rounds.count(0.0) == 1:
+                # First round at t=0 produces same-instant work.
+                engine.schedule(0.0, DISPATCH, tie=0)
+                return True
+            return False
+
+        applied = []
+        engine.run(lambda e: applied.append((e.time_s, e.kind)), round_fn)
+        assert applied == [
+            (0.0, ARRIVAL), (0.0, DISPATCH), (1.0, ARRIVAL),
+        ]
+        # Round re-ran after the same-instant dispatch, then at t=1.
+        assert rounds == [0.0, 0.0, 1.0]
+        assert engine.counts[ARRIVAL] == 2
+        assert engine.counts[DISPATCH] == 1
+
+    def test_unknown_kind_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            engine.schedule(0.0, "quiesce")
+
+    def test_ranks_cover_every_kind(self):
+        assert set(EVENT_RANK) == {
+            COMPLETE, RETRY, ARRIVAL, PREEMPT, DISPATCH,
+        }

@@ -180,3 +180,171 @@ class TestLocality:
             6.0, queue, list(CHIPS), ctx
         )
         assert (picked.job_id, chip.chip_id) == (0, 0)
+
+
+def running(job_, chip, dispatched=0.0, transfer_end=0.5, completion=20.0,
+            preemptable=True, token=1):
+    from repro.cluster.policies import RunningJob
+
+    return RunningJob(
+        job=job_, chip=chip, dispatched_s=dispatched,
+        transfer_end_s=transfer_end, completion_s=completion,
+        preemptable=preemptable, token=token,
+    )
+
+
+class TestEdfPreempt:
+    """Victim choice of the checkpoint-and-requeue EDF variant."""
+
+    def setup_method(self):
+        self.policy = create_scheduler("edf_preempt")
+        # 10 s service + 0.5 s transfer everywhere (StubContext default).
+        self.ctx = StubContext()
+
+    def test_no_deadline_challenger_no_preemption(self):
+        busy = [running(job(0), CHIPS[0], completion=50.0)]
+        assert (
+            self.policy.select_preemption(1.0, [job(1)], busy, self.ctx)
+            is None
+        )
+
+    def test_evicts_the_latest_deadline_for_a_tight_one(self):
+        busy = [
+            running(job(0, deadline=100.0), CHIPS[0], completion=40.0),
+            running(job(1), CHIPS[1], completion=60.0),  # best effort
+        ]
+        challenger = job(2, arrival=1.0, deadline=15.0)
+        victim = self.policy.select_preemption(
+            1.0, [challenger], busy, self.ctx
+        )
+        # Best-effort (deadline = inf) outranks any dated deadline.
+        assert victim is not None and victim.chip.chip_id == 1
+
+    def test_never_evicts_a_tighter_or_equal_deadline(self):
+        busy = [running(job(0, deadline=15.0), CHIPS[0], completion=14.0)]
+        challenger = job(1, arrival=1.0, deadline=15.0)
+        assert (
+            self.policy.select_preemption(1.0, [challenger], busy, self.ctx)
+            is None
+        )
+
+    def test_no_eviction_when_preempting_cannot_meet(self):
+        busy = [running(job(0), CHIPS[0], completion=40.0)]
+        # Needs 1 + 0.5 + 10 = 11.5 but is due at 11: a lost cause.
+        challenger = job(1, arrival=1.0, deadline=11.0)
+        assert (
+            self.policy.select_preemption(1.0, [challenger], busy, self.ctx)
+            is None
+        )
+
+    def test_no_eviction_when_waiting_still_meets(self):
+        busy = [running(job(0), CHIPS[0], completion=5.0)]
+        # Earliest free chip at 5; 5 + 0.5 + 10 = 15.5 <= 30: just wait.
+        challenger = job(1, arrival=1.0, deadline=30.0)
+        assert (
+            self.policy.select_preemption(1.0, [challenger], busy, self.ctx)
+            is None
+        )
+
+    def test_skips_non_preemptable_executions(self):
+        busy = [
+            running(job(0), CHIPS[0], completion=40.0, preemptable=False),
+        ]
+        challenger = job(1, arrival=1.0, deadline=20.0)
+        assert (
+            self.policy.select_preemption(1.0, [challenger], busy, self.ctx)
+            is None
+        )
+
+
+class TestSpeedScale:
+    """Demotion of lost causes and slack-driven DVFS selection."""
+
+    def setup_method(self):
+        self.policy = create_scheduler("speed_scale")
+        self.ctx = StubContext()  # 10 s service, 0.5 s transfer
+
+    def test_demotes_unmeetable_deadline_jobs(self):
+        doomed = job(0, arrival=0.0, deadline=1.0)  # needs 10.5 s
+        feasible = job(1, arrival=5.0, deadline=100.0)
+        picked, _ = self.policy.select(
+            6.0, [doomed, feasible], list(CHIPS), self.ctx
+        )
+        # Plain EDF would pick the doomed job (earliest deadline);
+        # demotion hands the slot to the meetable one.
+        assert picked.job_id == 1
+
+    def test_demoted_jobs_still_run_as_best_effort(self):
+        doomed = job(0, arrival=0.0, deadline=1.0)
+        picked, _ = self.policy.select(6.0, [doomed], list(CHIPS), self.ctx)
+        assert picked.job_id == 0
+
+    def test_no_scaling_while_deadline_work_waits(self):
+        waiting = [job(1, arrival=0.0, deadline=500.0)]
+        step = self.policy.speed_for(
+            0.0, job(0, deadline=1e6), CHIPS[0], waiting, self.ctx
+        )
+        assert step is None
+
+    def test_scales_to_slowest_step_that_meets(self):
+        from repro.cluster.policies import speed_steps_for
+
+        step = self.policy.speed_for(
+            0.0, job(0, deadline=1e6), CHIPS[0], [], self.ctx
+        )
+        assert step is not None
+        assert step == speed_steps_for(CHIPS[0])[0]
+        assert not step.is_nominal
+        assert step.time_scale > 1.0
+        assert step.energy_scale < 1.0
+
+    def test_runs_flat_out_when_nothing_meets(self):
+        step = self.policy.speed_for(
+            0.0, job(0, deadline=1.0), CHIPS[0], [], self.ctx
+        )
+        assert step is None
+
+    def test_best_effort_jobs_never_scale(self):
+        assert (
+            self.policy.speed_for(0.0, job(0), CHIPS[0], [], self.ctx)
+            is None
+        )
+
+
+class TestTechAware:
+    """Deadline work to advanced nodes, background to efficiency mixes."""
+
+    def setup_method(self):
+        from repro.tech import TechSpec
+
+        self.policy = create_scheduler("tech_aware")
+        self.ctx = StubContext()
+        self.hetero = [
+            ChipSpec(chip_id=0),  # 65 nm out-of-order (paper default)
+            ChipSpec(chip_id=1, num_workers=64, tech=TechSpec(node="45nm")),
+            ChipSpec(
+                chip_id=2, tech=TechSpec(node="32nm", cores="big_little")
+            ),
+            ChipSpec(
+                chip_id=3, num_workers=64, tech=TechSpec(node="22nm", cores="io")
+            ),
+        ]
+
+    def test_deadline_jobs_land_on_the_smallest_node(self):
+        _, chip = self.policy.select(
+            0.0, [job(0, deadline=100.0)], self.hetero, self.ctx
+        )
+        assert chip.chip_id == 3  # the 22 nm part
+
+    def test_best_effort_soaks_the_efficiency_mixes(self):
+        _, chip = self.policy.select(0.0, [job(0)], self.hetero, self.ctx)
+        assert chip.chip_id == 2  # big.LITTLE 32 nm before the 22 nm io
+
+    def test_chip_class_properties(self):
+        assert [c.node_nm for c in self.hetero] == [65, 45, 32, 22]
+        assert [c.core_class for c in self.hetero] == [
+            "ooo", "ooo", "big_little", "io",
+        ]
+        assert [c.is_efficiency_class for c in self.hetero] == [
+            False, False, True, True,
+        ]

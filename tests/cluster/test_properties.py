@@ -1,0 +1,194 @@
+"""Property tests: engine conservation invariants over random workloads.
+
+A scripted :class:`FakeCostModel` stands in for the simulator, so
+Hypothesis can drive thousands of randomized traces, fleets, policies
+and source disciplines through the *real* event engine and check the
+invariants that must hold for every schedule:
+
+* every arrival ends in exactly one terminal status, with a coherent
+  timeline when it completed;
+* checkpointed (preempted) work is charged exactly once -- segment
+  fractions partition [0, 1] and segment sums equal the record totals;
+* the engine is a pure function of its inputs: serving the same source
+  twice yields byte-identical canonical payloads.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ArrivalTrace,
+    ClusterJob,
+    ClusterService,
+    CostModel,
+    JobEstimate,
+    fleet_for,
+)
+from repro.cluster.jobs import COMPLETED, REJECTED, TERMINAL_STATUSES
+
+#: Policies under test -- every registered discipline, preemptive and not.
+POLICIES = (
+    "fifo", "priority", "edf", "least_edp", "locality",
+    "edf_preempt", "speed_scale", "tech_aware",
+)
+
+
+class FakeCostModel(CostModel):
+    """Deterministic, simulation-free estimates keyed on (job, chip)."""
+
+    def __init__(self):
+        super().__init__(None)
+
+    def estimate(self, job, chip):
+        key = f"{job.app}|{job.scale:g}|{job.seed}|{chip.num_workers}"
+        digest = hashlib.sha256(key.encode()).digest()
+        service = 1.0 + digest[0] / 16.0  # 1.0 .. ~17
+        energy = 50.0 + digest[1] * 2.0
+        return JobEstimate(service_s=service, energy_j=energy)
+
+
+APPS = ("histogram", "wordcount", "kmeans")
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    jobs = []
+    for job_id in range(n):
+        arrival = draw(
+            st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+        )
+        deadline = None
+        if draw(st.booleans()):
+            deadline = arrival + draw(
+                st.floats(min_value=0.5, max_value=40.0, allow_nan=False)
+            )
+        jobs.append(
+            ClusterJob(
+                job_id=job_id,
+                app=draw(st.sampled_from(APPS)),
+                arrival_s=arrival,
+                seed=draw(st.sampled_from((7, 9))),
+                priority=draw(st.integers(min_value=0, max_value=3)),
+                deadline_s=deadline,
+                input_mb=draw(
+                    st.floats(min_value=0.0, max_value=256.0, allow_nan=False)
+                ),
+            )
+        )
+        # ArrivalTrace requires time-sorted jobs.
+        jobs.sort(key=lambda j: (j.arrival_s, j.job_id))
+        jobs = [
+            ClusterJob(**{**j.to_dict(), "job_id": idx})
+            for idx, j in enumerate(jobs)
+        ]
+    return ArrivalTrace(name="prop", seed=1, jobs=tuple(jobs))
+
+
+RUN_CONFIGS = st.fixed_dictionaries(
+    {
+        "trace": traces(),
+        "policy": st.sampled_from(POLICIES),
+        "chips": st.integers(min_value=1, max_value=3),
+        "depth": st.integers(min_value=1, max_value=4),
+        "closed": st.booleans(),
+    }
+)
+
+
+def serve(config):
+    service = ClusterService(
+        fleet_for(config["chips"], num_workers=16),
+        policy=config["policy"],
+        max_queue_depth=config["depth"],
+        cost_model=FakeCostModel(),
+    )
+    options = None
+    source = "open"
+    if config["closed"]:
+        source = "closed"
+        options = {"retry_limit": 2, "backoff_base_s": 1.0, "seed": 5}
+    return service.run(
+        config["trace"], source=source, source_options=options
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=RUN_CONFIGS)
+def test_every_arrival_ends_in_exactly_one_terminal_status(config):
+    result = serve(config)
+    trace = config["trace"]
+    assert len(result.records) == len(trace.jobs)
+    for record, job in zip(result.records, trace.jobs):
+        assert record.job.job_id == job.job_id
+        assert record.status in TERMINAL_STATUSES
+        assert record.attempts >= 1
+        if record.status == COMPLETED:
+            assert record.admitted_s is not None
+            assert record.admitted_s >= job.arrival_s
+            assert record.dispatched_s >= record.admitted_s
+            assert record.completed_s >= record.dispatched_s
+            assert record.service_s >= 0.0
+            assert record.energy_j >= 0.0
+        else:
+            assert record.status == REJECTED
+            assert record.completed_s is None
+    report = result.report
+    assert report.completed + report.rejected == len(trace.jobs)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=RUN_CONFIGS)
+def test_preempted_work_is_charged_exactly_once(config):
+    result = serve(config)
+    model = FakeCostModel()
+    fleet = result.fleet
+    for record in result.records:
+        if record.status != COMPLETED:
+            continue
+        if record.preemptions == 0:
+            assert "segments" not in record.extra
+            continue
+        segments = record.extra["segments"]
+        assert len(segments) == record.preemptions + 1
+        assert segments[0]["from"] == 0.0
+        assert segments[-1]["to"] == 1.0
+        for left, right in zip(segments, segments[1:]):
+            assert right["from"] == left["to"]
+            assert left["to"] >= left["from"]
+        assert sum(s["service_s"] for s in segments) == pytest.approx(
+            record.service_s, abs=1e-9
+        )
+        assert sum(s["energy_j"] for s in segments) == pytest.approx(
+            record.energy_j, abs=1e-9
+        )
+        # The energy charge never exceeds the job's priciest nominal
+        # estimate: checkpointing cannot double-bill a single fraction.
+        ceiling = max(
+            model.estimate(record.job, chip).energy_j for chip in fleet
+        )
+        assert record.energy_j <= ceiling * (1.0 + 1e-9)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=RUN_CONFIGS)
+def test_same_inputs_reproduce_byte_identical_payloads(config):
+    first = serve(config)
+    second = serve(config)
+    assert first.payload_json() == second.payload_json()
+    assert first.replay_digest == second.replay_digest

@@ -1,0 +1,152 @@
+"""Source disciplines: open-loop shedding vs closed-loop retry backoff."""
+
+import pytest
+
+from repro.cluster import fleet_for, run_workload
+from repro.cluster.arrivals import (
+    ClosedLoopSource,
+    OpenLoopSource,
+    make_source,
+    preset_trace,
+    source_from_dict,
+)
+from repro.cluster.jobs import COMPLETED, REJECTED, TERMINAL_STATUSES
+from repro.cluster.record import replay, verify_replay
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Sustained overload with giving-up room: closed-loop retries
+    # genuinely recover shed jobs here (under burstier traces with a
+    # shorter queue, retries can instead crowd out fresh arrivals).
+    return preset_trace("heavy", seed=7)
+
+
+class TestSourceConstruction:
+    def test_open_is_the_default(self, trace):
+        source = make_source(trace)
+        assert isinstance(source, OpenLoopSource)
+        assert source.to_dict() is None
+        assert source.retry_at(trace.jobs[0], 1.0, 1) is None
+
+    def test_open_rejects_options(self, trace):
+        with pytest.raises(ValueError, match="no options"):
+            make_source(trace, "open", retry_limit=2)
+
+    def test_closed_round_trips_through_record_dict(self, trace):
+        source = make_source(
+            trace, "closed", retry_limit=2, backoff_base_s=1.5, seed=3
+        )
+        rebuilt = source_from_dict(trace, source.to_dict())
+        assert rebuilt == source
+
+    def test_source_from_dict_none_is_open(self, trace):
+        assert isinstance(source_from_dict(trace, None), OpenLoopSource)
+
+    def test_unknown_kind_rejected(self, trace):
+        with pytest.raises(ValueError, match="unknown source"):
+            source_from_dict(trace, {"kind": "lossy"})
+
+    @pytest.mark.parametrize(
+        "kwargs", [
+            {"retry_limit": -1},
+            {"backoff_base_s": 0.0},
+            {"backoff_cap_s": 0.1, "backoff_base_s": 5.0},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_closed_validates_parameters(self, trace, kwargs):
+        with pytest.raises(ValueError):
+            ClosedLoopSource(trace, **kwargs)
+
+
+class TestBackoff:
+    def test_backoff_doubles_then_caps(self, trace):
+        source = ClosedLoopSource(
+            trace, backoff_base_s=2.0, backoff_cap_s=9.0, jitter=0.0,
+            retry_limit=10,
+        )
+        job = trace.jobs[0]
+        backoffs = [source.backoff_s(job, k) for k in (1, 2, 3, 4)]
+        assert backoffs == [2.0, 4.0, 8.0, 9.0]
+
+    def test_jitter_is_seeded_and_bounded(self, trace):
+        source = ClosedLoopSource(
+            trace, backoff_base_s=4.0, jitter=0.5, seed=11
+        )
+        job = trace.jobs[0]
+        first = source.backoff_s(job, 1)
+        # Deterministic: same (seed, job, attempt) -> same jitter draw.
+        assert source.backoff_s(job, 1) == first
+        assert 2.0 <= first <= 6.0
+        # A different attempt (and a different seed) redraws.
+        assert source.backoff_s(job, 2) != first
+        other = ClosedLoopSource(
+            trace, backoff_base_s=4.0, jitter=0.5, seed=12
+        )
+        assert other.backoff_s(job, 1) != first
+
+    def test_retry_at_gives_up_past_the_limit(self, trace):
+        source = ClosedLoopSource(trace, retry_limit=2, jitter=0.0)
+        job = trace.jobs[0]
+        assert source.retry_at(job, 10.0, 1) == pytest.approx(15.0)
+        assert source.retry_at(job, 10.0, 2) == pytest.approx(20.0)
+        assert source.retry_at(job, 10.0, 3) is None
+
+
+class TestClosedLoopRuns:
+    @pytest.fixture(scope="class")
+    def pair(self, trace, small_fleet, study_cache):
+        open_run = run_workload(
+            trace, small_fleet, policy="fifo", cache=study_cache,
+            max_queue_depth=3,
+        )
+        closed_run = run_workload(
+            trace, small_fleet, policy="fifo", cache=study_cache,
+            max_queue_depth=3, source="closed",
+            source_options={"retry_limit": 3, "backoff_base_s": 3.0},
+        )
+        return open_run, closed_run
+
+    def test_every_job_ends_terminal_with_attempt_counts(self, pair):
+        _, closed_run = pair
+        for record in closed_run.records:
+            assert record.status in TERMINAL_STATUSES
+            assert record.attempts >= 1
+            if record.status == REJECTED:
+                # Gave up only after exhausting every retry.
+                assert record.attempts == 4
+
+    def test_retries_recover_shed_jobs(self, pair):
+        open_run, closed_run = pair
+        assert closed_run.report.retries > 0
+        assert closed_run.report.completed > open_run.report.completed
+        assert closed_run.report.rejected < open_run.report.rejected
+
+    def test_closed_run_replays_byte_identical(self, pair, study_cache):
+        _, closed_run = pair
+        fresh = replay(closed_run, cache=study_cache)
+        assert verify_replay(closed_run, fresh) is None
+
+    def test_source_parameters_live_in_the_record(self, pair):
+        _, closed_run = pair
+        assert closed_run.source == {
+            "kind": "closed", "retry_limit": 3, "backoff_base_s": 3.0,
+            "backoff_cap_s": 120.0, "jitter": 0.5, "seed": 7,
+        }
+        assert "source" in closed_run.payload_dict()
+        round_tripped = type(closed_run).from_dict(closed_run.to_dict())
+        assert round_tripped.source == closed_run.source
+        assert round_tripped.replay_digest == closed_run.replay_digest
+
+    def test_retried_completion_counts_one_terminal_status(self, pair):
+        _, closed_run = pair
+        retried_completions = [
+            r for r in closed_run.records
+            if r.status == COMPLETED and r.attempts > 1
+        ]
+        assert retried_completions, "heavy must backpressure some retries"
+        for record in retried_completions:
+            # Admission stamped the *successful* attempt, after arrival.
+            assert record.admitted_s > record.job.arrival_s
+            assert record.completed_s >= record.dispatched_s
